@@ -1,0 +1,40 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the thesis' evaluation
+(Ch. 7, plus the Ch. 3/6 figures its arguments rest on), prints the
+measured rows next to the paper's numbers, and asserts the qualitative
+shape.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Monte Carlo sample counts default to a laptop-friendly scale; set
+``REPRO_FULL_SCALE=1`` to use the thesis' own counts (10^7 uniform /
+10^6 Gaussian samples).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+def mc_samples(paper_count: int, reduced: int) -> int:
+    """The thesis' sample count, or the reduced default."""
+    return paper_count if full_scale() else reduced
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(20120320)
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment exactly once (they are minutes-scale at
+    full scale; statistical timing repetition is meaningless here)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Ablation: detection-tree mapping (naive AND+OR vs AOI22-merged).
+
+Thesis Fig. 5.1 draws ERR0 as a row of 2-input ANDs into a 2-input OR
+tree.  Mapped naively that costs 1 + ceil(log2(m-1)) non-inverting
+levels; `repro.core.detection` folds each AND pair and its OR into one
+AOI22 and alternates NAND/NOR above — what a synthesis tool does.  This
+bench quantifies the difference, which is what lets VLCSA 1's detection
+keep up with its speculative path (Fig. 7.4's comparison point).
+"""
+
+from repro.analysis.report import format_table, percent, ratio
+from repro.core.detection import build_err0
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import simulate
+from repro.netlist.timing import analyze_timing
+
+from benchmarks.conftest import run_once
+
+WINDOW_COUNTS = (5, 9, 16, 31, 40)
+
+
+def _naive_err0(circuit, group_g, group_p):
+    """Literal Fig. 5.1: AND row into an OR2 stack."""
+    m = len(group_g)
+    terms = [circuit.add_gate("AND2", [group_p[i + 1], group_g[i]])
+             for i in range(m - 1)]
+    level = terms
+    while len(level) > 1:
+        nxt = [circuit.add_gate("OR2", [level[i], level[i + 1]])
+               for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _build(m, style):
+    c = Circuit(f"det_{style}_{m}")
+    g = c.add_input_bus("g", m)
+    p = c.add_input_bus("p", m)
+    err = build_err0(c, g, p) if style == "mapped" else _naive_err0(c, g, p)
+    c.set_output("err", err)
+    return c
+
+
+def test_ablation_detection_mapping(benchmark):
+    def compute():
+        rows = []
+        for m in WINDOW_COUNTS:
+            naive = _build(m, "naive")
+            mapped = _build(m, "mapped")
+            # functional equivalence over a sample of inputs
+            for gv, pv in [(0, 0), (1, 2), (3, 6), ((1 << m) - 1, (1 << m) - 1),
+                           (0b1010101 & ((1 << m) - 1), 0b0101011 & ((1 << m) - 1))]:
+                assert (simulate(naive, {"g": gv, "p": pv})["err"]
+                        == simulate(mapped, {"g": gv, "p": pv})["err"]), (m, gv, pv)
+            rows.append(
+                (
+                    m,
+                    analyze_timing(naive).critical_delay,
+                    analyze_timing(mapped).critical_delay,
+                    naive.num_gates,
+                    mapped.num_gates,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["windows m", "naive delay", "mapped delay", "Δ", "naive gates", "mapped gates"],
+            [
+                (m, f"{dn:.3f}", f"{dm:.3f}", percent(ratio(dm, dn)), gn, gm)
+                for m, dn, dm, gn, gm in rows
+            ],
+            title="Ablation — ERR0 detection-tree mapping",
+        )
+    )
+
+    for m, naive_delay, mapped_delay, naive_gates, mapped_gates in rows:
+        assert mapped_delay < naive_delay, m
+        assert mapped_gates <= naive_gates, m

@@ -1,0 +1,76 @@
+"""Ablation: contribution of the virtual-synthesis passes.
+
+Every headline delay/area number in this reproduction is measured after
+the peephole optimizer and fanout-buffering pass (mirroring "circuits are
+synthesized ... in the Synopsys Design Compiler").  This bench quantifies
+what each stage contributes on the thesis' two central designs.
+"""
+
+from repro.adders import build_kogge_stone_adder
+from repro.analysis.report import format_table, percent, ratio
+from repro.core import build_scsa_adder, build_vlcsa1
+from repro.netlist.area import area as circuit_area
+from repro.netlist.optimize import buffer_fanout, optimize
+from repro.netlist.timing import analyze_timing
+
+from benchmarks.conftest import run_once
+
+N, K = 256, 16
+
+
+def _measure(circuit):
+    return analyze_timing(circuit).critical_delay, circuit_area(circuit)
+
+
+def test_ablation_optimizer_stages(benchmark):
+    def compute():
+        rows = []
+        for name, builder in [
+            ("kogge_stone_256", lambda: build_kogge_stone_adder(N)),
+            ("scsa1_256_k16", lambda: build_scsa_adder(N, K)),
+            ("vlcsa1_256_k16", lambda: build_vlcsa1(N, K)),
+        ]:
+            raw = builder()
+            mapped, _ = optimize(raw, buffer_limit=None)
+            full, _ = optimize(raw)  # mapping + fanout repair
+            buffered_only = buffer_fanout(raw)
+            rows.append(
+                (
+                    name,
+                    _measure(raw),
+                    _measure(mapped),
+                    _measure(buffered_only),
+                    _measure(full),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["design", "raw d/a", "mapped d/a", "buffered d/a", "full d/a",
+             "full vs raw delay", "full vs raw area"],
+            [
+                (
+                    name,
+                    f"{r[0]:.3f}/{r[1]:.0f}",
+                    f"{m[0]:.3f}/{m[1]:.0f}",
+                    f"{b[0]:.3f}/{b[1]:.0f}",
+                    f"{f[0]:.3f}/{f[1]:.0f}",
+                    percent(ratio(f[0], r[0])),
+                    percent(ratio(f[1], r[1])),
+                )
+                for name, r, m, b, f in rows
+            ],
+            title="Ablation — virtual-synthesis pass contributions",
+        )
+    )
+
+    for name, raw, mapped, buffered, full in rows:
+        # mapping never hurts area; the full pipeline never hurts delay
+        assert mapped[1] <= raw[1] * 1.001, name
+        assert full[0] <= raw[0] * 1.001, name
+        # the full pipeline is at least as fast as mapping alone
+        assert full[0] <= mapped[0] * 1.02, name

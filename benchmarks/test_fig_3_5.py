@@ -1,0 +1,43 @@
+"""Figure 3.5: predicted SCSA error rates vs window size, per adder width.
+
+Paper: error rate falls off a cliff as the window size grows; at n=256,
+k=16 the predicted rate is ~0.01%.
+"""
+
+from repro.analysis.report import format_series
+from repro.model.error_model import scsa_error_rate
+
+from benchmarks.conftest import run_once
+
+WIDTHS = (64, 128, 256, 512)
+WINDOW_SIZES = list(range(4, 19))
+
+
+def test_fig_3_5_predicted_error_rates(benchmark):
+    def compute():
+        return {
+            n: [scsa_error_rate(n, k) for k in WINDOW_SIZES] for n in WIDTHS
+        }
+
+    rates = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_series(
+            "k",
+            WINDOW_SIZES,
+            [(f"n={n}", rates[n]) for n in WIDTHS],
+            title="Fig 3.5 — predicted SCSA error rate vs window size",
+        )
+    )
+    print("paper anchor: n=256, k=16 -> ~0.01%   "
+          f"measured: {rates[256][WINDOW_SIZES.index(16)]:.4%}")
+
+    # Shape: monotone decreasing in k, increasing in n.
+    for n in WIDTHS:
+        assert rates[n] == sorted(rates[n], reverse=True)
+    for i, k in enumerate(WINDOW_SIZES):
+        column = [rates[n][i] for n in WIDTHS]
+        assert column == sorted(column)
+    # Anchor value from the thesis text (section 3.2).
+    assert abs(rates[256][WINDOW_SIZES.index(16)] - 1e-4) < 2e-5

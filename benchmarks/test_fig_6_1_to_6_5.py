@@ -1,0 +1,83 @@
+"""Figures 6.1, 6.3, 6.4, 6.5: carry-chain-length statistics per input class.
+
+Paper (32-bit additions, 10^6 samples per class):
+
+* Fig 6.1 unsigned uniform          — geometric decay, no long chains;
+* Fig 6.3 2's-complement uniform    — same shape as 6.1;
+* Fig 6.4 unsigned Gaussian         — same shape as 6.1;
+* Fig 6.5 2's-complement Gaussian   — bimodal: short chains plus a
+  nontrivial mass of chains "as long as the adder size".
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_series
+from repro.inputs.generators import gaussian_operands, uniform_operands
+from repro.model.carry_chains import chain_length_histogram
+
+from benchmarks.conftest import mc_samples, run_once
+
+WIDTH = 32
+SIGMA = float(2 ** 16)  # scaled so the active region sits inside 32 bits
+
+
+def _classes(samples, rng):
+    return {
+        "Fig6.1 unsigned-uniform": (
+            uniform_operands(WIDTH, samples, rng),
+            uniform_operands(WIDTH, samples, rng),
+        ),
+        # bit-wise, uniform 2's complement is uniform: same generator
+        "Fig6.3 2c-uniform": (
+            uniform_operands(WIDTH, samples, rng),
+            uniform_operands(WIDTH, samples, rng),
+        ),
+        "Fig6.4 unsigned-gaussian": (
+            gaussian_operands(WIDTH, samples, SIGMA, signed=False, rng=rng),
+            gaussian_operands(WIDTH, samples, SIGMA, signed=False, rng=rng),
+        ),
+        "Fig6.5 2c-gaussian": (
+            gaussian_operands(WIDTH, samples, SIGMA, rng=rng),
+            gaussian_operands(WIDTH, samples, SIGMA, rng=rng),
+        ),
+    }
+
+
+def test_figs_6_1_to_6_5_chain_histograms(benchmark, bench_rng):
+    samples = mc_samples(1_000_000, 200_000)
+
+    def compute():
+        hists = {}
+        for name, (a, b) in _classes(samples, bench_rng).items():
+            hists[name] = chain_length_histogram(a, b, WIDTH)
+        return hists
+
+    hists = run_once(benchmark, compute)
+
+    lengths = list(range(1, WIDTH + 1))
+    print()
+    print(
+        format_series(
+            "len",
+            lengths,
+            [(name.split()[1], hists[name][1:]) for name in hists],
+            title=f"Figs 6.1/6.3/6.4/6.5 — carry-chain length histograms "
+            f"(n={WIDTH}, {samples} samples)",
+        )
+    )
+
+    uniform = hists["Fig6.1 unsigned-uniform"]
+    gaussian2c = hists["Fig6.5 2c-gaussian"]
+
+    # Uniform-like classes: rapid decay, negligible long-chain mass.
+    for name in ("Fig6.1 unsigned-uniform", "Fig6.3 2c-uniform",
+                 "Fig6.4 unsigned-gaussian"):
+        h = hists[name]
+        assert h[1] > h[4] > h[8], name
+        assert h[16:].sum() < 5e-3, name
+
+    # 2's-complement Gaussian: bimodal with real long-chain mass.
+    assert gaussian2c[16:].sum() > 0.01
+    assert gaussian2c[16:].sum() > 20 * uniform[16:].sum()
+    # short chains still dominate overall
+    assert gaussian2c[1:6].sum() > 0.5

@@ -1,0 +1,54 @@
+"""Figure 6.2: carry-chain statistics of cryptographic workloads.
+
+Paper (from Cilardo DATE'09, thesis ref [6]): RSA, DH, EC ElGamal, and
+ECDSA addition streams show carry chains concentrated in two ranges —
+plenty of short chains plus a clearly visible population of very long
+chains that uniform operands essentially never produce.  The original
+traces are not public; we regenerate the operand streams by running the
+same algorithms on the instrumented bignum layer (DESIGN.md section 1).
+"""
+
+from repro.analysis.report import format_series
+from repro.inputs.crypto import WORKLOADS
+from repro.inputs.generators import uniform_operands
+from repro.model.carry_chains import chain_length_histogram
+
+from benchmarks.conftest import full_scale, run_once
+
+WIDTH = 32
+
+
+def test_fig_6_2_crypto_chain_histograms(benchmark, bench_rng):
+    limit = 400_000 if full_scale() else 60_000
+
+    def compute():
+        hists = {}
+        for name, fn in WORKLOADS.items():
+            trace = fn(limit=limit)
+            hists[name] = chain_length_histogram(trace.a, trace.b, WIDTH)
+        return hists
+
+    hists = run_once(benchmark, compute)
+
+    lengths = list(range(1, WIDTH + 1))
+    print()
+    print(
+        format_series(
+            "len",
+            lengths,
+            [(name, hists[name][1:]) for name in hists],
+            title="Fig 6.2 — carry-chain histograms, instrumented crypto "
+            "kernels (regenerated; paper used the traces of [6])",
+        )
+    )
+
+    # Uniform tail mass as the null reference.
+    a = uniform_operands(WIDTH, 100_000, bench_rng)
+    b = uniform_operands(WIDTH, 100_000, bench_rng)
+    uniform_tail = chain_length_histogram(a, b, WIDTH)[20:].sum()
+
+    for name, hist in hists.items():
+        # short chains dominate ...
+        assert hist[1:6].sum() > 0.5, name
+        # ... but the long-chain population is far above the uniform tail
+        assert hist[20:].sum() > 20 * max(uniform_tail, 1e-7), name

@@ -1,0 +1,56 @@
+"""Figure 7.1: analytical SCSA error model vs Monte Carlo simulation.
+
+Paper: markers (simulation, 10^7 unsigned uniform inputs) sit on the solid
+analytic curves for n in {64, 128, 256, 512} across window sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.model.behavioral import monte_carlo_scsa_error_rate
+from repro.model.error_model import scsa_error_rate, scsa_error_rate_exact
+
+from benchmarks.conftest import mc_samples, run_once
+
+#: (width, window sizes where the rate is measurable at reduced scale)
+POINTS = [
+    (64, (6, 8, 10, 12)),
+    (128, (7, 9, 11, 13)),
+    (256, (8, 10, 12, 14)),
+    (512, (9, 11, 13, 15)),
+]
+
+
+def test_fig_7_1_error_model_validation(benchmark):
+    samples = mc_samples(10_000_000, 400_000)
+
+    def compute():
+        rows = []
+        rng = np.random.default_rng(71)
+        for n, ks in POINTS:
+            for k in ks:
+                analytic = scsa_error_rate(n, k)
+                exact = scsa_error_rate_exact(n, k)
+                mc = monte_carlo_scsa_error_rate(n, k, samples, rng)
+                rows.append((n, k, analytic, exact, mc))
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "k", "Eq.3.13", "exact DP", f"MC({samples})", "MC/analytic"],
+            [(n, k, a, e, m, m / a if a else 0) for n, k, a, e, m in rows],
+            title="Fig 7.1 — analytic vs simulated SCSA error rates "
+            "(paper: 'analytical and experimental results fit quite well')",
+        )
+    )
+
+    for n, k, analytic, exact, mc in rows:
+        # exact model is a refinement of (and bounded by) the union bound
+        assert exact <= analytic * 1.001
+        # Monte Carlo within statistical noise of the exact model
+        sigma = (exact * (1 - exact) / samples) ** 0.5
+        assert mc == pytest.approx(exact, abs=max(5 * sigma, 0.10 * exact)), (n, k)

@@ -1,0 +1,75 @@
+"""Figures 7.4/7.5: delay and area of the variable-latency adders vs
+Kogge-Stone.
+
+Paper (0.01% error, parameters of Table 7.3):
+
+* Fig 7.4 — VLSA's detection path is longer than its speculative path
+  (4-8%), eating the speculation benefit; VLCSA 1's detection is no longer
+  than its speculation, and VLCSA 1's single-cycle path is 6-19% below
+  VLSA's.  Recovery stays under two cycles for both.
+* Fig 7.5 — VLSA is 14-32% *larger* than Kogge-Stone; VLCSA 1 is -6..17%
+  (i.e. can undercut KS, notably at 512 bits).
+"""
+
+from repro.analysis.compare import measure_kogge_stone, measure_vlcsa1, measure_vlsa
+from repro.analysis.report import format_table, percent, ratio
+from repro.analysis.sizing import THESIS_TABLE_7_3
+from repro.model.latency import VariableLatencyTiming
+
+from benchmarks.conftest import run_once
+
+
+def test_fig_7_4_7_5_variable_latency_vs_kogge_stone(benchmark):
+    def compute():
+        rows = []
+        for n in sorted(THESIS_TABLE_7_3):
+            k, l = THESIS_TABLE_7_3[n]
+            rows.append(
+                (n, measure_kogge_stone(n), measure_vlcsa1(n, k), measure_vlsa(n, l))
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "KS", "VLSA sp/det/rec", "VLCSA1 sp/det/rec",
+             "VLCSA1 vs VLSA", "KS area", "VLSA area", "VLCSA1 area",
+             "VLCSA1 vs KS"],
+            [
+                (
+                    n,
+                    f"{ks.delay:.3f}",
+                    f"{v.t_spec:.3f}/{v.t_detect:.3f}/{v.t_recover:.3f}",
+                    f"{c.t_spec:.3f}/{c.t_detect:.3f}/{c.t_recover:.3f}",
+                    percent(ratio(c.delay, v.delay)),
+                    f"{ks.area:.0f}",
+                    f"{v.area:.0f}",
+                    f"{c.area:.0f}",
+                    percent(ratio(c.area, ks.area)),
+                )
+                for n, ks, c, v in rows
+            ],
+            title="Figs 7.4/7.5 — variable-latency adders vs Kogge-Stone "
+            "(paper: VLCSA1 delay 6-19% under VLSA; VLSA area +14..32% "
+            "over KS, VLCSA1 -6..+17%)",
+        )
+    )
+
+    for n, ks, vlcsa1, vlsa in rows:
+        # VLSA's detection dominates its speculation (the thesis' critique).
+        assert vlsa.t_detect >= 0.95 * vlsa.t_spec, n
+        # VLCSA 1 single-cycle faster than VLSA's, both below KS.
+        assert vlcsa1.delay < vlsa.delay, n
+        assert vlcsa1.delay < ks.delay, n
+        # Fig 7.5: VLSA pays area over KS, VLCSA 1 does not (at scale).
+        assert vlsa.area > ks.area, n
+        assert vlcsa1.area < vlsa.area, n
+        # recovery fits in two cycles for both designs
+        for m in (vlcsa1, vlsa):
+            t = VariableLatencyTiming(m.t_spec, m.t_detect, m.t_recover)
+            assert t.recovery_fits_two_cycles, (n, m.name)
+    # VLCSA 1 undercuts KS area at the largest width (paper: -6% at 512)
+    n, ks, vlcsa1, _ = rows[-1]
+    assert vlcsa1.area < ks.area

@@ -1,0 +1,82 @@
+"""Section 4.3 / 5.1 / 5.2: the complexity claims, measured.
+
+The thesis' asymptotic arguments, checked as logic-depth measurements over
+the generated netlists:
+
+* SCSA critical path is O(log k) — *independent of n* at fixed k;
+* traditional prefix adders are O(log n);
+* VLCSA detection is O(log k + log(n/k));
+* recovery is O(log k + log(n/k)) through the m-bit prefix adder;
+* SCSA area is O((n/k)·k·log k) — linear in n at fixed k — versus
+  Kogge-Stone's O(n log n).
+"""
+
+from repro.adders import build_kogge_stone_adder
+from repro.analysis.report import format_table
+from repro.core import build_scsa_adder, build_vlcsa1
+from repro.netlist.area import area as circuit_area
+from repro.netlist.timing import analyze_timing
+
+from benchmarks.conftest import run_once
+
+WIDTHS = (64, 128, 256, 512)
+K = 16
+
+
+def test_sec_4_3_complexity_claims(benchmark):
+    def compute():
+        rows = []
+        for n in WIDTHS:
+            ks = build_kogge_stone_adder(n)
+            scsa = build_scsa_adder(n, K)
+            vlcsa = build_vlcsa1(n, K)
+            rep_v = analyze_timing(vlcsa)
+            rows.append(
+                (
+                    n,
+                    analyze_timing(ks).logic_depth(),
+                    analyze_timing(scsa).logic_depth(),
+                    rep_v.logic_depth("err"),
+                    rep_v.logic_depth("sum_rec"),
+                    circuit_area(ks),
+                    circuit_area(scsa),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "KS depth", f"SCSA(k={K}) depth", "detect depth",
+             "recovery depth", "KS area", "SCSA area"],
+            rows,
+            title="§4.3/§5.1/§5.2 — logic depth and area vs width at fixed k "
+            "(unoptimized netlists; depths in gate levels)",
+        )
+    )
+
+    depths_ks = [r[1] for r in rows]
+    depths_scsa = [r[2] for r in rows]
+    depths_det = [r[3] for r in rows]
+    depths_rec = [r[4] for r in rows]
+    areas_ks = [r[5] for r in rows]
+    areas_scsa = [r[6] for r in rows]
+
+    # O(log n): +2 gate levels per doubling (2 gates per prefix level)
+    assert all(2 <= b - a <= 3 for a, b in zip(depths_ks, depths_ks[1:]))
+    # O(log k): SCSA depth flat in n
+    assert max(depths_scsa) - min(depths_scsa) == 0
+    # detection grows like log(n/k): ~1-2 levels per doubling, from a base
+    # comparable to the speculative depth
+    assert all(0 <= b - a <= 3 for a, b in zip(depths_det, depths_det[1:]))
+    assert depths_det[0] <= depths_scsa[0] + 2
+    # recovery = speculative + prefix-over-windows
+    assert all(r >= s for r, s in zip(depths_rec, depths_scsa))
+    # area: SCSA linear in n (ratio between successive widths ~2),
+    # KS super-linear (ratio > 2)
+    scsa_ratios = [b / a for a, b in zip(areas_scsa, areas_scsa[1:])]
+    ks_ratios = [b / a for a, b in zip(areas_ks, areas_ks[1:])]
+    assert all(1.9 < r < 2.1 for r in scsa_ratios), scsa_ratios
+    assert all(r > 2.1 for r in ks_ratios), ks_ratios

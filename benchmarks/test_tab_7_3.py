@@ -1,0 +1,52 @@
+"""Table 7.3: SCSA window size vs VLSA speculative chain length at 0.01%.
+
+Paper:
+
+===  ==============  ==========================
+ n    SCSA window k   VLSA chain length l [17]
+===  ==============  ==========================
+ 64        14                 17
+128        15                 18
+256        16                 20
+512        17                 21
+===  ==============  ==========================
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sizing import (
+    THESIS_TABLE_7_3,
+    scsa_window_size_for,
+    vlsa_chain_length_for,
+)
+
+from benchmarks.conftest import run_once
+
+TARGET = 1e-4
+
+
+def test_tab_7_3_parameters(benchmark):
+    def compute():
+        return [
+            (n, scsa_window_size_for(n, TARGET), vlsa_chain_length_for(n, TARGET))
+            for n in sorted(THESIS_TABLE_7_3)
+        ]
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "SCSA k (paper)", "SCSA k (ours)", "VLSA l (paper)", "VLSA l (ours)"],
+            [
+                (n, THESIS_TABLE_7_3[n][0], k, THESIS_TABLE_7_3[n][1], l)
+                for n, k, l in rows
+            ],
+            title="Table 7.3 — design parameters for 0.01% error",
+        )
+    )
+
+    for n, k, l in rows:
+        paper_k, paper_l = THESIS_TABLE_7_3[n]
+        assert k == paper_k, n          # analytic model reproduces exactly
+        assert abs(l - paper_l) <= 1, n  # within 1 (model-flavour difference)
+        assert k < l, n                  # the table's point: window < chain

@@ -1,0 +1,55 @@
+"""Table 7.4: SCSA/VLCSA 1 window sizes for 0.01% and 0.25% error targets.
+
+Paper:
+
+===  ===========  ===========
+ n    k @ 0.01%    k @ 0.25%
+===  ===========  ===========
+ 64       14           10
+128       15           11
+256       16           12
+512       17           13
+===  ===========  ===========
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sizing import THESIS_TABLE_7_4, scsa_window_size_for
+from repro.model.error_model import scsa_error_rate
+
+from benchmarks.conftest import run_once
+
+
+def test_tab_7_4_window_sizes(benchmark):
+    def compute():
+        return [
+            (
+                n,
+                scsa_window_size_for(n, 1e-4),
+                scsa_window_size_for(n, 25e-4),
+            )
+            for n in sorted(THESIS_TABLE_7_4)
+        ]
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "k@0.01% (paper/ours)", "rate", "k@0.25% (paper/ours)", "rate"],
+            [
+                (
+                    n,
+                    f"{THESIS_TABLE_7_4[n][0]} / {k_low}",
+                    f"{scsa_error_rate(n, k_low):.3%}",
+                    f"{THESIS_TABLE_7_4[n][1]} / {k_high}",
+                    f"{scsa_error_rate(n, k_high):.3%}",
+                )
+                for n, k_low, k_high in rows
+            ],
+            title="Table 7.4 — SCSA window sizes per error target",
+        )
+    )
+
+    for n, k_low, k_high in rows:
+        assert (k_low, k_high) == THESIS_TABLE_7_4[n], n
+        assert k_high < k_low  # looser target -> smaller windows

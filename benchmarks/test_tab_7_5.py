@@ -1,0 +1,53 @@
+"""Table 7.5: VLCSA 2 window sizes for 2's-complement Gaussian inputs.
+
+Paper (mu = 0, sigma = 2^32): k = 13 for 0.01% and k = 9 for 0.25%, at
+*every* width — the Gaussian active region (set by sigma), not the adder
+width, determines the stall rate.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.sizing import THESIS_TABLE_7_5, vlcsa2_window_size_for
+
+from benchmarks.conftest import mc_samples, run_once
+
+
+def test_tab_7_5_vlcsa2_window_sizes(benchmark):
+    samples = mc_samples(1_000_000, 200_000)
+
+    def compute():
+        rng = np.random.default_rng(75)
+        return [
+            (
+                n,
+                vlcsa2_window_size_for(n, 1e-4, samples=samples, rng=rng),
+                vlcsa2_window_size_for(n, 25e-4, samples=samples, rng=rng),
+            )
+            for n in sorted(THESIS_TABLE_7_5)
+        ]
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["n", "k@0.01% paper", "ours", "k@0.25% paper", "ours"],
+            [
+                (n, THESIS_TABLE_7_5[n][0], k_low, THESIS_TABLE_7_5[n][1], k_high)
+                for n, k_low, k_high in rows
+            ],
+            title="Table 7.5 — VLCSA 2 window sizes (Monte Carlo solver, "
+            "MSB remainder placement)",
+        )
+    )
+
+    k_lows = [k for _, k, _ in rows]
+    k_highs = [k for _, _, k in rows]
+    for n, k_low, k_high in rows:
+        assert abs(k_low - THESIS_TABLE_7_5[n][0]) <= 1, n
+        assert abs(k_high - THESIS_TABLE_7_5[n][1]) <= 1, n
+        assert k_high < k_low
+    # width independence (the table's striking feature)
+    assert max(k_lows) - min(k_lows) <= 1
+    assert max(k_highs) - min(k_highs) <= 1

@@ -1,0 +1,85 @@
+"""VLCSA 1 vs VLCSA 2 on realistic operand streams (thesis Ch. 6-7).
+
+Profiles the carry-chain statistics of instrumented cryptographic kernels
+(the Fig. 6.2 workload class) and of 2's-complement Gaussian operands,
+then pushes both streams through the cycle-accurate variable-latency
+simulator to show why VLCSA 1 collapses — and VLCSA 2 does not — on
+practical inputs.
+
+Run with::
+
+    python examples/crypto_workload.py
+"""
+
+import numpy as np
+
+from repro import GAUSSIAN_SIGMA_THESIS, WORKLOADS, gaussian_operands
+from repro.analysis.compare import measure_designware, measure_vlcsa1, measure_vlcsa2
+from repro.model.behavioral import (
+    err0_flags,
+    err1_flags,
+    window_profile,
+)
+from repro.model.carry_chains import chain_length_histogram
+from repro.model.latency import VariableLatencyAdderSim, VariableLatencyTiming
+
+WIDTH = 64
+K1, K2 = 14, 13  # thesis Tables 7.4 / 7.5 @ 0.01%
+STREAM = 200_000
+
+
+def profile_crypto_chains() -> None:
+    print("carry-chain profile of instrumented crypto kernels (32-bit adds):")
+    for name, fn in WORKLOADS.items():
+        trace = fn(limit=40_000)
+        hist = chain_length_histogram(trace.a, trace.b, 32)
+        print(f"  {name:7s} len1-4: {np.round(hist[1:5], 3)}  "
+              f"len>=20: {hist[20:].sum():.3%}  ({len(trace)} adds)")
+    print("  -> short chains dominate, but the long-chain mass is far above")
+    print("     anything uniform operands produce (thesis Fig. 6.2).\n")
+
+
+def compare_on_gaussian_stream() -> None:
+    rng = np.random.default_rng(7)
+    a = gaussian_operands(WIDTH, STREAM, sigma=GAUSSIAN_SIGMA_THESIS, rng=rng)
+    b = gaussian_operands(WIDTH, STREAM, sigma=GAUSSIAN_SIGMA_THESIS, rng=rng)
+
+    stall1 = err0_flags(window_profile(a, b, WIDTH, K1, "lsb"))
+    p2 = window_profile(a, b, WIDTH, K2, "msb")
+    stall2 = err0_flags(p2) & err1_flags(p2)
+
+    m1 = measure_vlcsa1(WIDTH, K1)
+    m2 = measure_vlcsa2(WIDTH, K2)
+    dw = measure_designware(WIDTH)
+
+    sim1 = VariableLatencyAdderSim(
+        VariableLatencyTiming(m1.t_spec, m1.t_detect, m1.t_recover)
+    ).run(stall1)
+    sim2 = VariableLatencyAdderSim(
+        VariableLatencyTiming(m2.t_spec, m2.t_detect, m2.t_recover)
+    ).run(stall2)
+
+    print(f"2's-complement Gaussian stream (mu=0, sigma=2^32, {STREAM} adds):")
+    print(f"  VLCSA 1 (k={K1}): stall rate {sim1.stall_rate:8.4%}  "
+          f"cycles/add {sim1.cycles_per_add:.4f}  "
+          f"avg latency {sim1.average_latency:.4f}")
+    print(f"  VLCSA 2 (k={K2}): stall rate {sim2.stall_rate:8.4%}  "
+          f"cycles/add {sim2.cycles_per_add:.4f}  "
+          f"avg latency {sim2.average_latency:.4f}")
+    gain = 1 - sim2.average_latency / sim1.average_latency
+    print(f"  VLCSA 2 is {gain:.1%} faster on this stream "
+          f"(DesignWare fixed-latency reference: {dw.delay:.4f})")
+    print("  -> VLCSA 1 stalls on one addition in four (thesis Table 7.1);")
+    print("     VLCSA 2's second hypothesis absorbs the sign-extension chains")
+    print("     (thesis Table 7.2), restoring effectively one-cycle latency.")
+    assert sim2.stall_rate < sim1.stall_rate / 100
+    assert sim2.average_latency < sim1.average_latency
+
+
+def main() -> None:
+    profile_crypto_chains()
+    compare_on_gaussian_stream()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package available).
+
+Metadata lives in pyproject.toml; this file only enables the legacy editable
+install path in environments without network access or the `wheel` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""Conventional adder generators.
+
+Each generator is a function ``build_*_adder(width, ...) -> Circuit`` whose
+circuit has input buses ``a`` and ``b`` (``width`` bits each, LSB first) and
+an output bus ``sum`` of ``width + 1`` bits (the top bit is the carry-out).
+These are the traditional architectures the thesis measures against
+(Kogge-Stone foremost) plus the architecture family behind our DesignWare
+substitute (see :mod:`repro.adders.designware` and DESIGN.md section 1).
+"""
+
+from repro.adders.ripple import build_ripple_adder
+from repro.adders.carry_lookahead import build_carry_lookahead_adder
+from repro.adders.carry_skip import build_carry_skip_adder
+from repro.adders.carry_select import build_carry_select_adder
+from repro.adders.conditional_sum import build_conditional_sum_adder
+from repro.adders.prefix import (
+    PREFIX_NETWORKS,
+    build_prefix_adder,
+    prefix_pg_network,
+    propagate_generate,
+    serial_network,
+    kogge_stone_network,
+    brent_kung_network,
+    sklansky_network,
+    han_carlson_network,
+    ladner_fischer_network,
+)
+from repro.adders.kogge_stone import build_kogge_stone_adder
+from repro.adders.ling import build_ling_adder
+from repro.adders.sparse import build_sparse_kogge_stone_adder
+from repro.adders.brent_kung import build_brent_kung_adder
+from repro.adders.sklansky import build_sklansky_adder
+from repro.adders.han_carlson import build_han_carlson_adder
+from repro.adders.csa import (
+    half_adder,
+    full_adder_3to2,
+    reduce_columns,
+    columns_to_rows,
+    add_final_prefix,
+)
+from repro.adders.multiplier import build_multiplier
+from repro.adders.multi_operand import build_multi_operand_adder, result_width
+from repro.adders.subtractor import build_addsub, build_subtractor
+from repro.adders.designware import (
+    DESIGNWARE_CANDIDATES,
+    DesignWareResult,
+    build_designware_adder,
+    designware_report,
+)
+
+#: Registry used by sweeps and the DesignWare selector.
+ADDER_GENERATORS = {
+    "ripple": build_ripple_adder,
+    "carry_lookahead": build_carry_lookahead_adder,
+    "carry_skip": build_carry_skip_adder,
+    "carry_select": build_carry_select_adder,
+    "conditional_sum": build_conditional_sum_adder,
+    "kogge_stone": build_kogge_stone_adder,
+    "brent_kung": build_brent_kung_adder,
+    "sklansky": build_sklansky_adder,
+    "han_carlson": build_han_carlson_adder,
+    "ling": build_ling_adder,
+    "sparse_kogge_stone": build_sparse_kogge_stone_adder,
+}
+
+__all__ = [
+    "ADDER_GENERATORS",
+    "build_ripple_adder",
+    "build_carry_lookahead_adder",
+    "build_carry_skip_adder",
+    "build_carry_select_adder",
+    "build_conditional_sum_adder",
+    "build_prefix_adder",
+    "build_kogge_stone_adder",
+    "build_brent_kung_adder",
+    "build_sklansky_adder",
+    "build_han_carlson_adder",
+    "build_ling_adder",
+    "build_sparse_kogge_stone_adder",
+    "build_designware_adder",
+    "designware_report",
+    "half_adder",
+    "full_adder_3to2",
+    "reduce_columns",
+    "columns_to_rows",
+    "add_final_prefix",
+    "build_multiplier",
+    "build_multi_operand_adder",
+    "result_width",
+    "build_subtractor",
+    "build_addsub",
+    "DesignWareResult",
+    "DESIGNWARE_CANDIDATES",
+    "PREFIX_NETWORKS",
+    "prefix_pg_network",
+    "propagate_generate",
+    "serial_network",
+    "kogge_stone_network",
+    "brent_kung_network",
+    "sklansky_network",
+    "han_carlson_network",
+    "ladner_fischer_network",
+]

@@ -1,0 +1,20 @@
+"""Brent-Kung adder: double-log depth, minimal prefix node count."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adders.prefix import build_prefix_adder
+from repro.netlist.circuit import Circuit
+
+
+def build_brent_kung_adder(
+    width: int, name: Optional[str] = None, emit_group_pg: bool = False
+) -> Circuit:
+    """n-bit Brent-Kung adder."""
+    return build_prefix_adder(
+        width,
+        network_name="brent_kung",
+        name=name or f"brent_kung_{width}",
+        emit_group_pg=emit_group_pg,
+    )

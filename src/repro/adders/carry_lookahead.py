@@ -1,0 +1,111 @@
+"""Hierarchical carry-lookahead adder (4-bit groups).
+
+Classic 74182-style structure: 4-bit groups compute their internal carries
+from (p, g) in two gate levels, group (P, G) feed a recursive lookahead tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.adders.prefix import propagate_generate
+
+_GROUP = 4
+
+
+def _group_lookahead(
+    circuit: Circuit, p: Sequence[int], g: Sequence[int], cin: int
+) -> Tuple[List[int], int, int]:
+    """Lookahead over one group: returns (carries into each bit, G, P).
+
+    ``carries[i]`` is the carry *into* bit ``i`` (so ``carries[0] == cin``);
+    group G/P cover the whole group.
+    """
+    carries = [cin]
+    for i in range(1, len(p)):
+        # c_i = g_{i-1} | p_{i-1} g_{i-2} | ... | (p_{i-1}..p_0) cin
+        terms = []
+        for j in range(i - 1, -1, -1):
+            chain = g[j]
+            for l in range(j + 1, i):
+                chain = circuit.and2(p[l], chain)
+            terms.append(chain)
+        chain = cin
+        for l in range(0, i):
+            chain = circuit.and2(p[l], chain)
+        terms.append(chain)
+        carries.append(circuit.or_tree(terms))
+    group_p = circuit.and_tree(list(p))
+    # group G = g_{k-1} | p_{k-1} g_{k-2} | ...
+    terms = []
+    k = len(p)
+    for j in range(k - 1, -1, -1):
+        chain = g[j]
+        for l in range(j + 1, k):
+            chain = circuit.and2(p[l], chain)
+        terms.append(chain)
+    group_g = circuit.or_tree(terms)
+    return carries, group_g, group_p
+
+
+def _lookahead_level(
+    circuit: Circuit, gs: List[int], ps: List[int], cin: int
+) -> List[int]:
+    """Carries into each group given group (G, P) lists, recursively."""
+    if len(gs) <= _GROUP:
+        carries, _, _ = _group_lookahead(circuit, ps, gs, cin)
+        return carries
+    # Chunk into super-groups of 4.
+    carries_out: List[int] = []
+    chunks = [(gs[i:i + _GROUP], ps[i:i + _GROUP])
+              for i in range(0, len(gs), _GROUP)]
+    super_g, super_p = [], []
+    for cg, cp in chunks:
+        _, sg, sp = _group_lookahead(circuit, cp, cg, circuit.const0())
+        super_g.append(sg)
+        super_p.append(sp)
+    super_carries = _lookahead_level(circuit, super_g, super_p, cin)
+    for (cg, cp), sc in zip(chunks, super_carries):
+        inner, _, _ = _group_lookahead(circuit, cp, cg, sc)
+        carries_out.extend(inner)
+    return carries_out
+
+
+def build_carry_lookahead_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """n-bit hierarchical CLA with 4-bit groups."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    circuit = Circuit(name or f"cla_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    p, g = propagate_generate(circuit, a, b)
+    cin = circuit.const0()
+
+    group_g: List[int] = []
+    group_p: List[int] = []
+    groups = [(p[i:i + _GROUP], g[i:i + _GROUP]) for i in range(0, width, _GROUP)]
+    for gp, gg in groups:
+        _, sg, sp = _group_lookahead(circuit, gp, gg, circuit.const0())
+        group_g.append(sg)
+        group_p.append(sp)
+
+    if len(groups) == 1:
+        carries, top_g, _ = _group_lookahead(circuit, groups[0][0], groups[0][1], cin)
+        cout = top_g
+    else:
+        group_cins = _lookahead_level(circuit, group_g, group_p, cin)
+        carries = []
+        for (gp, gg), gc in zip(groups, group_cins):
+            inner, _, _ = _group_lookahead(circuit, gp, gg, gc)
+            carries.extend(inner)
+        # carry-out = G of last group | P of last group & carry into it
+        cout = circuit.or2(
+            group_g[-1], circuit.and2(group_p[-1], group_cins[-1])
+        )
+
+    sums = [circuit.xor2(p[i], carries[i]) for i in range(width)]
+    circuit.set_output_bus("sum", sums + [cout])
+    from repro.netlist.optimize import strip_dead
+
+    return strip_dead(circuit)

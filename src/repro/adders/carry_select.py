@@ -1,0 +1,96 @@
+"""Carry-select adder.
+
+Each block computes both carry-in hypotheses (two sub-adders) and a mux chain
+selects with the true block carry.  ``sub_adder`` chooses the block-internal
+architecture: ``"ripple"`` (the textbook design) or ``"kogge_stone"`` — the
+latter is the hybrid Kogge-Stone carry-select design the thesis mentions
+implementing as a DesignWare sanity check (section 7.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.adders.ripple import ripple_chain
+from repro.adders.prefix import kogge_stone_network, prefix_pg_network, propagate_generate
+
+
+def default_select_block(width: int) -> int:
+    """Near-optimal fixed block size ~ sqrt(n) for a carry-select adder."""
+    return max(2, round(math.sqrt(width)))
+
+
+def _block_both_cases(
+    circuit: Circuit,
+    blk_a: Sequence[int],
+    blk_b: Sequence[int],
+    sub_adder: str,
+) -> Tuple[List[int], int, List[int], int]:
+    """Sums and carry-out of one block under carry-in 0 and carry-in 1.
+
+    For the Kogge-Stone sub-adder the two cases share one prefix network
+    (thesis section 4.1: ``s0 = p xor G``, ``s1 = p xor (G | P)``), which is
+    the sharing SCSA's window adders rely on.
+    """
+    k = len(blk_a)
+    if sub_adder == "ripple":
+        s0, c0 = ripple_chain(circuit, blk_a, blk_b, circuit.const0())
+        s1, c1 = ripple_chain(circuit, blk_a, blk_b, circuit.const1())
+        return s0, c0, s1, c1
+    if sub_adder == "kogge_stone":
+        p, g = propagate_generate(circuit, blk_a, blk_b)
+        G, P = prefix_pg_network(circuit, p, g, kogge_stone_network(k))
+        s0, s1 = [p[0]], [circuit.not_(p[0])]
+        for j in range(1, k):
+            carry0 = G[j - 1]
+            carry1 = circuit.or2(G[j - 1], P[j - 1])
+            s0.append(circuit.xor2(p[j], carry0))
+            s1.append(circuit.xor2(p[j], carry1))
+        c0 = G[k - 1]
+        c1 = circuit.or2(G[k - 1], P[k - 1])
+        return s0, c0, s1, c1
+    raise ValueError(f"unknown sub-adder {sub_adder!r}")
+
+
+def build_carry_select_adder(
+    width: int,
+    block: Optional[int] = None,
+    sub_adder: str = "ripple",
+    name: Optional[str] = None,
+) -> Circuit:
+    """n-bit carry-select adder with fixed block size."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    blk = block if block is not None else default_select_block(width)
+    if blk < 1:
+        raise ValueError(f"block size must be positive, got {blk}")
+    circuit = Circuit(name or f"carry_select_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+
+    sums: List[int] = []
+    carry: Optional[int] = None
+    for lo in range(0, width, blk):
+        hi = min(lo + blk, width)
+        blk_a, blk_b = a[lo:hi], b[lo:hi]
+        if carry is None:
+            # First block has a known carry-in of 0: single sub-adder.
+            if sub_adder == "ripple":
+                s0, c0 = ripple_chain(circuit, blk_a, blk_b, circuit.const0())
+            else:
+                s0, c0, _, _ = _block_both_cases(circuit, blk_a, blk_b, sub_adder)
+            sums.extend(s0)
+            carry = c0
+            continue
+        s0, c0, s1, c1 = _block_both_cases(circuit, blk_a, blk_b, sub_adder)
+        sums.extend(
+            circuit.mux2(carry, s0[j], s1[j]) for j in range(hi - lo)
+        )
+        carry = circuit.mux2(carry, c0, c1)
+    assert carry is not None
+    circuit.set_output_bus("sum", sums + [carry])
+    from repro.netlist.optimize import strip_dead
+
+    return strip_dead(circuit)

@@ -1,0 +1,49 @@
+"""Carry-skip (carry-bypass) adder with fixed block size."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.netlist.circuit import Circuit
+from repro.adders.ripple import ripple_chain
+
+
+def default_skip_block(width: int) -> int:
+    """Near-optimal fixed block size ~ sqrt(n/2) for a skip adder."""
+    return max(2, round(math.sqrt(width / 2)))
+
+
+def build_carry_skip_adder(
+    width: int, block: Optional[int] = None, name: Optional[str] = None
+) -> Circuit:
+    """n-bit carry-skip adder: ripple blocks with propagate bypass muxes."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    blk = block if block is not None else default_skip_block(width)
+    if blk < 1:
+        raise ValueError(f"block size must be positive, got {blk}")
+    circuit = Circuit(name or f"carry_skip_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    carry = circuit.const0()
+    sums = []
+    for lo in range(0, width, blk):
+        hi = min(lo + blk, width)
+        blk_a, blk_b = a[lo:hi], b[lo:hi]
+        block_sums, _ = ripple_chain(circuit, blk_a, blk_b, carry)
+        sums.extend(block_sums)
+        # Inter-block carry without the false path through the block's
+        # ripple: cout = P_block ? cin : G_block, where the block generate
+        # ripples from a constant-0 carry and is thus independent of cin.
+        props = [circuit.xor2(blk_a[i], blk_b[i]) for i in range(hi - lo)]
+        block_p = circuit.and_tree(props)
+        block_g = circuit.const0()
+        for i in range(hi - lo):
+            g_i = circuit.and2(blk_a[i], blk_b[i])
+            block_g = circuit.or2(g_i, circuit.and2(props[i], block_g))
+        carry = circuit.mux2(block_p, block_g, carry)
+    circuit.set_output_bus("sum", sums + [carry])
+    from repro.netlist.optimize import strip_dead
+
+    return strip_dead(circuit)

@@ -1,0 +1,48 @@
+"""Conditional-sum adder: recursive doubling over carry hypotheses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+
+_Block = Tuple[List[int], int, List[int], int]  # (s0, c0, s1, c1)
+
+
+def _conditional(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> _Block:
+    """Both-hypothesis sums/carries for the slice (recursive halving)."""
+    if len(a) == 1:
+        p = circuit.xor2(a[0], b[0])
+        g = circuit.and2(a[0], b[0])
+        s0, c0 = [p], g
+        s1 = [circuit.not_(p)]
+        c1 = circuit.or2(a[0], b[0])
+        return s0, c0, s1, c1
+    half = len(a) // 2
+    lo = _conditional(circuit, a[:half], b[:half])
+    hi = _conditional(circuit, a[half:], b[half:])
+    sl0, cl0, sl1, cl1 = lo
+    su0, cu0, su1, cu1 = hi
+
+    def merge(carry_lo: int, sums_lo: List[int]) -> Tuple[List[int], int]:
+        sums = list(sums_lo)
+        sums.extend(circuit.mux2(carry_lo, su0[j], su1[j]) for j in range(len(su0)))
+        return sums, circuit.mux2(carry_lo, cu0, cu1)
+
+    s0, c0 = merge(cl0, sl0)
+    s1, c1 = merge(cl1, sl1)
+    return s0, c0, s1, c1
+
+
+def build_conditional_sum_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """n-bit conditional-sum adder (carry-in fixed to 0 at the top)."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    circuit = Circuit(name or f"conditional_sum_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    s0, c0, _, _ = _conditional(circuit, a, b)
+    circuit.set_output_bus("sum", s0 + [c0])
+    from repro.netlist.optimize import strip_dead
+
+    return strip_dead(circuit)

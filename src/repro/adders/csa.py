@@ -1,0 +1,101 @@
+"""Carry-save reduction (Wallace-style column compression).
+
+Substrate for the thesis' future-work items (Ch. 8): "generalize the
+speculative and reliable variable latency carry select addition for ...
+multiplication and multi-operand addition".  Both reduce an operand
+matrix to two rows with 3:2 / 2:2 compressors and finish with one fast
+adder — which is exactly where a speculative adder can be dropped in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.adders.prefix import prefix_pg_network, PREFIX_NETWORKS
+from repro.netlist.circuit import Circuit
+
+
+def half_adder(circuit: Circuit, a: int, b: int) -> Tuple[int, int]:
+    """2:2 compressor; returns ``(sum, carry)``."""
+    return circuit.xor2(a, b), circuit.and2(a, b)
+
+
+def full_adder_3to2(circuit: Circuit, a: int, b: int, c: int) -> Tuple[int, int]:
+    """3:2 compressor; returns ``(sum, carry)``.
+
+    Mapped as two XORs for the sum and an AOI-friendly majority cone.
+    """
+    ab = circuit.xor2(a, b)
+    s = circuit.xor2(ab, c)
+    carry = circuit.or2(circuit.and2(a, b), circuit.and2(ab, c))
+    return s, carry
+
+
+Columns = List[List[int]]
+
+
+def reduce_columns(circuit: Circuit, columns: Columns) -> Columns:
+    """Wallace reduction: compress until every column has at most 2 bits.
+
+    ``columns[i]`` holds the nets of weight ``2^i``.  Returns the reduced
+    column array (same list object layout, new contents).  Carries ripple
+    into freshly-appended columns when the top weight overflows.
+    """
+    cols = [list(col) for col in columns]
+    while any(len(col) > 2 for col in cols):
+        nxt: Columns = [[] for _ in range(len(cols) + 1)]
+        for weight, col in enumerate(cols):
+            i = 0
+            while len(col) - i >= 3:
+                s, c = full_adder_3to2(circuit, col[i], col[i + 1], col[i + 2])
+                nxt[weight].append(s)
+                nxt[weight + 1].append(c)
+                i += 3
+            if len(col) - i == 2:
+                s, c = half_adder(circuit, col[i], col[i + 1])
+                nxt[weight].append(s)
+                nxt[weight + 1].append(c)
+                i += 2
+            nxt[weight].extend(col[i:])
+        while nxt and not nxt[-1]:
+            nxt.pop()
+        cols = nxt
+    return cols
+
+
+def columns_to_rows(circuit: Circuit, columns: Columns) -> Tuple[List[int], List[int]]:
+    """Split reduced (<=2-deep) columns into two aligned addend rows."""
+    row_a: List[int] = []
+    row_b: List[int] = []
+    zero = None
+    for col in columns:
+        if len(col) > 2:
+            raise ValueError("columns must be reduced to depth <= 2 first")
+        if zero is None and len(col) < 2:
+            zero = circuit.const0()
+        row_a.append(col[0] if len(col) >= 1 else zero)
+        row_b.append(col[1] if len(col) >= 2 else zero)
+    return row_a, row_b
+
+
+def add_final_prefix(
+    circuit: Circuit,
+    row_a: Sequence[int],
+    row_b: Sequence[int],
+    network_name: str = "kogge_stone",
+) -> List[int]:
+    """Exact final addition of the two rows via a prefix network.
+
+    Returns ``len(row) + 1`` nets (top bit = carry-out).
+    """
+    if len(row_a) != len(row_b):
+        raise ValueError("rows must have equal width")
+    p = [circuit.xor2(x, y) for x, y in zip(row_a, row_b)]
+    g = [circuit.and2(x, y) for x, y in zip(row_a, row_b)]
+    G, _ = prefix_pg_network(
+        circuit, p, g, PREFIX_NETWORKS[network_name](len(p))
+    )
+    sums = [p[0]]
+    sums.extend(circuit.xor2(p[i], G[i - 1]) for i in range(1, len(p)))
+    sums.append(G[-1])
+    return sums

@@ -1,0 +1,20 @@
+"""Han-Carlson adder: Kogge-Stone wiring density halved, one extra level."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adders.prefix import build_prefix_adder
+from repro.netlist.circuit import Circuit
+
+
+def build_han_carlson_adder(
+    width: int, name: Optional[str] = None, emit_group_pg: bool = False
+) -> Circuit:
+    """n-bit Han-Carlson adder."""
+    return build_prefix_adder(
+        width,
+        network_name="han_carlson",
+        name=name or f"han_carlson_{width}",
+        emit_group_pg=emit_group_pg,
+    )

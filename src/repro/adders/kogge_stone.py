@@ -1,0 +1,20 @@
+"""Kogge-Stone adder — the thesis' primary traditional baseline (Ch. 7)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adders.prefix import build_prefix_adder
+from repro.netlist.circuit import Circuit
+
+
+def build_kogge_stone_adder(
+    width: int, name: Optional[str] = None, emit_group_pg: bool = False
+) -> Circuit:
+    """n-bit Kogge-Stone adder: depth ceil(log2 n), maximal node count."""
+    return build_prefix_adder(
+        width,
+        network_name="kogge_stone",
+        name=name or f"kogge_stone_{width}",
+        emit_group_pg=emit_group_pg,
+    )

@@ -1,0 +1,76 @@
+"""Ling adder: prefix addition over Ling pseudo-carries.
+
+Classic high-speed variant included for baseline breadth: instead of the
+true carry ``c_i = g_i | t_i c_{i-1}`` (``t = a | b``), the prefix network
+computes the Ling pseudo-carry ``h_i = c_i | c_{i-1}``, whose recursion
+
+    h_i = g_i | t_{i-1} h_{i-1}
+
+has the same (generate, propagate)-style algebra with the *shifted*
+transmit ``q_i = t_{i-1}`` as the propagate term, so any prefix topology
+applies unchanged.  The true carries come back via the identity
+``c_i = t_i & h_i`` (``c_i`` implies ``t_i``, and ``t_i c_{i-1}``
+implies ``c_i``), and the sums are the usual ``s_i = p_i xor c_{i-1}``.
+
+Correctness is proven in the test suite both exhaustively (small widths)
+and formally against Kogge-Stone via BDD equivalence at 16 bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.adders.prefix import PREFIX_NETWORKS
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+def build_ling_adder(
+    width: int, network_name: str = "kogge_stone", name: Optional[str] = None
+) -> Circuit:
+    """n-bit Ling adder over the chosen prefix topology."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    circuit = Circuit(name or f"ling_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+
+    p = [circuit.xor2(a[i], b[i], f"p{i}") for i in range(width)]
+    g = [circuit.and2(a[i], b[i], f"g{i}") for i in range(width)]
+    t = [circuit.or2(a[i], b[i], f"t{i}") for i in range(width)]
+
+    # Ling prefix: H[i] covers bits i..0 with the recursion
+    # H = g_i | t_{i-1} & H_prev.  We run the standard (G, P)-style prefix
+    # with the "generate" row g and the *shifted* transmit row as
+    # "propagate": q_0 = 0 (nothing below bit 0), q_i = t_{i-1}.
+    q: List[int] = [circuit.const0()]
+    q.extend(t[:-1])
+
+    H = list(g)
+    Q = list(q)
+    for level in PREFIX_NETWORKS[network_name](width):
+        new_H, new_Q = {}, {}
+        for target, source in level:
+            new_H[target] = circuit.or2(
+                H[target], circuit.and2(Q[target], H[source])
+            )
+            new_Q[target] = circuit.and2(Q[target], Q[source])
+        for idx, net in new_H.items():
+            H[idx] = net
+        for idx, net in new_Q.items():
+            Q[idx] = net
+
+    # True carries from pseudo-carries: c_i = H[i] & t_i is wrong; the
+    # correct identity is c_i = t_i & H[i] only when h is defined with the
+    # shifted transmit as above:  c_i = g_i | t_i c_{i-1} vs
+    # h_i = g_i | t_{i-1} c'... With q-shifted prefix, H[i] already equals
+    # h_i = c_i | c_{i-1}; then c_i = h_i & t_i... Standard result:
+    #   c_i = t_i & h_i   where h_i = c_i | c_{i-1}  (since c_i -> t_i)
+    # holds because c_i = 1 implies t_i = 1 and (t_i & c_{i-1}) | g_i = c_i.
+    carries = [circuit.and2(t[i], H[i]) for i in range(width)]
+
+    sums = [p[0]]
+    sums.extend(circuit.xor2(p[i], carries[i - 1]) for i in range(1, width))
+    sums.append(carries[width - 1])
+    circuit.set_output_bus("sum", sums)
+    return strip_dead(circuit)

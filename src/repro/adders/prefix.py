@@ -1,0 +1,228 @@
+"""Generic parallel-prefix adder framework.
+
+A prefix network is a schedule of (G, P) combine operations.  We represent it
+as a list of *levels*; each level is a list of ``(target, source)`` pairs
+meaning "the running prefix at bit ``target`` absorbs the running prefix at
+bit ``source``".  All combines within a level read the values produced by the
+previous level, which is exactly how the parallel hardware evaluates.
+
+After the network, bit ``i`` holds ``(G[i:0], P[i:0])`` — the group generate
+and propagate from bit 0 through ``i`` (thesis Eq. 3.5/3.6).  The sum bits
+follow as ``s[i] = p[i] xor G[i-1:0]`` (Eq. 4.2 with carry-in 0).
+
+The same machinery builds the k-bit window adders inside SCSA
+(:mod:`repro.core.window`), which is where the framework earns its keep: the
+thesis' window adders share one prefix network between the carry-in-0 and
+carry-in-1 sum rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+#: A prefix network: levels of (target, source) combines.
+PrefixNetwork = List[List[Tuple[int, int]]]
+
+
+# --------------------------------------------------------------------------
+# Network schedules
+# --------------------------------------------------------------------------
+
+def serial_network(width: int) -> PrefixNetwork:
+    """Ripple-style prefix: depth n-1, minimal node count.
+
+    Degenerate baseline; included so sweeps cover the latency/area extremes.
+    """
+    return [[(i, i - 1)] for i in range(1, width)]
+
+
+def kogge_stone_network(width: int) -> PrefixNetwork:
+    """Kogge-Stone: minimal depth ceil(log2 n), fanout 2, maximal wiring.
+
+    The thesis uses Kogge-Stone as "the possible fastest adder design in
+    traditional adders" (section 4.1) and as the small adder inside the SCSA
+    window adders.
+    """
+    levels: PrefixNetwork = []
+    d = 1
+    while d < width:
+        levels.append([(i, i - d) for i in range(d, width)])
+        d *= 2
+    return levels
+
+
+def brent_kung_network(width: int) -> PrefixNetwork:
+    """Brent-Kung: depth 2*log2(n) - 1, minimal node count among log-depth."""
+    levels: PrefixNetwork = []
+    # Up-sweep: build prefixes at positions 2d-1, 4d-1, ...
+    d = 1
+    while d < width:
+        level = [(i, i - d) for i in range(2 * d - 1, width, 2 * d)]
+        if level:
+            levels.append(level)
+        d *= 2
+    # Down-sweep: fill in the remaining positions.
+    d //= 2
+    while d >= 1:
+        level = [(i, i - d) for i in range(3 * d - 1, width, 2 * d)]
+        if level:
+            levels.append(level)
+        d //= 2
+    return levels
+
+
+def sklansky_network(width: int) -> PrefixNetwork:
+    """Sklansky (divide-and-conquer): minimal depth, fanout up to n/2."""
+    levels: PrefixNetwork = []
+    d = 1
+    while d < width:
+        level = []
+        for i in range(width):
+            if i & d:
+                source = (i >> 0) // (2 * d) * (2 * d) + d - 1
+                level.append((i, source))
+        if level:
+            levels.append(level)
+        d *= 2
+    return levels
+
+
+def han_carlson_network(width: int) -> PrefixNetwork:
+    """Han-Carlson: Kogge-Stone on odd bits plus one fix-up level."""
+    if width <= 2:
+        return kogge_stone_network(width)
+    levels: PrefixNetwork = []
+    levels.append([(i, i - 1) for i in range(1, width, 2)])
+    d = 2
+    while d < width:
+        level = [(i, i - d) for i in range(1, width, 2) if i - d >= 0]
+        if level:
+            levels.append(level)
+        d *= 2
+    levels.append([(i, i - 1) for i in range(2, width, 2)])
+    return levels
+
+
+def ladner_fischer_network(width: int) -> PrefixNetwork:
+    """Ladner-Fischer (f=1): Sklansky over even pairs plus a fix-up level.
+
+    Trades one extra level against roughly half of Sklansky's fanout, which
+    is the classic LF-1 point of the Ladner-Fischer family.
+    """
+    if width <= 2:
+        return sklansky_network(width)
+    levels: PrefixNetwork = []
+    levels.append([(i, i - 1) for i in range(1, width, 2)])
+    # Sklansky among the odd (pair-top) positions.
+    d = 2
+    while d < width:
+        level = []
+        for i in range(1, width, 2):
+            if i & d:
+                source = i // (2 * d) * (2 * d) + d - 1
+                level.append((i, source))
+        if level:
+            levels.append(level)
+        d *= 2
+    levels.append([(i, i - 1) for i in range(2, width, 2)])
+    return levels
+
+
+PREFIX_NETWORKS: Dict[str, Callable[[int], PrefixNetwork]] = {
+    "serial": serial_network,
+    "kogge_stone": kogge_stone_network,
+    "brent_kung": brent_kung_network,
+    "sklansky": sklansky_network,
+    "han_carlson": han_carlson_network,
+    "ladner_fischer": ladner_fischer_network,
+}
+
+
+# --------------------------------------------------------------------------
+# Circuit construction
+# --------------------------------------------------------------------------
+
+def propagate_generate(
+    circuit: Circuit, a: Sequence[int], b: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Per-bit propagate ``p = a xor b`` and generate ``g = a and b`` rows."""
+    if len(a) != len(b):
+        raise ValueError("operand buses must have equal width")
+    p = [circuit.xor2(a[i], b[i], f"p{i}") for i in range(len(a))]
+    g = [circuit.and2(a[i], b[i], f"g{i}") for i in range(len(a))]
+    return p, g
+
+
+def prefix_pg_network(
+    circuit: Circuit,
+    p: Sequence[int],
+    g: Sequence[int],
+    network: PrefixNetwork,
+) -> Tuple[List[int], List[int]]:
+    """Run a prefix network over (p, g) rows inside ``circuit``.
+
+    Returns ``(G, P)`` where ``G[i]`` is the group generate of bits ``i..0``
+    and ``P[i]`` the group propagate (thesis Eq. 3.5/3.6).  Black cells are
+    two-level AND-OR / AND; gate sharing across levels is by construction.
+    """
+    if len(p) != len(g):
+        raise ValueError("p and g rows must have equal width")
+    G = list(g)
+    P = list(p)
+    for level in network:
+        new_G = dict()
+        new_P = dict()
+        for target, source in level:
+            if not 0 <= source < target < len(p):
+                raise ValueError(f"bad combine ({target}, {source}) in network")
+            # G[t] = G[t] | (P[t] & G[s]);  P[t] = P[t] & P[s]
+            new_G[target] = circuit.or2(
+                G[target], circuit.and2(P[target], G[source])
+            )
+            new_P[target] = circuit.and2(P[target], P[source])
+        for target, net in new_G.items():
+            G[target] = net
+        for target, net in new_P.items():
+            P[target] = net
+    return G, P
+
+
+def build_prefix_adder(
+    width: int,
+    network_name: str = "kogge_stone",
+    name: Optional[str] = None,
+    emit_group_pg: bool = False,
+) -> Circuit:
+    """Build an n-bit adder around the named prefix network.
+
+    Output bus ``sum`` has ``width + 1`` bits (top bit = carry-out).  With
+    ``emit_group_pg`` the group generate/propagate of the whole operand are
+    also exported (buses ``group_g``/``group_p``), which the variable-latency
+    designs use.
+    """
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    try:
+        network_fn = PREFIX_NETWORKS[network_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefix network {network_name!r}; "
+            f"available: {sorted(PREFIX_NETWORKS)}"
+        ) from None
+    circuit = Circuit(name or f"{network_name}_adder_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    p, g = propagate_generate(circuit, a, b)
+    G, P = prefix_pg_network(circuit, p, g, network_fn(width))
+    sums = [p[0]]
+    for i in range(1, width):
+        sums.append(circuit.xor2(p[i], G[i - 1], f"s{i}"))
+    sums.append(G[width - 1])  # carry-out
+    circuit.set_output_bus("sum", sums)
+    if emit_group_pg:
+        circuit.set_output("group_g", G[width - 1])
+        circuit.set_output("group_p", P[width - 1])
+    return strip_dead(circuit)

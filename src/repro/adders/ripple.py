@@ -1,0 +1,53 @@
+"""Ripple-carry adder: the O(n)-delay, minimum-area baseline."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+
+
+def full_adder(circuit: Circuit, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """One full adder; returns ``(sum, carry_out)``.
+
+    Mapped as two XORs plus an AND-OR majority cone — the standard
+    standard-cell decomposition.
+    """
+    p = circuit.xor2(a, b)
+    g = circuit.and2(a, b)
+    s = circuit.xor2(p, cin)
+    cout = circuit.or2(g, circuit.and2(p, cin))
+    return s, cout
+
+
+def ripple_chain(
+    circuit: Circuit, a: Sequence[int], b: Sequence[int], cin: int
+) -> Tuple[List[int], int]:
+    """Chain full adders over two equal-width operand buses.
+
+    Returns ``(sum_bits, carry_out)``.  Exposed separately because the
+    carry-select and carry-skip generators reuse it per block.
+    """
+    if len(a) != len(b):
+        raise ValueError("operand buses must have equal width")
+    sums: List[int] = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        s, carry = full_adder(circuit, ai, bi, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def build_ripple_adder(
+    width: int, name: Optional[str] = None, with_cin: bool = False
+) -> Circuit:
+    """n-bit ripple-carry adder (optionally with a ``cin`` input)."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    circuit = Circuit(name or f"ripple_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    cin = circuit.add_input("cin") if with_cin else circuit.const0()
+    sums, carry = ripple_chain(circuit, a, b, cin)
+    circuit.set_output_bus("sum", sums + [carry])
+    return circuit

@@ -1,0 +1,20 @@
+"""Sklansky (divide-and-conquer) adder: minimal depth, high fanout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adders.prefix import build_prefix_adder
+from repro.netlist.circuit import Circuit
+
+
+def build_sklansky_adder(
+    width: int, name: Optional[str] = None, emit_group_pg: bool = False
+) -> Circuit:
+    """n-bit Sklansky adder."""
+    return build_prefix_adder(
+        width,
+        network_name="sklansky",
+        name=name or f"sklansky_{width}",
+        emit_group_pg=emit_group_pg,
+    )

@@ -1,0 +1,65 @@
+"""Sparse Kogge-Stone adder (sparsity-s prefix + short ripple tails).
+
+Another standard point on the prefix delay/area trade-off, included for
+baseline breadth: the prefix network computes the group prefix only at
+every ``sparsity``-th bit position, and the intervening sum bits ripple
+from those anchor carries.  Cuts the prefix node count by ~1/sparsity at
+the cost of up to ``sparsity - 1`` extra ripple stages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.adders.prefix import (
+    kogge_stone_network,
+    prefix_pg_network,
+    propagate_generate,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+def build_sparse_kogge_stone_adder(
+    width: int, sparsity: int = 4, name: Optional[str] = None
+) -> Circuit:
+    """n-bit sparse Kogge-Stone adder with carry anchors every ``sparsity``
+    bits."""
+    if width < 1:
+        raise ValueError(f"adder width must be positive, got {width}")
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be positive, got {sparsity}")
+    circuit = Circuit(name or f"sparse{sparsity}_ks_{width}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    p, g = propagate_generate(circuit, a, b)
+
+    # Group (G, P) per sparsity block, then a Kogge-Stone prefix over the
+    # block-level signals only.
+    anchors = list(range(0, width, sparsity))
+    block_g: List[int] = []
+    block_p: List[int] = []
+    for lo in anchors:
+        hi = min(lo + sparsity, width)
+        bg = g[lo]
+        bp = p[lo]
+        for i in range(lo + 1, hi):
+            bg = circuit.or2(g[i], circuit.and2(p[i], bg))
+            bp = circuit.and2(p[i], bp)
+        block_g.append(bg)
+        block_p.append(bp)
+    anchor_G, _ = prefix_pg_network(
+        circuit, block_p, block_g, kogge_stone_network(len(anchors))
+    )
+
+    # Sum bits ripple within each block from the anchor carry-in.
+    sums: List[int] = []
+    for blk, lo in enumerate(anchors):
+        hi = min(lo + sparsity, width)
+        carry = circuit.const0() if blk == 0 else anchor_G[blk - 1]
+        for i in range(lo, hi):
+            sums.append(circuit.xor2(p[i], carry))
+            carry = circuit.or2(g[i], circuit.and2(p[i], carry))
+    sums.append(anchor_G[-1])  # carry-out
+    circuit.set_output_bus("sum", sums)
+    return strip_dead(circuit)

@@ -1,0 +1,73 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Every benchmark prints the paper's figure/table next to the measured
+reproduction with these helpers, and EXPERIMENTS.md is generated from the
+same output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def ratio(new: float, base: float) -> float:
+    """Relative change of ``new`` versus ``base`` (e.g. -0.18 = 18% lower)."""
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return (new - base) / base
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Number],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """Render figure-style data: one x column plus named y columns.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for _, values in series])
+    return format_table(headers, rows, title)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,80 @@
+"""Statistical helpers for Monte Carlo rate estimates.
+
+The thesis reports Monte Carlo error rates as point values ("25.01%",
+"0.01%"); a serious reproduction should say how certain its estimates
+are.  :func:`wilson_interval` gives the standard binomial confidence
+interval that behaves sensibly at the tiny rates the 0.01% experiments
+live at (a normal approximation would collapse to a zero-width interval
+there), and :func:`rates_compatible` is the coarse check the benchmark
+assertions use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: two-sided z for 95% / 99% confidence
+Z_95 = 1.959963984540054
+Z_99 = 2.5758293035489004
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A Monte Carlo rate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def contains(self, rate: float) -> bool:
+        """True when ``rate`` lies inside the confidence interval."""
+        return self.low <= rate <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.point:.4%} [{self.low:.4%}, {self.high:.4%}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z_95) -> RateEstimate:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+    return RateEstimate(
+        successes=successes,
+        trials=trials,
+        low=max(0.0, centre - half),
+        high=min(1.0, centre + half),
+    )
+
+
+def rates_compatible(
+    successes: int, trials: int, expected: float, z: float = Z_99
+) -> bool:
+    """True when ``expected`` lies inside the Wilson interval."""
+    return wilson_interval(successes, trials, z).contains(expected)
+
+
+def samples_for_rate(rate: float, relative_error: float = 0.1, z: float = Z_95) -> int:
+    """Trials needed to estimate ``rate`` within ± ``relative_error``·rate.
+
+    The planning helper behind ``REPRO_FULL_SCALE``: e.g. pinning 0.01%
+    within ±10% at 95% confidence needs ~3.8 million samples — which is
+    why the thesis ran 10^7.
+    """
+    if not 0 < rate < 1:
+        raise ValueError("rate must be in (0, 1)")
+    if relative_error <= 0:
+        raise ValueError("relative_error must be positive")
+    return math.ceil(z * z * (1 - rate) / (rate * relative_error * relative_error))

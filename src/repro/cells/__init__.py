@@ -1,0 +1,32 @@
+"""Standard-cell library model.
+
+The thesis synthesizes its adders onto a UMC 65 nm standard-cell library with
+Synopsys Design Compiler.  We have no foundry data, so this package provides a
+65 nm-class combinational cell library with plausible area and load-dependent
+delay figures.  Only *relative* cell costs matter for the architecture
+comparisons the thesis draws; see DESIGN.md section 1.
+"""
+
+from repro.cells.library import (
+    Cell,
+    CellLibrary,
+    UMC65_LIKE,
+    default_library,
+)
+from repro.cells.logical_effort import (
+    LogicalEffort,
+    LOGICAL_EFFORT,
+    stage_delay,
+    path_delay_estimate,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "UMC65_LIKE",
+    "default_library",
+    "LogicalEffort",
+    "LOGICAL_EFFORT",
+    "stage_delay",
+    "path_delay_estimate",
+]

@@ -1,0 +1,127 @@
+"""Combinational standard-cell library data.
+
+Each :class:`Cell` records the figures static timing and area analysis need:
+
+* ``area``       — layout area in µm² (65 nm-class magnitudes; 1 gate
+  equivalent = one NAND2 = 1.44 µm²).
+* ``intrinsic``  — parasitic (unloaded) propagation delay in ns.
+* ``load_slope`` — incremental delay in ns per fanout pin driven.  We use the
+  fanout pin count as the load proxy, i.e. every cell input presents one unit
+  of load; this is the classic "fanout-weighted unit delay" model and is the
+  granularity at which the thesis' qualitative conclusions live.
+
+Delay of a cell instance driving ``f`` pins::
+
+    d(f) = intrinsic + load_slope * f
+
+The values below were chosen so that the familiar 65 nm orderings hold:
+an inverter is the fastest cell, NAND/NOR beat AND/OR (one fewer stage),
+XOR/XNOR and MUX cost roughly two simple-gate delays and twice the area, and
+compound AOI/OAI cells are cheaper than the discrete AND+NOR / OR+NAND pairs
+they replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One combinational standard cell."""
+
+    name: str
+    num_inputs: int
+    area: float
+    intrinsic: float
+    load_slope: float
+
+    def delay(self, fanout: int) -> float:
+        """Propagation delay in ns when driving ``fanout`` input pins.
+
+        A cell driving nothing (e.g. an unconnected output) still exhibits
+        its parasitic delay, so ``fanout=0`` is legal.
+        """
+        if fanout < 0:
+            raise ValueError(f"fanout must be non-negative, got {fanout}")
+        return self.intrinsic + self.load_slope * fanout
+
+
+class CellLibrary:
+    """A named collection of :class:`Cell` objects keyed by cell name."""
+
+    def __init__(self, name: str, cells: Iterable[Cell]):
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate cell {cell.name!r} in library {name!r}")
+            self._cells[cell.name] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r}; "
+                f"available: {sorted(self._cells)}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Mapping[str, Cell]:
+        return dict(self._cells)
+
+    def area(self, name: str) -> float:
+        """Area of the named cell in µm²-like units."""
+        return self[name].area
+
+    def delay(self, name: str, fanout: int) -> float:
+        """Delay of the named cell driving ``fanout`` pins."""
+        return self[name].delay(fanout)
+
+    def gate_equivalents(self, area: float) -> float:
+        """Convert an area in µm² to gate equivalents (NAND2 units)."""
+        return area / self["NAND2"].area
+
+
+#: 65 nm-class library used throughout the reproduction.  Pseudo-cells with
+#: zero cost (constants, aliases) are included so every netlist node maps to
+#: a library entry and the analyses need no special cases.
+UMC65_LIKE = CellLibrary(
+    "umc65-like",
+    [
+        # name        ins  area   intrinsic  load_slope
+        Cell("CONST0", 0, 0.00, 0.000, 0.000),
+        Cell("CONST1", 0, 0.00, 0.000, 0.000),
+        Cell("BUF", 1, 1.08, 0.018, 0.003),
+        Cell("INV", 1, 0.72, 0.010, 0.004),
+        Cell("AND2", 2, 1.80, 0.022, 0.005),
+        Cell("OR2", 2, 1.80, 0.024, 0.005),
+        Cell("NAND2", 2, 1.44, 0.014, 0.005),
+        Cell("NOR2", 2, 1.44, 0.016, 0.006),
+        Cell("XOR2", 2, 2.88, 0.032, 0.007),
+        Cell("XNOR2", 2, 2.88, 0.032, 0.007),
+        Cell("MUX2", 3, 2.88, 0.030, 0.006),
+        # Compound cells produced by the technology-mapping optimizer.
+        # AOI21: out = ~((a & b) | c);  OAI21: out = ~((a | b) & c)
+        Cell("AOI21", 3, 1.80, 0.020, 0.006),
+        Cell("OAI21", 3, 1.80, 0.020, 0.006),
+        Cell("AOI22", 4, 2.16, 0.024, 0.007),
+        Cell("OAI22", 4, 2.16, 0.024, 0.007),
+    ],
+)
+
+
+def default_library() -> CellLibrary:
+    """Return the library used by all analyses unless overridden."""
+    return UMC65_LIKE

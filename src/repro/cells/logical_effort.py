@@ -1,0 +1,75 @@
+"""Logical-effort figures for quick closed-form path-delay estimates.
+
+The netlist STA in :mod:`repro.netlist.timing` is the authoritative delay
+model.  This module provides the lightweight companion: classic logical
+effort (Sutherland/Sproull/Harris) per cell, used by the analytical
+complexity checks in the tests (e.g. "SCSA critical path grows like
+log k + const while Kogge-Stone grows like log n") and by the sizing
+heuristics in :mod:`repro.analysis`.
+
+Delay of a stage in units of tau (the technology unit delay)::
+
+    d = g * h + p
+
+where ``g`` is the logical effort of the cell, ``h`` the electrical effort
+(fanout), and ``p`` the parasitic delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class LogicalEffort:
+    """Logical effort ``g`` and parasitic delay ``p`` of one cell type."""
+
+    g: float
+    p: float
+
+
+#: Textbook logical-effort values (CMOS, gamma = 2).
+LOGICAL_EFFORT: Dict[str, LogicalEffort] = {
+    "CONST0": LogicalEffort(0.0, 0.0),
+    "CONST1": LogicalEffort(0.0, 0.0),
+    "BUF": LogicalEffort(1.0, 2.0),
+    "INV": LogicalEffort(1.0, 1.0),
+    "NAND2": LogicalEffort(4.0 / 3.0, 2.0),
+    "NOR2": LogicalEffort(5.0 / 3.0, 2.0),
+    "AND2": LogicalEffort(4.0 / 3.0, 3.0),  # NAND2 + INV
+    "OR2": LogicalEffort(5.0 / 3.0, 3.0),  # NOR2 + INV
+    "XOR2": LogicalEffort(4.0, 4.0),
+    "XNOR2": LogicalEffort(4.0, 4.0),
+    "MUX2": LogicalEffort(2.0, 4.0),
+    "AOI21": LogicalEffort(2.0, 7.0 / 3.0),
+    "OAI21": LogicalEffort(2.0, 7.0 / 3.0),
+    "AOI22": LogicalEffort(2.0, 3.0),
+    "OAI22": LogicalEffort(2.0, 3.0),
+}
+
+
+def stage_delay(kind: str, fanout: int) -> float:
+    """Delay in tau units of one cell stage driving ``fanout`` unit loads."""
+    le = LOGICAL_EFFORT[kind]
+    return le.g * max(fanout, 1) + le.p
+
+
+def path_delay_estimate(kinds: Sequence[str], fanouts: Sequence[int]) -> float:
+    """Sum of stage delays along a path of cells.
+
+    ``kinds[i]`` drives ``fanouts[i]`` unit loads.  This is the unoptimized
+    (unit-sized) logical-effort path delay; it upper-bounds what transistor
+    sizing could achieve but preserves architecture orderings.
+    """
+    if len(kinds) != len(fanouts):
+        raise ValueError("kinds and fanouts must have equal length")
+    return sum(stage_delay(kind, f) for kind, f in zip(kinds, fanouts))
+
+
+def optimal_prefix_depth(width: int) -> int:
+    """Minimum prefix-network depth for ``width`` bits: ceil(log2(width))."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    return max(1, math.ceil(math.log2(width))) if width > 1 else 0

@@ -1,0 +1,349 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Mirrors the thesis' C++ generator workflow ("programs which take the adder
+width n and the window size k, and generate Verilog files") plus the
+analyses this reproduction adds:
+
+* ``gen``     — generate Verilog for any design;
+* ``report``  — delay/area (and per-path) report for a design;
+* ``sweep``   — window-size sweep at one width;
+* ``errors``  — Monte Carlo error/stall rates on a chosen input class;
+* ``tb``      — emit a self-checking Verilog testbench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.adders import ADDER_GENERATORS, build_designware_adder
+from repro.analysis.compare import (
+    measure_designware,
+    measure_kogge_stone,
+    measure_scsa1,
+    measure_vlcsa1,
+    measure_vlcsa2,
+    measure_vlsa,
+)
+from repro.analysis.report import format_table, percent
+from repro.analysis.sizing import scsa_window_size_for
+from repro.core import (
+    build_scsa_adder,
+    build_scsa2_adder,
+    build_vlcsa1,
+    build_vlcsa2,
+    build_vlsa,
+)
+from repro.model.error_model import scsa_error_rate
+from repro.netlist.bdd import prove_equivalent
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import optimize
+from repro.rtl import to_testbench, to_verilog
+
+
+def _build_design(name: str, width: int, window: Optional[int]) -> Circuit:
+    """Elaborate any named design at the given parameters."""
+    needs_window = {
+        "scsa1": build_scsa_adder,
+        "scsa2": build_scsa2_adder,
+        "vlcsa1": build_vlcsa1,
+        "vlcsa2": build_vlcsa2,
+        "vlsa": build_vlsa,
+    }
+    if name in needs_window:
+        k = window if window is not None else scsa_window_size_for(width, 1e-4)
+        return needs_window[name](width, k)
+    if name == "designware":
+        return build_designware_adder(width)
+    if name in ADDER_GENERATORS:
+        return ADDER_GENERATORS[name](width)
+    raise SystemExit(
+        f"unknown design {name!r}; choose from "
+        f"{sorted(ADDER_GENERATORS) + ['designware', 'scsa1', 'scsa2', 'vlcsa1', 'vlcsa2', 'vlsa']}"
+    )
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    circuit = _build_design(args.design, args.width, args.window)
+    if args.optimize:
+        circuit, _ = optimize(circuit)
+    text = to_verilog(circuit)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}: {circuit.num_gates} gates", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_tb(args: argparse.Namespace) -> int:
+    circuit = _build_design(args.design, args.width, args.window)
+    gen = np.random.default_rng(args.seed)
+    vectors = {
+        name: [int(gen.integers(0, 1 << len(nets))) for _ in range(args.vectors)]
+        for name, nets in circuit.input_buses.items()
+    }
+    text = to_testbench(circuit, vectors)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    width = args.width
+    k = args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
+    measures: Dict[str, Callable[[], object]] = {
+        "kogge_stone": lambda: measure_kogge_stone(width),
+        "designware": lambda: measure_designware(width),
+        "scsa1": lambda: measure_scsa1(width, k),
+        "vlcsa1": lambda: measure_vlcsa1(width, k),
+        "vlcsa2": lambda: measure_vlcsa2(width, k),
+        "vlsa": lambda: measure_vlsa(width, k),
+    }
+    rows = []
+    targets = args.designs or sorted(measures)
+    for name in targets:
+        if name not in measures:
+            raise SystemExit(f"unknown design {name!r}; choose from {sorted(measures)}")
+        m = measures[name]()
+        split = (
+            f"{m.t_spec:.3f}/{m.t_detect:.3f}/{m.t_recover:.3f}"
+            if m.t_spec is not None
+            else "-"
+        )
+        rows.append((name, f"{m.delay:.3f}", split, f"{m.area:.0f}", m.gates))
+    print(
+        format_table(
+            ["design", "delay", "spec/detect/recover", "area", "gates"],
+            rows,
+            title=f"n={width}, k={k} (optimized netlists, ns/µm²-like units)",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    width = args.width
+    rows = []
+    for k in range(args.k_min, args.k_max + 1, args.k_step):
+        m = measure_vlcsa1(width, k)
+        rows.append(
+            (k, f"{scsa_error_rate(width, k):.2e}", f"{m.delay:.3f}", f"{m.area:.0f}")
+        )
+    dw = measure_designware(width)
+    print(
+        format_table(
+            ["k", "P_err", "1-cycle delay", "area"],
+            rows,
+            title=f"VLCSA 1 sweep @ n={width} "
+            f"(DesignWare reference: {dw.delay:.3f} / {dw.area:.0f})",
+        )
+    )
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    from repro.inputs.generators import gaussian_operands, uniform_operands
+    from repro.model.behavioral import (
+        err0_flags,
+        err1_flags,
+        scsa1_error_flags,
+        scsa2_s1_error_flags,
+        window_profile,
+    )
+
+    width = args.width
+    k = args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
+    gen = np.random.default_rng(args.seed)
+    if args.inputs == "uniform":
+        a = uniform_operands(width, args.samples, gen)
+        b = uniform_operands(width, args.samples, gen)
+    else:
+        a = gaussian_operands(width, args.samples, rng=gen)
+        b = gaussian_operands(width, args.samples, rng=gen)
+
+    p1 = window_profile(a, b, width, k, "lsb")
+    p2 = window_profile(a, b, width, k, "msb")
+    stall2 = err0_flags(p2) & err1_flags(p2)
+    both_wrong = scsa1_error_flags(p2) & scsa2_s1_error_flags(p2)
+    print(
+        format_table(
+            ["metric", "rate"],
+            [
+                ("SCSA 1 / VLCSA 1 error (= stall)", percent(float(scsa1_error_flags(p1).mean()), 4)),
+                ("VLCSA 2 stall (ERR0 & ERR1)", percent(float(stall2.mean()), 4)),
+                ("VLCSA 2 both hypotheses wrong", percent(float(both_wrong.mean()), 4)),
+                ("Eq. 3.13 prediction (uniform)", percent(scsa_error_rate(width, k), 4)),
+            ],
+            title=f"n={width}, k={k}, {args.inputs} inputs, {args.samples} samples",
+        )
+    )
+    return 0
+
+
+def _cmd_seq(args: argparse.Namespace) -> int:
+    from repro.rtl.sequential import to_sequential_wrapper
+
+    circuit = _build_design(args.design, args.width, args.window)
+    if args.optimize:
+        circuit, _ = optimize(circuit)
+    text = to_verilog(circuit) + "\n" + to_sequential_wrapper(circuit)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}: core + clocked shell", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import export_figures
+
+    written = export_figures(args.out_dir, args.names, args.samples)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    c1 = _build_design(args.design1, args.width, args.window)
+    c2 = _build_design(args.design2, args.width, args.window)
+    buses = [(args.bus1, args.bus2)] if args.bus1 else None
+    result = prove_equivalent(c1, c2, buses=buses)
+    if result.equivalent:
+        print(f"EQUIVALENT: {c1.name} == {c2.name} over all inputs")
+        return 0
+    bus, bit = result.mismatch
+    print(f"NOT EQUIVALENT at {bus}[{bit}]; counterexample: "
+          + ", ".join(f"{k}={v:#x}" for k, v in result.counterexample.items()))
+    return 1
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    from repro.inputs.generators import gaussian_operands, uniform_operands
+    from repro.model.carry_chains import chain_length_histogram
+
+    gen = np.random.default_rng(args.seed)
+    if args.inputs == "uniform":
+        a = uniform_operands(args.width, args.samples, gen)
+        b = uniform_operands(args.width, args.samples, gen)
+    else:
+        a = gaussian_operands(args.width, args.samples, rng=gen)
+        b = gaussian_operands(args.width, args.samples, rng=gen)
+    hist = chain_length_histogram(a, b, args.width)
+    rows = [
+        (length, f"{hist[length]:.4%}", "#" * int(round(60 * hist[length])))
+        for length in range(1, args.width + 1)
+        if hist[length] > 0
+    ]
+    print(
+        format_table(
+            ["length", "fraction", ""],
+            rows,
+            title=f"carry-chain lengths, n={args.width}, {args.inputs}, "
+            f"{args.samples} samples (thesis Figs. 6.1-6.5)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand wired in."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Variable-latency carry select addition toolkit (Du, DATE 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate Verilog for a design")
+    gen.add_argument("design")
+    gen.add_argument("width", type=int)
+    gen.add_argument("window", type=int, nargs="?", default=None)
+    gen.add_argument("-o", "--output")
+    gen.add_argument("--optimize", action="store_true")
+    gen.set_defaults(fn=_cmd_gen)
+
+    tb = sub.add_parser("tb", help="emit a self-checking Verilog testbench")
+    tb.add_argument("design")
+    tb.add_argument("width", type=int)
+    tb.add_argument("window", type=int, nargs="?", default=None)
+    tb.add_argument("-o", "--output")
+    tb.add_argument("--vectors", type=int, default=64)
+    tb.add_argument("--seed", type=int, default=2012)
+    tb.set_defaults(fn=_cmd_tb)
+
+    report = sub.add_parser("report", help="delay/area report")
+    report.add_argument("width", type=int)
+    report.add_argument("--window", type=int, default=None)
+    report.add_argument("--designs", nargs="*", default=None)
+    report.set_defaults(fn=_cmd_report)
+
+    sweep = sub.add_parser("sweep", help="VLCSA 1 window-size sweep")
+    sweep.add_argument("width", type=int)
+    sweep.add_argument("--k-min", type=int, default=6)
+    sweep.add_argument("--k-max", type=int, default=20)
+    sweep.add_argument("--k-step", type=int, default=2)
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    errors = sub.add_parser("errors", help="Monte Carlo error/stall rates")
+    errors.add_argument("width", type=int)
+    errors.add_argument("--window", type=int, default=None)
+    errors.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
+    errors.add_argument("--samples", type=int, default=200_000)
+    errors.add_argument("--seed", type=int, default=2012)
+    errors.set_defaults(fn=_cmd_errors)
+
+    equiv = sub.add_parser("equiv", help="formal equivalence check (BDD)")
+    equiv.add_argument("design1")
+    equiv.add_argument("design2")
+    equiv.add_argument("width", type=int)
+    equiv.add_argument("--window", type=int, default=None)
+    equiv.add_argument("--bus1", default=None)
+    equiv.add_argument("--bus2", default=None)
+    equiv.set_defaults(fn=_cmd_equiv)
+
+    chains = sub.add_parser("chains", help="carry-chain-length histogram")
+    chains.add_argument("width", type=int)
+    chains.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
+    chains.add_argument("--samples", type=int, default=100_000)
+    chains.add_argument("--seed", type=int, default=2012)
+    chains.set_defaults(fn=_cmd_chains)
+
+    seq = sub.add_parser(
+        "seq", help="emit a variable-latency core plus its clocked shell"
+    )
+    seq.add_argument("design", choices=["vlcsa1", "vlcsa2", "vlsa"])
+    seq.add_argument("width", type=int)
+    seq.add_argument("window", type=int, nargs="?", default=None)
+    seq.add_argument("-o", "--output")
+    seq.add_argument("--optimize", action="store_true")
+    seq.set_defaults(fn=_cmd_seq)
+
+    figures = sub.add_parser(
+        "figures", help="export figure data series as JSON"
+    )
+    figures.add_argument("-o", "--out-dir", default="figures")
+    figures.add_argument("--names", nargs="*", default=None)
+    figures.add_argument("--samples", type=int, default=100_000)
+    figures.set_defaults(fn=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Error-detection networks for VLCSA (thesis Ch. 5.1 and 6.6).
+
+Both detectors are two-level AND/OR combinations of the window group P/G
+signals the speculative adder has *already computed* — this reuse is why
+VLCSA's detection path is no longer than its speculative path, unlike VLSA
+whose detection dominates (thesis Fig. 7.4).
+
+* ``ERR0 = OR_i ( P[i+1] & G[i] )``  for ``0 <= i < m-1``  (Eq. 5.1)
+
+  Flags that some window's speculated carry-in is wrong.  Theorem (proved by
+  the property tests): ``ERR0 = 0``  ⟺  the truncated inter-window carries
+  are all exact, i.e. the speculative result S*0 is correct.
+
+* ``ERR1 = OR_i ( P[i] & ~P[i+1] )``  for ``0 <= i < m-1``  (Ch. 6.6)
+
+  Flags a group-propagate run that *ends before the MSB window*.  Theorem:
+  ``ERR0 = 1 and ERR1 = 0``  ⟹  the long carry chain reaches the MSB and
+  the alternate speculative result S*1 is correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.netlist.circuit import Circuit
+
+
+def _or_of_ands(circuit: Circuit, pairs: List[tuple], name: str) -> int:
+    """``OR_i (x_i & y_i)`` with the first tree level mapped onto AOI22.
+
+    Each AOI22 absorbs two term-ANDs *and* their OR — the mapping a
+    synthesis tool applies to sum-of-products detection logic — so the
+    whole reduction costs ``ceil(log2(#terms))`` inverting levels instead
+    of an AND row plus an OR tree.
+    """
+    if not pairs:
+        return circuit.const0()
+    if len(pairs) == 1:
+        x, y = pairs[0]
+        return circuit.and2(x, y, name)
+    inverted_nodes: List[int] = []
+    for i in range(0, len(pairs) - 1, 2):
+        (x0, y0), (x1, y1) = pairs[i], pairs[i + 1]
+        inverted_nodes.append(circuit.aoi22(x0, y0, x1, y1))
+    if len(pairs) % 2:
+        x, y = pairs[-1]
+        inverted_nodes.append(circuit.nand2(x, y))
+    # Reduce the complemented nodes: ~t OR-reduces via NAND/NOR alternation.
+    level = inverted_nodes
+    inverted = True
+    while len(level) > 1:
+        kind = "NAND2" if inverted else "NOR2"
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(circuit.add_gate(kind, [level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(circuit.not_(level[-1]))
+        level = nxt
+        inverted = not inverted
+    out = level[0]
+    if inverted:
+        out = circuit.not_(out, name)
+    return out
+
+
+def build_err0(
+    circuit: Circuit, group_g: Sequence[int], group_p: Sequence[int]
+) -> int:
+    """The ERR0 net (thesis Eq. 5.1) from window group G/P signals.
+
+    ``group_g[i]`` / ``group_p[i]`` belong to window ``i`` (LSB first).
+    For a single-window adder speculation is always exact and the detector
+    is constant 0.
+    """
+    m = len(group_g)
+    if len(group_p) != m:
+        raise ValueError("group_g and group_p must have equal length")
+    if m < 2:
+        return circuit.const0()
+    pairs = [(group_p[i + 1], group_g[i]) for i in range(m - 1)]
+    return _or_of_ands(circuit, pairs, "err0")
+
+
+def build_err1(
+    circuit: Circuit, group_p: Sequence[int]
+) -> int:
+    """The ERR1 net (thesis Ch. 6.6) from window group P signals.
+
+    ``ERR1 = OR_i P[i] & ~P[i+1]`` — a window propagates but the next (more
+    significant) one does not, i.e. a chain dies before the MSB.  When ERR1
+    is 0 the set of all-propagate windows is upward-closed, which is the
+    structural fact behind S*1's correctness.
+    """
+    m = len(group_p)
+    if m < 2:
+        return circuit.const0()
+    # Complements of the group propagates, one parallel INV per window.
+    not_p = [circuit.not_(group_p[i]) for i in range(1, m)]
+    pairs = [(group_p[i], not_p[i]) for i in range(m - 1)]
+    return _or_of_ands(circuit, pairs, "err1")

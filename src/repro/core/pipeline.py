@@ -1,0 +1,156 @@
+"""The complete Fig. 5.3 machine at gate level (extension).
+
+:func:`build_vlcsa_pipeline` elaborates one combinational netlist holding
+the VLCSA datapath *and* the control FSM's next-state logic — operand
+registers, the op-live/stalled control bits, and the registered
+result/valid outputs — and returns it bound into a
+:class:`repro.netlist.clocked.ClockedDesign`.  :class:`PipelinedAdder`
+wraps that with the VALID/STALL handshake so an operand stream can be
+pushed through cycle by cycle, every bit of behaviour coming from
+simulated gates (the Python layer only moves values across clock edges).
+
+Protocol (matching the emitted Verilog shell in
+:mod:`repro.rtl.sequential`): an accepted operation completes one cycle
+later when speculation holds, two cycles later when the detector stalls
+the machine; ``in_ready`` drops during the stall cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.detection import build_err0
+from repro.core.recovery import build_recovery
+from repro.core.scsa import build_scsa_core
+from repro.netlist.circuit import Circuit
+from repro.netlist.clocked import ClockedDesign, RegisterSpec
+from repro.netlist.optimize import strip_dead
+
+
+def build_vlcsa_pipeline(
+    width: int,
+    window_size: int,
+    network_name: str = "kogge_stone",
+) -> ClockedDesign:
+    """Elaborate the clocked VLCSA 1 machine (datapath + control FSM)."""
+    c = Circuit(f"vlcsa1_pipe_{width}w{window_size}")
+    # environment inputs
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    in_valid = c.add_input("in_valid")
+    # state (Q) buses
+    a_q = c.add_input_bus("a_q", width)
+    b_q = c.add_input_bus("b_q", width)
+    op_live = c.add_input("op_live_q")
+    stalled = c.add_input("stalled_q")
+    out_valid_q = c.add_input("out_valid_q")
+    result_q = c.add_input_bus("result_q", width + 1)
+
+    # datapath on the registered operands
+    core = build_scsa_core(c, a_q, b_q, window_size, network_name)
+    err = build_err0(c, core.window_group_g, core.window_group_p)
+    recovered = build_recovery(c, core.windows)
+
+    not_stalled = c.not_(stalled)
+    live_now = c.and2(op_live, not_stalled)
+    complete_ok = c.and2(live_now, c.not_(err))
+    trigger_stall = c.and2(live_now, err)
+    # Ready drops only in the stall-*trigger* cycle: capturing then would
+    # clobber the operands recovery still needs.  During the stalled cycle
+    # itself capture is safe — the recovery result latches from the old
+    # operands at the same edge the new ones land.
+    ready = c.not_(trigger_stall)
+    capture = c.and2(in_valid, ready)
+
+    next_out_valid = c.or2(complete_ok, stalled)
+    next_result = [
+        c.mux2(stalled, spec, rec)
+        for spec, rec in zip(core.sum_spec, recovered)
+    ]
+    next_op_live = c.or2(capture, trigger_stall)
+    next_a = [c.mux2(capture, a_q[i], a[i]) for i in range(width)]
+    next_b = [c.mux2(capture, b_q[i], b[i]) for i in range(width)]
+
+    # next-state (D) buses
+    c.set_output_bus("a_d", next_a)
+    c.set_output_bus("b_d", next_b)
+    c.set_output("op_live_d", next_op_live)
+    c.set_output("stalled_d", trigger_stall)
+    c.set_output("out_valid_d", next_out_valid)
+    c.set_output_bus("result_d", next_result)
+    # registered outputs visible to the environment this cycle
+    c.set_output("out_valid", out_valid_q)
+    c.set_output_bus("result", result_q)
+    c.set_output("in_ready", ready)
+
+    circuit = strip_dead(c)
+    return ClockedDesign(
+        circuit,
+        [
+            RegisterSpec("a_q", "a_d"),
+            RegisterSpec("b_q", "b_d"),
+            RegisterSpec("op_live_q", "op_live_d"),
+            RegisterSpec("stalled_q", "stalled_d"),
+            RegisterSpec("out_valid_q", "out_valid_d"),
+            RegisterSpec("result_q", "result_d"),
+        ],
+    )
+
+
+@dataclass
+class PipelineStats:
+    """Cycle accounting of one :meth:`PipelinedAdder.run_stream`."""
+
+    operations: int
+    cycles: int
+    stall_cycles: int
+
+    @property
+    def cycles_per_add(self) -> float:
+        return self.cycles / self.operations if self.operations else 0.0
+
+
+class PipelinedAdder:
+    """Handshake driver around the gate-level VLCSA machine."""
+
+    def __init__(self, width: int, window_size: int):
+        self.width = width
+        self.design = build_vlcsa_pipeline(width, window_size)
+
+    def run_stream(
+        self, operands: Iterable[Tuple[int, int]], max_cycles: Optional[int] = None
+    ) -> Tuple[List[int], PipelineStats]:
+        """Push operand pairs through the machine; collect results in order.
+
+        Back-pressure is honoured: an operand is only presented while
+        ``in_ready`` is high.  Returns the results plus cycle statistics.
+        """
+        pending = list(operands)
+        self.design.reset()
+        results: List[int] = []
+        expected = len(pending)
+        cycles = 0
+        stall_cycles = 0
+        idle = {"a": 0, "b": 0, "in_valid": 0}
+        limit = max_cycles if max_cycles is not None else 4 * expected + 8
+        index = 0
+        while len(results) < expected:
+            if cycles > limit:
+                raise RuntimeError("pipeline did not drain — protocol bug")
+            if index < len(pending):
+                a, b = pending[index]
+                feed = {"a": a, "b": b, "in_valid": 1}
+            else:
+                feed = idle
+            out = self.design.step(feed)
+            cycles += 1
+            if index < len(pending) and out["in_ready"]:
+                index += 1  # operand was accepted this cycle
+            if not out["in_ready"]:
+                stall_cycles += 1
+            if out["out_valid"]:
+                results.append(out["result"])
+        return results, PipelineStats(
+            operations=expected, cycles=cycles, stall_cycles=stall_cycles
+        )

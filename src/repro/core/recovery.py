@@ -1,0 +1,66 @@
+"""Error recovery for VLCSA (thesis Ch. 5.2, Fig. 5.2).
+
+Instead of a second full adder, recovery reuses the speculative adder's
+intermediate results: an ``m``-bit parallel-prefix network over the window
+group (G, P) pairs yields the *exact* carry into every window, and a second
+mux row re-selects each window's pre-computed s0/s1 hypotheses with the
+exact carry.  Cost: O(m log m) prefix nodes + n muxes — the "major area
+overhead of VLCSA" the thesis attributes to this block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.adders.prefix import PREFIX_NETWORKS, prefix_pg_network
+from repro.core.window import WindowSignals
+from repro.netlist.circuit import Circuit
+
+
+def window_carries(
+    circuit: Circuit,
+    group_g: Sequence[int],
+    group_p: Sequence[int],
+    network_name: str = "kogge_stone",
+) -> List[int]:
+    """Exact carry-out of every window via an m-bit prefix network.
+
+    Returns ``c[i]`` = true carry out of window ``i`` (= carry into window
+    ``i+1``), computed as the group generate of windows ``i..0`` — thesis
+    Eq. 3.7 unrolled by the prefix network.
+    """
+    m = len(group_g)
+    if len(group_p) != m:
+        raise ValueError("group_g and group_p must have equal length")
+    network_fn = PREFIX_NETWORKS[network_name]
+    carries, _ = prefix_pg_network(
+        circuit, list(group_p), list(group_g), network_fn(m)
+    )
+    return carries
+
+
+def build_recovery(
+    circuit: Circuit,
+    windows: Sequence[WindowSignals],
+    network_name: str = "kogge_stone",
+) -> List[int]:
+    """The exact-sum bus (n + 1 bits) recovered from window intermediates.
+
+    Window 0's carry-in is 0, so its s0 row is already exact; every other
+    window re-selects between its two sum hypotheses with the exact carry
+    from :func:`window_carries`.  The top bit is the exact carry-out.
+    """
+    group_g = [w.group_g for w in windows]
+    group_p = [w.group_p for w in windows]
+    carries = window_carries(circuit, group_g, group_p, network_name)
+
+    recovered: List[int] = list(windows[0].s0)
+    for i in range(1, len(windows)):
+        carry_in = carries[i - 1]
+        window = windows[i]
+        recovered.extend(
+            circuit.mux2(carry_in, window.s0[j], window.s1[j])
+            for j in range(window.size)
+        )
+    recovered.append(carries[-1])  # exact carry-out
+    return recovered

@@ -1,0 +1,91 @@
+"""SCSA 1: the speculative carry select adder (thesis Ch. 3-4).
+
+The carry into window ``i`` is speculated as the group generate of window
+``i-1`` (equivalently: inter-window carry *chains* are truncated to 0,
+thesis Eq. 3.8).  Window 0 has a true carry-in of 0, so its ``s0`` row is
+exact; every other window selects between its two pre-computed sum rows with
+the previous window's group generate.
+
+Critical path: one k-bit prefix network + one mux — O(log k) against the
+O(log n) of any exact adder (thesis section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.window import WindowPlan, WindowSignals, build_window, plan_windows
+from repro.netlist.circuit import Circuit
+
+
+@dataclass
+class ScsaCore:
+    """Internal nets of a SCSA speculative adder, for reuse by VLCSA.
+
+    ``sum_spec`` is the n-bit speculative sum plus the speculative carry-out
+    (``group_g`` of the last window) as bit n.
+    """
+
+    plan: WindowPlan
+    windows: List[WindowSignals]
+    sum_spec: List[int]
+
+    @property
+    def window_group_g(self) -> List[int]:
+        return [w.group_g for w in self.windows]
+
+    @property
+    def window_group_p(self) -> List[int]:
+        return [w.group_p for w in self.windows]
+
+
+def build_scsa_core(
+    circuit: Circuit,
+    a: List[int],
+    b: List[int],
+    window_size: int,
+    network_name: str = "kogge_stone",
+    remainder: str = "lsb",
+) -> ScsaCore:
+    """Instantiate the SCSA datapath inside an existing circuit."""
+    plan = plan_windows(len(a), window_size, remainder)
+    windows = [
+        build_window(circuit, a, b, lo, hi, network_name)
+        for lo, hi in plan.bounds
+    ]
+
+    sum_spec: List[int] = []
+    sum_spec.extend(windows[0].s0)  # true carry-in 0: exact row
+    for i in range(1, plan.num_windows):
+        spec_carry = windows[i - 1].group_g
+        window = windows[i]
+        sum_spec.extend(
+            circuit.mux2(spec_carry, window.s0[j], window.s1[j])
+            for j in range(window.size)
+        )
+    sum_spec.append(windows[-1].group_g)  # speculative carry-out
+    return ScsaCore(plan=plan, windows=windows, sum_spec=sum_spec)
+
+
+def build_scsa_adder(
+    width: int,
+    window_size: int,
+    network_name: str = "kogge_stone",
+    name: Optional[str] = None,
+    remainder: str = "lsb",
+) -> Circuit:
+    """Standalone SCSA 1 speculative adder.
+
+    Ports match the conventional generators: inputs ``a``/``b``, output
+    ``sum`` of ``width + 1`` bits — but the result is *speculative*, wrong
+    with probability ≈ thesis Eq. 3.13 on uniform inputs.
+    """
+    circuit = Circuit(name or f"scsa1_{width}w{window_size}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    core = build_scsa_core(circuit, a, b, window_size, network_name, remainder)
+    circuit.set_output_bus("sum", core.sum_spec)
+    from repro.netlist.optimize import strip_dead
+
+    return strip_dead(circuit)

@@ -1,0 +1,100 @@
+"""SCSA 2: modified speculative addition for 2's-complement Gaussian inputs
+(thesis Ch. 6.5, Fig. 6.6).
+
+SCSA 1 truncates every inter-window carry chain, which is catastrophic for
+2's-complement Gaussian operands: adding a small positive to a small
+negative number produces a sign-extension propagate run across most of the
+adder, and roughly one addition in four mis-speculates (thesis Table 7.1).
+
+SCSA 2 keeps the window hardware and adds a *second* full speculative
+result: ``S*1`` selects each window's sum hypotheses with the previous
+window's carry-out-under-carry-in-1, ``c1[i-1] = G[i-1] | P[i-1]`` — the
+signal SCSA 1 computes and discards.  ``S*1`` is exact precisely when the
+long chain reaches the MSB (the dominant Gaussian pattern), which the ERR1
+detector recognises.  Extra cost: one mux row per window — O(m·k) = O(n)
+area and no extra logic depth (section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.scsa import ScsaCore, build_scsa_core
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+@dataclass
+class Scsa2Core:
+    """SCSA 2 datapath nets: the SCSA 1 core plus the alternate result."""
+
+    base: ScsaCore
+    #: n+1-bit alternate speculative sum (top bit = alternate carry-out)
+    sum_spec1: List[int]
+
+    @property
+    def sum_spec0(self) -> List[int]:
+        return self.base.sum_spec
+
+    @property
+    def plan(self):
+        return self.base.plan
+
+    @property
+    def windows(self):
+        return self.base.windows
+
+
+def build_scsa2_core(
+    circuit: Circuit,
+    a: List[int],
+    b: List[int],
+    window_size: int,
+    network_name: str = "kogge_stone",
+    remainder: str = "msb",
+) -> Scsa2Core:
+    """Instantiate the SCSA 2 datapath inside an existing circuit.
+
+    The remainder window defaults to the MSB end — required for the low
+    VLCSA 2 stall rates of thesis Tables 7.2/7.5 (see
+    :func:`repro.core.window.plan_windows`).
+    """
+    base = build_scsa_core(circuit, a, b, window_size, network_name, remainder)
+    windows = base.windows
+
+    sum_spec1: List[int] = list(windows[0].s0)  # window 0: carry-in is 0
+    for i in range(1, base.plan.num_windows):
+        prev = windows[i - 1]
+        # Carry-out of the previous window assuming its carry-in were 1.
+        spec_carry1 = circuit.or2(prev.group_g, prev.group_p)
+        window = windows[i]
+        sum_spec1.extend(
+            circuit.mux2(spec_carry1, window.s0[j], window.s1[j])
+            for j in range(window.size)
+        )
+    last = windows[-1]
+    sum_spec1.append(circuit.or2(last.group_g, last.group_p))
+    return Scsa2Core(base=base, sum_spec1=sum_spec1)
+
+
+def build_scsa2_adder(
+    width: int,
+    window_size: int,
+    network_name: str = "kogge_stone",
+    name: Optional[str] = None,
+    remainder: str = "msb",
+) -> Circuit:
+    """Standalone SCSA 2 adder exposing both speculative results.
+
+    Output buses ``sum0`` and ``sum1`` (``width + 1`` bits each) carry the
+    two hypotheses; selection between them is the job of the ERR detectors
+    in :func:`repro.core.vlcsa2.build_vlcsa2`.
+    """
+    circuit = Circuit(name or f"scsa2_{width}w{window_size}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    core = build_scsa2_core(circuit, a, b, window_size, network_name, remainder)
+    circuit.set_output_bus("sum0", core.sum_spec0)
+    circuit.set_output_bus("sum1", core.sum_spec1)
+    return strip_dead(circuit)

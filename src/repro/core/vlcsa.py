@@ -1,0 +1,62 @@
+"""VLCSA 1: the reliable variable-latency carry select adder (thesis Ch. 5).
+
+One netlist containing the three blocks of Fig. 5.3:
+
+* the SCSA 1 speculative datapath            → output bus ``sum`` (+ cout),
+* the ERR0 detector                          → outputs ``err`` and ``valid``,
+* the window-prefix error recovery datapath  → output bus ``sum_rec``.
+
+Operation (cycle behaviour is modelled by
+:class:`repro.model.latency.VariableLatencyAdderSim`): if ``err`` is 0 the
+speculative ``sum`` is the final result after one cycle; otherwise the
+machine stalls one extra cycle and ``sum_rec`` is the result.  ``sum_rec``
+is *always* the exact sum, so the adder as a whole is error-free.
+
+Timing is reported per output bus — ``sum`` (speculative path), ``err``
+(detection path), ``sum_rec`` (recovery path) — which is exactly the
+three-bar decomposition of thesis Fig. 7.4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.detection import build_err0
+from repro.core.recovery import build_recovery
+from repro.core.scsa import build_scsa_core
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+def build_vlcsa1(
+    width: int,
+    window_size: int,
+    network_name: str = "kogge_stone",
+    recovery_network: str = "kogge_stone",
+    name: Optional[str] = None,
+    remainder: str = "lsb",
+) -> Circuit:
+    """Build the complete VLCSA 1 netlist.
+
+    Ports:
+
+    * inputs ``a``, ``b``  — the operands (``width`` bits each);
+    * output ``sum``       — speculative sum, ``width + 1`` bits;
+    * output ``sum_rec``   — exact sum from recovery, ``width + 1`` bits;
+    * output ``err``       — 1 when the speculative sum may be wrong
+      (``== STALL`` of Fig. 5.3);
+    * output ``valid``     — complement of ``err`` (``VALID`` of Fig. 5.3).
+    """
+    circuit = Circuit(name or f"vlcsa1_{width}w{window_size}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+
+    core = build_scsa_core(circuit, a, b, window_size, network_name, remainder)
+    err = build_err0(circuit, core.window_group_g, core.window_group_p)
+    recovered = build_recovery(circuit, core.windows, recovery_network)
+
+    circuit.set_output_bus("sum", core.sum_spec)
+    circuit.set_output_bus("sum_rec", recovered)
+    circuit.set_output("err", err)
+    circuit.set_output("valid", circuit.not_(err))
+    return strip_dead(circuit)

@@ -1,0 +1,124 @@
+"""VLCSA 2: the modified reliable variable-latency adder (thesis Ch. 6).
+
+Selection logic, straight from section 6.7:
+
+=========  =========  =======================================
+ERR0       ERR1       outcome
+=========  =========  =======================================
+0          —          ``S*0`` correct, 1 cycle (VALID)
+1          0          ``S*1`` correct, 1 cycle (VALID)
+1          1          recovery result, 2 cycles (STALL)
+=========  =========  =======================================
+
+Two implementation styles are provided; both are exact (the selection-
+correctness theorems in :mod:`repro.core.detection` are property-tested on
+each):
+
+* ``style="dual"`` (default; Fig. 6.6/6.8 as drawn) — every window carries
+  *two* selected sum rows, producing complete S*0 and S*1 buses in
+  parallel with the detectors.  This matches the thesis' single-cycle
+  timing constraint ``T_clk > max(tau*0, tau*1, tau_ERR)`` (section 6.7),
+  under which the final S*0/S*1 output mux operates on registered signals
+  at the cycle boundary and is *not* on the speculative critical path.
+  Costs one extra n-bit mux row plus the output mux row.
+
+* ``style="select"`` — folds the S*0/S*1 choice into each window's select:
+  ``sel[i] = ERR0 ? (G[i-1] | P[i-1]) : G[i-1]``, i.e. *one extra 2-input
+  mux per window* — the O(ceil(n/k)) overhead priced in thesis section
+  6.5.  Smaller, but the combinational path ERR0 → select → sum row makes
+  the one-cycle delay detection-bound (the ablation benchmark quantifies
+  the trade).
+
+On 2's-complement Gaussian operands either style drops VLCSA 1's ~25%
+stall rate to ~0.01% (thesis Tables 7.1/7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.detection import build_err0, build_err1
+from repro.core.recovery import build_recovery
+from repro.core.scsa2 import build_scsa2_core
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+def build_vlcsa2(
+    width: int,
+    window_size: int,
+    network_name: str = "kogge_stone",
+    recovery_network: str = "kogge_stone",
+    name: Optional[str] = None,
+    remainder: str = "msb",
+    style: str = "dual",
+) -> Circuit:
+    """Build the complete VLCSA 2 netlist.
+
+    Ports:
+
+    * inputs ``a``, ``b``;
+    * output ``sum``      — the selected one-cycle speculative result
+      (``width + 1`` bits), exact whenever ``err`` is 0;
+    * output ``sum0`` / ``sum1`` — the two speculative hypotheses
+      (``style="dual"`` only);
+    * output ``sum_rec``  — exact sum from recovery (always correct);
+    * output ``err``      — ``ERR0 & ERR1``: 1 when neither hypothesis is
+      guaranteed and the machine must stall (``STALL`` of Fig. 6.8);
+    * output ``err0`` / ``err1`` — the raw detector signals;
+    * output ``valid``    — complement of ``err``.
+
+    The remainder window defaults to the MSB end — required for the low
+    stall rates of thesis Tables 7.2/7.5 (see
+    :func:`repro.core.window.plan_windows`).
+    """
+    if style not in ("dual", "select"):
+        raise ValueError(f"style must be 'dual' or 'select', got {style!r}")
+    circuit = Circuit(name or f"vlcsa2_{width}w{window_size}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+
+    core = build_scsa2_core(circuit, a, b, window_size, network_name, remainder)
+    windows = core.windows
+    plan = core.plan
+    group_g = core.base.window_group_g
+    group_p = core.base.window_group_p
+
+    err0 = build_err0(circuit, group_g, group_p)
+    err1 = build_err1(circuit, group_p)
+    err = circuit.and2(err0, err1, "err")
+
+    if style == "dual":
+        # Both hypotheses exist as full buses; the output mux row operates
+        # on cycle-boundary (registered) values per thesis section 6.7.
+        selected = [
+            circuit.mux2(err0, s0, s1)
+            for s0, s1 in zip(core.sum_spec0, core.sum_spec1)
+        ]
+        circuit.set_output_bus("sum0", core.sum_spec0)
+        circuit.set_output_bus("sum1", core.sum_spec1)
+    else:
+        # Fold the hypothesis choice into each window's select signal.
+        selected = list(windows[0].s0)  # window 0: carry-in is 0
+        for i in range(1, plan.num_windows):
+            prev = windows[i - 1]
+            carry1 = circuit.or2(prev.group_g, prev.group_p)
+            sel = circuit.mux2(err0, prev.group_g, carry1, f"sel{i}")
+            window = windows[i]
+            selected.extend(
+                circuit.mux2(sel, window.s0[j], window.s1[j])
+                for j in range(window.size)
+            )
+        last = windows[-1]
+        cout1 = circuit.or2(last.group_g, last.group_p)
+        selected.append(circuit.mux2(err0, last.group_g, cout1, "cout_sel"))
+
+    recovered = build_recovery(circuit, windows, recovery_network)
+
+    circuit.set_output_bus("sum", selected)
+    circuit.set_output_bus("sum_rec", recovered)
+    circuit.set_output("err", err)
+    circuit.set_output("err0", err0)
+    circuit.set_output("err1", err1)
+    circuit.set_output("valid", circuit.not_(err))
+    return strip_dead(circuit)

@@ -1,0 +1,136 @@
+"""VLSA: the Verma et al. DATE'08 variable-latency speculative adder
+(thesis reference [17]) — the state-of-the-art baseline of Ch. 7.4.
+
+Speculation is *per output bit*: the carry into bit ``i`` is approximated
+using only the previous ``l`` bits, ``c[i] ≈ G[i-1 : i-l]``, realised here
+with "effective sharing" — a Kogge-Stone prefix network truncated after
+``ceil(log2 l)`` levels, so every bit's running (G, P) spans exactly
+``min(i+1, 2^ceil(log2 l))`` bits.  (We therefore round the speculative
+chain length up to a power of two, the natural sharing-friendly choice;
+the thesis' Table 7.3 values 17..21 sit between 16 and 32, i.e. our
+``l_eff = 32`` tier — documented in EXPERIMENTS.md.)
+
+Error detection (the thesis' critique reproduces here): a speculative
+output is wrong only if a carry chain longer than ``l`` is alive, detected
+by OR-ing, over *all n bit positions*, the truncated group-propagate
+signals — an O(log l + log n)-deep network that is **longer** than the
+speculative datapath, unlike VLCSA's O(log k + log n/k) detector over m-1
+window terms.  Recovery completes the truncated prefix network to the full
+Kogge-Stone and re-derives the exact sums.
+
+Ports mirror :func:`repro.core.vlcsa.build_vlcsa1`: ``sum``, ``sum_rec``,
+``err``, ``valid``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.adders.prefix import propagate_generate
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import strip_dead
+
+
+def _truncated_kogge_stone(
+    circuit: Circuit, p: List[int], g: List[int], levels: int
+) -> Tuple[List[int], List[int]]:
+    """Run ``levels`` Kogge-Stone levels; returns running (G, P) rows."""
+    G, P = list(g), list(p)
+    width = len(p)
+    d = 1
+    for _ in range(levels):
+        if d >= width:
+            break
+        new_G, new_P = {}, {}
+        for i in range(d, width):
+            new_G[i] = circuit.or2(G[i], circuit.and2(P[i], G[i - d]))
+            new_P[i] = circuit.and2(P[i], P[i - d])
+        G = [new_G.get(i, G[i]) for i in range(width)]
+        P = [new_P.get(i, P[i]) for i in range(width)]
+        d *= 2
+    return G, P
+
+
+def speculative_levels(chain_length: int) -> int:
+    """Kogge-Stone levels needed so every bit sees ``chain_length`` history."""
+    if chain_length < 1:
+        raise ValueError(f"chain length must be positive, got {chain_length}")
+    return max(1, math.ceil(math.log2(chain_length)))
+
+
+def build_vlsa_speculative(
+    width: int,
+    chain_length: int,
+    name: Optional[str] = None,
+) -> Circuit:
+    """The speculative adder inside VLSA (per-bit l-bit lookahead).
+
+    Output ``sum`` is ``width + 1`` bits; the top (carry-out) bit is the
+    truncated group generate of the most significant position.
+    """
+    circuit = Circuit(name or f"vlsa_spec_{width}l{chain_length}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    p, g = propagate_generate(circuit, a, b)
+    levels = speculative_levels(chain_length)
+    G, _ = _truncated_kogge_stone(circuit, p, g, levels)
+    sums = [p[0]]
+    sums.extend(circuit.xor2(p[i], G[i - 1]) for i in range(1, width))
+    sums.append(G[width - 1])
+    circuit.set_output_bus("sum", sums)
+    return strip_dead(circuit)
+
+
+def build_vlsa(
+    width: int,
+    chain_length: int,
+    name: Optional[str] = None,
+) -> Circuit:
+    """The full VLSA: speculation + chain detection + prefix-completion
+    recovery, structured as in thesis Fig. 5.3 (which is drawn after [17])."""
+    circuit = Circuit(name or f"vlsa_{width}l{chain_length}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    p, g = propagate_generate(circuit, a, b)
+    levels = speculative_levels(chain_length)
+    G, P = _truncated_kogge_stone(circuit, p, g, levels)
+
+    # Speculative sums from the truncated network.
+    sums = [p[0]]
+    sums.extend(circuit.xor2(p[i], G[i - 1]) for i in range(1, width))
+    sums.append(G[width - 1])
+
+    # Detection: some bit's l_eff-bit history is all-propagate, i.e. a carry
+    # chain may outrun the speculation window.  P[i] here spans l_eff bits
+    # (or the full history for low bits, where it can never overrun).
+    l_eff = 1 << levels
+    terms = [P[i] for i in range(l_eff, width)]
+    err = circuit.or_tree(terms, "err") if terms else circuit.const0()
+
+    # Recovery: complete the prefix network to full Kogge-Stone depth.
+    total_levels = max(1, math.ceil(math.log2(width))) if width > 1 else 1
+    remaining = max(0, total_levels - levels)
+    Gf, Pf = G, P
+    if remaining:
+        d = 1 << levels
+        width_ = width
+        for _ in range(remaining):
+            if d >= width_:
+                break
+            new_G, new_P = {}, {}
+            for i in range(d, width_):
+                new_G[i] = circuit.or2(Gf[i], circuit.and2(Pf[i], Gf[i - d]))
+                new_P[i] = circuit.and2(Pf[i], Pf[i - d])
+            Gf = [new_G.get(i, Gf[i]) for i in range(width_)]
+            Pf = [new_P.get(i, Pf[i]) for i in range(width_)]
+            d *= 2
+    rec = [p[0]]
+    rec.extend(circuit.xor2(p[i], Gf[i - 1]) for i in range(1, width))
+    rec.append(Gf[width - 1])
+
+    circuit.set_output_bus("sum", sums)
+    circuit.set_output_bus("sum_rec", rec)
+    circuit.set_output("err", err)
+    circuit.set_output("valid", circuit.not_(err))
+    return strip_dead(circuit)

@@ -1,0 +1,161 @@
+"""Window segmentation and the shared-prefix window adder (thesis Ch. 4).
+
+An n-bit SCSA splits the operands into ``m = ceil(n/k)`` windows.  When
+``n % k != 0`` one window is smaller; the thesis places it as the *first*
+(least significant) window "similar to the optimization of the carry select
+adder design" (section 4), so all the timing-critical selected windows are
+full k-bit ones.
+
+A window adder (Fig. 4.2 / Eq. 4.5-4.6) computes **both** carry-in
+hypotheses from **one** prefix network::
+
+    s0[j] = p[j] xor G[j-1:0]                (carry-in 0)
+    s1[j] = p[j] xor (G[j-1:0] | P[j-1:0])   (carry-in 1)
+
+plus the window group generate/propagate used for speculation, error
+detection, and recovery.  This sharing is the source of SCSA's area
+advantage over the per-output speculation of VLSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.adders.prefix import (
+    PREFIX_NETWORKS,
+    prefix_pg_network,
+    propagate_generate,
+)
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """Window segmentation of an n-bit adder.
+
+    ``bounds[i] = (lo, hi)`` covers bits ``lo..hi-1`` of window ``i``
+    (window 0 is least significant).
+    """
+
+    width: int
+    window_size: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+
+def plan_windows(
+    width: int, window_size: int, remainder: str = "lsb"
+) -> WindowPlan:
+    """Segment ``width`` bits into windows of ``window_size`` bits.
+
+    ``remainder`` places the smaller leftover window (when
+    ``width % window_size != 0``) at the ``"lsb"`` end — thesis section 4's
+    stated choice — or at the ``"msb"`` end.
+
+    Reproduction note (see EXPERIMENTS.md): VLCSA 2 *must* use ``"msb"``.
+    A small LSB window is all-propagate with probability ``2^-rem``, which
+    raises a spurious ERR1 against the dominant reaches-the-MSB carry
+    chains of 2's-complement Gaussian operands and inflates the stall rate
+    by orders of magnitude (e.g. 0.098% instead of the thesis' 0.01% at
+    n=64, k=14).  Neither placement affects the speculative critical path —
+    the selection network has no ripple, so the smaller window is simply a
+    shallower island.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if window_size < 1:
+        raise ValueError(f"window size must be positive, got {window_size}")
+    if remainder not in ("lsb", "msb"):
+        raise ValueError(f"remainder must be 'lsb' or 'msb', got {remainder!r}")
+    if window_size >= width:
+        return WindowPlan(width, window_size, ((0, width),))
+    _, rem = divmod(width, window_size)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    if rem and remainder == "lsb":
+        bounds.append((0, rem))
+        lo = rem
+    while width - lo >= window_size:
+        bounds.append((lo, lo + window_size))
+        lo += window_size
+    if lo < width:
+        bounds.append((lo, width))
+    return WindowPlan(width, window_size, tuple(bounds))
+
+
+@dataclass
+class WindowSignals:
+    """Nets produced by one window adder.
+
+    * ``s0`` / ``s1``   — sum rows under carry-in 0 / 1 (LSB first).
+    * ``group_g`` / ``group_p`` — window group generate/propagate
+      (:math:`G_{k-1:0}`, :math:`P_{k-1:0}` of thesis Eq. 3.5/3.6).
+    * ``bit_g`` / ``bit_p``     — per-bit running group G/P (``bit_g[j]`` is
+      :math:`G_{j:0}` within the window), reused by error recovery.
+    * ``p``             — per-bit propagate row (for recovery sum re-selects).
+    """
+
+    lo: int
+    hi: int
+    s0: List[int]
+    s1: List[int]
+    group_g: int
+    group_p: int
+    bit_g: List[int]
+    bit_p: List[int]
+    p: List[int]
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+def build_window(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    lo: int,
+    hi: int,
+    network_name: str = "kogge_stone",
+) -> WindowSignals:
+    """Build one window adder over operand bits ``lo..hi-1``.
+
+    ``a``/``b`` are the full operand buses.  Both sum hypotheses share the
+    prefix network (thesis Fig. 4.2); any network from
+    :data:`repro.adders.prefix.PREFIX_NETWORKS` may implement it, with
+    Kogge-Stone as the thesis' choice for speed.
+    """
+    if not 0 <= lo < hi <= len(a):
+        raise ValueError(f"bad window bounds ({lo}, {hi}) for width {len(a)}")
+    network_fn = PREFIX_NETWORKS[network_name]
+    k = hi - lo
+    p, g = propagate_generate(circuit, a[lo:hi], b[lo:hi])
+    bit_g, bit_p = prefix_pg_network(circuit, p, g, network_fn(k))
+
+    s0 = [p[0]]
+    s1 = [circuit.not_(p[0])]
+    for j in range(1, k):
+        carry0 = bit_g[j - 1]
+        carry1 = circuit.or2(bit_g[j - 1], bit_p[j - 1])
+        s0.append(circuit.xor2(p[j], carry0))
+        s1.append(circuit.xor2(p[j], carry1))
+
+    return WindowSignals(
+        lo=lo,
+        hi=hi,
+        s0=s0,
+        s1=s1,
+        group_g=bit_g[k - 1],
+        group_p=bit_p[k - 1],
+        bit_g=bit_g,
+        bit_p=bit_p,
+        p=p,
+    )

@@ -1,0 +1,58 @@
+"""Operand-stream generators for the evaluation workloads.
+
+* :mod:`repro.inputs.generators` — the four synthetic distributions of
+  thesis Ch. 6.3: unsigned/2's-complement uniform and unsigned/
+  2's-complement Gaussian (mu = 0, sigma = 2^32 for Ch. 7).
+* :mod:`repro.inputs.crypto`     — instrumented cryptographic kernels (RSA,
+  Diffie-Hellman, EC ElGamal, ECDSA over a prime field) that capture the
+  32-bit limb-addition operand stream, regenerating the workload class of
+  thesis Fig. 6.2 (originally from Cilardo, DATE'09 — thesis ref [6]).
+"""
+
+from repro.inputs.generators import (
+    uniform_operands,
+    uniform_ints,
+    gaussian_ints,
+    twos_complement_encode,
+    gaussian_operands,
+    GAUSSIAN_SIGMA_THESIS,
+)
+from repro.inputs.workloads import (
+    APPLICATION_TRACES,
+    address_trace,
+    audio_trace,
+    counter_trace,
+)
+from repro.inputs.floating import FORMATS, FpAlignment, fp_significand_trace
+from repro.inputs.crypto import (
+    CryptoTrace,
+    InstrumentedBignum,
+    rsa_trace,
+    diffie_hellman_trace,
+    ec_elgamal_trace,
+    ecdsa_trace,
+    WORKLOADS,
+)
+
+__all__ = [
+    "uniform_operands",
+    "uniform_ints",
+    "gaussian_ints",
+    "twos_complement_encode",
+    "gaussian_operands",
+    "GAUSSIAN_SIGMA_THESIS",
+    "CryptoTrace",
+    "InstrumentedBignum",
+    "rsa_trace",
+    "diffie_hellman_trace",
+    "ec_elgamal_trace",
+    "ecdsa_trace",
+    "WORKLOADS",
+    "APPLICATION_TRACES",
+    "address_trace",
+    "audio_trace",
+    "counter_trace",
+    "FORMATS",
+    "FpAlignment",
+    "fp_significand_trace",
+]

@@ -1,0 +1,373 @@
+"""Instrumented cryptographic kernels (thesis Fig. 6.2 workload class).
+
+Thesis reference [6] (Cilardo, DATE'09) profiled the carry-chain statistics
+of the additions executed inside RSA, Diffie-Hellman, EC ElGamal, and ECDSA.
+Those traces are not public, so — per the substitution rule — we *regenerate*
+the operand streams by running the same algorithms on an instrumented
+multi-precision integer layer:
+
+:class:`InstrumentedBignum` does base-2^32 limb arithmetic (Montgomery CIOS
+multiplication, schoolbook fallback, modular add/sub) and records the operand
+pair of every 32-bit ALU addition it performs, including the complemented
+subtrahends of 2's-complement subtraction — which is precisely where the
+long sign-extension-like carry chains of Fig. 6.2 come from.
+
+The keys/curves here are small-but-real (256-bit RSA/DH moduli, the
+secp192-like prime) so traces stay cheap to produce; the carry-chain *shape*
+is insensitive to the exact parameter sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+_LIMB = 32
+_MASK = (1 << _LIMB) - 1
+
+
+@dataclass
+class CryptoTrace:
+    """Recorded 32-bit addition operands of one workload run."""
+
+    name: str
+    a: np.ndarray  # uint64 (values < 2^32)
+    b: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.a)
+
+
+class _Recorder:
+    """Bounded reservoir of 32-bit addition operand pairs."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.pairs: List[Tuple[int, int]] = []
+        self.total = 0
+
+    def record(self, x: int, y: int) -> None:
+        self.total += 1
+        if len(self.pairs) < self.limit:
+            self.pairs.append((x, y))
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.pairs:
+            return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint64)
+        arr = np.asarray(self.pairs, dtype=np.uint64)
+        return arr[:, 0], arr[:, 1]
+
+
+class InstrumentedBignum:
+    """Base-2^32 multi-precision arithmetic with addition tracing.
+
+    All routines work on little-endian limb lists of a fixed length
+    ``self.limbs`` (operands are reduced modulo ``self.modulus``).
+    Every 32-bit add the hardware would execute goes through
+    :meth:`_add32`, which records the operand pair.
+    """
+
+    def __init__(self, modulus: int, recorder: _Recorder):
+        if modulus < 3 or modulus % 2 == 0:
+            raise ValueError("modulus must be odd and > 2 for Montgomery form")
+        self.modulus = modulus
+        self.recorder = recorder
+        self.limbs = max(1, (modulus.bit_length() + _LIMB - 1) // _LIMB)
+        self.n = self._to_limbs(modulus)
+        # Montgomery constants: R = 2^(32*limbs), n' = -n^-1 mod 2^32.
+        self.r = 1 << (_LIMB * self.limbs)
+        self.n_prime = (-pow(modulus, -1, 1 << _LIMB)) & _MASK
+        self.r2 = self._to_limbs((self.r * self.r) % modulus)
+
+    # ------------------------------------------------------------ limb ops
+
+    def _to_limbs(self, value: int) -> List[int]:
+        return [(value >> (_LIMB * i)) & _MASK for i in range(self.limbs)]
+
+    def _from_limbs(self, limbs: List[int]) -> int:
+        v = 0
+        for i, limb in enumerate(limbs):
+            v |= limb << (_LIMB * i)
+        return v
+
+    def _add32(self, x: int, y: int, cin: int = 0) -> Tuple[int, int]:
+        """One recorded 32-bit ALU addition; returns (sum, carry_out)."""
+        self.recorder.record(x, y)
+        t = x + y + cin
+        return t & _MASK, t >> _LIMB
+
+    def add_limbs(self, x: List[int], y: List[int]) -> Tuple[List[int], int]:
+        """Multi-limb addition; returns (sum limbs, carry-out)."""
+        out, carry = [], 0
+        for xi, yi in zip(x, y):
+            s, carry = self._add32(xi, yi, carry)
+            out.append(s)
+        return out, carry
+
+    def sub_limbs(self, x: List[int], y: List[int]) -> Tuple[List[int], int]:
+        """x - y via 2's complement addition (borrow = 1 - carry)."""
+        out, carry = [], 1
+        for xi, yi in zip(x, y):
+            s, carry = self._add32(xi, (~yi) & _MASK, carry)
+            out.append(s)
+        return out, 1 - carry
+
+    # --------------------------------------------------------- modular ops
+
+    def mod_add(self, x: List[int], y: List[int]) -> List[int]:
+        """(x + y) mod n over limb vectors, additions recorded."""
+        s, carry = self.add_limbs(x, y)
+        d, borrow = self.sub_limbs(s, self.n)
+        # x + y < 2n, so at most one subtraction of n is needed; the carry
+        # out of the add supplies the missing 2^(32k) when s wrapped.
+        if carry or not borrow:
+            return d
+        return s
+
+    def mod_sub(self, x: List[int], y: List[int]) -> List[int]:
+        """(x - y) mod n over limb vectors, additions recorded."""
+        d, borrow = self.sub_limbs(x, y)
+        if borrow:
+            d2, _ = self.add_limbs(d, self.n)
+            return d2
+        return d
+
+    def mont_mul(self, x: List[int], y: List[int]) -> List[int]:
+        """Montgomery product x*y*R^-1 mod n (CIOS), additions recorded.
+
+        The algorithm is the textbook coarsely-integrated operand scanning
+        loop.  Recording is decoupled from the carry bookkeeping: every
+        multiply-accumulate step records the 32-bit addition of the running
+        limb with the partial-product low word — the operand pair a
+        32-bit datapath would see — keeping the trace faithful without
+        entangling trace capture with the multi-word carry chains.
+        """
+        k = self.limbs
+        t = [0] * (k + 2)
+        for i in range(k):
+            xi = x[i]
+            carry = 0
+            for j in range(k):
+                prod = xi * y[j]
+                self.recorder.record(t[j], prod & _MASK)
+                v = t[j] + prod + carry
+                t[j] = v & _MASK
+                carry = v >> _LIMB
+            v = t[k] + carry
+            t[k] = v & _MASK
+            t[k + 1] = v >> _LIMB
+
+            m = (t[0] * self.n_prime) & _MASK
+            prod = m * self.n[0]
+            self.recorder.record(t[0], prod & _MASK)
+            carry = (t[0] + prod) >> _LIMB
+            for j in range(1, k):
+                prod = m * self.n[j]
+                self.recorder.record(t[j], prod & _MASK)
+                v = t[j] + prod + carry
+                t[j - 1] = v & _MASK
+                carry = v >> _LIMB
+            v = t[k] + carry
+            t[k - 1] = v & _MASK
+            t[k] = t[k + 1] + (v >> _LIMB)
+            t[k + 1] = 0
+        as_int = self._from_limbs(t[:k]) + (t[k] << (_LIMB * k))
+        if as_int >= self.modulus:
+            d, _ = self.sub_limbs(t[:k], self.n)  # recorded final reduction
+            return self._to_limbs(as_int - self.modulus)
+        return t[:k]
+
+    def to_mont(self, value: int) -> List[int]:
+        """Enter the Montgomery domain: value * R mod n."""
+        return self.mont_mul(self._to_limbs(value % self.modulus), self.r2)
+
+    def from_mont(self, x: List[int]) -> int:
+        """Leave the Montgomery domain: x * R^-1 mod n."""
+        one = [1] + [0] * (self.limbs - 1)
+        return self._from_limbs(self.mont_mul(x, one))
+
+    def mod_pow(self, base: int, exponent: int) -> int:
+        """Left-to-right square-and-multiply in Montgomery form."""
+        result = self.to_mont(1)
+        b = self.to_mont(base)
+        for bit in bin(exponent)[2:]:
+            result = self.mont_mul(result, result)
+            if bit == "1":
+                result = self.mont_mul(result, b)
+        return self.from_mont(result)
+
+    def mod_inv(self, value: int) -> int:
+        """Modular inverse by Fermat (modulus assumed prime here)."""
+        return self.mod_pow(value, self.modulus - 2)
+
+
+# --------------------------------------------------------------- workloads
+
+#: 256-bit RSA-style modulus (product of two fixed 128-bit primes) — small
+#: but structurally identical to production keys; fixed for reproducibility.
+_RSA_P = 0xF5095887AF653B3C9434E14211DF86B9
+_RSA_Q = 0xF613D18FA26A355FC3EEBE10408D6DC1
+_RSA_N = _RSA_P * _RSA_Q
+_RSA_E = 65537
+
+#: 256-bit safe prime (p = 2q + 1) for Diffie-Hellman, searched offline once.
+_DH_P = 0xB4C10DC6787AC756DBF70696188959B1C88D7739AA33C197789B165BE0775CA7
+_DH_G = 5
+
+#: secp192r1 prime field for the elliptic-curve workloads.
+_EC_P = 2 ** 192 - 2 ** 64 - 1
+_EC_A = -3 % _EC_P
+_EC_B = 0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1
+_EC_GX = 0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012
+_EC_GY = 0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811
+_EC_ORDER = 0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831
+
+
+def _ec_point_ops(bn: InstrumentedBignum, scalar: int,
+                  point: Tuple[int, int]) -> Tuple[int, int]:
+    """Scalar multiplication (double-and-add, Jacobian coordinates)."""
+    a_mont = bn.to_mont(_EC_A)
+
+    def dbl(P):
+        X, Y, Z = P
+        ysq = bn.mont_mul(Y, Y)
+        s = bn.mont_mul(X, ysq)
+        s = bn.mod_add(s, s)
+        s = bn.mod_add(s, s)
+        xsq = bn.mont_mul(X, X)
+        zsq = bn.mont_mul(Z, Z)
+        z4 = bn.mont_mul(zsq, zsq)
+        m = bn.mod_add(bn.mod_add(xsq, xsq), xsq)
+        m = bn.mod_add(m, bn.mont_mul(a_mont, z4))
+        x2 = bn.mod_sub(bn.mont_mul(m, m), bn.mod_add(s, s))
+        ysq2 = bn.mont_mul(ysq, ysq)
+        y8 = bn.mod_add(ysq2, ysq2)
+        y8 = bn.mod_add(y8, y8)
+        y8 = bn.mod_add(y8, y8)
+        y2 = bn.mod_sub(bn.mont_mul(m, bn.mod_sub(s, x2)), y8)
+        z2 = bn.mont_mul(bn.mod_add(Y, Y), Z)
+        return (x2, y2, z2)
+
+    def add(P, Q):
+        X1, Y1, Z1 = P
+        X2, Y2, Z2 = Q
+        z1sq = bn.mont_mul(Z1, Z1)
+        z2sq = bn.mont_mul(Z2, Z2)
+        u1 = bn.mont_mul(X1, z2sq)
+        u2 = bn.mont_mul(X2, z1sq)
+        s1 = bn.mont_mul(Y1, bn.mont_mul(z2sq, Z2))
+        s2 = bn.mont_mul(Y2, bn.mont_mul(z1sq, Z1))
+        h = bn.mod_sub(u2, u1)
+        r = bn.mod_sub(s2, s1)
+        hsq = bn.mont_mul(h, h)
+        hcu = bn.mont_mul(hsq, h)
+        u1hsq = bn.mont_mul(u1, hsq)
+        x3 = bn.mod_sub(bn.mod_sub(bn.mont_mul(r, r), hcu),
+                        bn.mod_add(u1hsq, u1hsq))
+        y3 = bn.mod_sub(bn.mont_mul(r, bn.mod_sub(u1hsq, x3)),
+                        bn.mont_mul(s1, hcu))
+        z3 = bn.mont_mul(bn.mont_mul(Z1, Z2), h)
+        return (x3, y3, z3)
+
+    gx, gy = point
+    base = (bn.to_mont(gx), bn.to_mont(gy), bn.to_mont(1))
+    acc = None
+    for bit in bin(scalar)[2:]:
+        if acc is not None:
+            acc = dbl(acc)
+        if bit == "1":
+            acc = base if acc is None else add(acc, base)
+    assert acc is not None
+    X, Y, Z = acc
+    z = bn.from_mont(Z)
+    zinv = bn.mod_inv(z)
+    zinv2 = (zinv * zinv) % bn.modulus
+    x_aff = (bn.from_mont(X) * zinv2) % bn.modulus
+    y_aff = (bn.from_mont(Y) * zinv2 * zinv) % bn.modulus
+    return x_aff, y_aff
+
+
+def rsa_trace(messages: int = 4, limit: int = 200_000,
+              seed: int = 2012) -> CryptoTrace:
+    """RSA encrypt + decrypt operand trace (256-bit modulus)."""
+    rng = random.Random(seed)
+    recorder = _Recorder(limit)
+    bn = InstrumentedBignum(_RSA_N, recorder)
+    d = pow(_RSA_E, -1, (_RSA_P - 1) * (_RSA_Q - 1))
+    for _ in range(messages):
+        m = rng.randrange(2, _RSA_N - 1)
+        c = bn.mod_pow(m, _RSA_E)
+        m2 = bn.mod_pow(c, d)
+        if m2 != m:
+            raise AssertionError("RSA round-trip failed — instrumentation bug")
+    a, b = recorder.arrays()
+    return CryptoTrace("RSA", a, b)
+
+
+def diffie_hellman_trace(exchanges: int = 2, limit: int = 200_000,
+                         seed: int = 2012) -> CryptoTrace:
+    """Diffie-Hellman key-exchange operand trace (256-bit group)."""
+    rng = random.Random(seed)
+    recorder = _Recorder(limit)
+    bn = InstrumentedBignum(_DH_P, recorder)
+    for _ in range(exchanges):
+        x = rng.randrange(2, _DH_P - 2)
+        y = rng.randrange(2, _DH_P - 2)
+        gx = bn.mod_pow(_DH_G, x)
+        gy = bn.mod_pow(_DH_G, y)
+        kx = bn.mod_pow(gy, x)
+        ky = bn.mod_pow(gx, y)
+        if kx != ky:
+            raise AssertionError("DH keys disagree — instrumentation bug")
+    a, b = recorder.arrays()
+    return CryptoTrace("DH", a, b)
+
+
+def ec_elgamal_trace(messages: int = 1, limit: int = 200_000,
+                     seed: int = 2012) -> CryptoTrace:
+    """EC ElGamal encrypt/decrypt operand trace (secp192 field)."""
+    rng = random.Random(seed)
+    recorder = _Recorder(limit)
+    bn = InstrumentedBignum(_EC_P, recorder)
+    g = (_EC_GX, _EC_GY)
+    for _ in range(messages):
+        priv = rng.randrange(2, _EC_ORDER - 1)
+        pub = _ec_point_ops(bn, priv, g)
+        k = rng.randrange(2, _EC_ORDER - 1)
+        _c1 = _ec_point_ops(bn, k, g)
+        _shared = _ec_point_ops(bn, k, pub)
+    a, b = recorder.arrays()
+    return CryptoTrace("ECELGP", a, b)
+
+
+def ecdsa_trace(signatures: int = 1, limit: int = 200_000,
+                seed: int = 2012) -> CryptoTrace:
+    """ECDSA sign operand trace (secp192 field + order arithmetic)."""
+    rng = random.Random(seed)
+    recorder = _Recorder(limit)
+    bn_field = InstrumentedBignum(_EC_P, recorder)
+    bn_order = InstrumentedBignum(_EC_ORDER, recorder)
+    g = (_EC_GX, _EC_GY)
+    for _ in range(signatures):
+        priv = rng.randrange(2, _EC_ORDER - 1)
+        digest = rng.randrange(1, _EC_ORDER - 1)
+        k = rng.randrange(2, _EC_ORDER - 1)
+        rx, _ = _ec_point_ops(bn_field, k, g)
+        r = rx % _EC_ORDER
+        kinv = bn_order.mod_inv(k)
+        rm = bn_order.mont_mul(bn_order.to_mont(r), bn_order.to_mont(priv))
+        s_inner = bn_order.mod_add(bn_order.to_mont(digest), rm)
+        _s = (bn_order.from_mont(s_inner) * kinv) % _EC_ORDER
+    a, b = recorder.arrays()
+    return CryptoTrace("ECDSP", a, b)
+
+
+WORKLOADS: Dict[str, Callable[..., CryptoTrace]] = {
+    "RSA": rsa_trace,
+    "DH": diffie_hellman_trace,
+    "ECELGP": ec_elgamal_trace,
+    "ECDSP": ecdsa_trace,
+}

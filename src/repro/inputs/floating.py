@@ -1,0 +1,115 @@
+"""Floating-point significand-addition operand streams (thesis Ch. 8).
+
+The thesis' first future-work item: "generalize the speculative and
+reliable variable latency carry select addition for floating-point
+numbers".  The carry-propagate addition inside an FP adder operates on
+*aligned significands*: the smaller operand's significand is shifted
+right by the exponent difference before the fixed-point add.  That
+alignment changes the operand statistics completely — the shifted-in
+zeros above the smaller significand and the hidden leading 1s give a very
+different carry-chain profile than uniform integers.
+
+:func:`fp_significand_trace` runs the alignment step of an IEEE-style
+binary32/binary64 adder over a stream of (optionally correlated)
+floating-point values and returns the aligned significand pairs the
+carry-propagate adder would see, so VLCSA can be evaluated *in situ* for
+the thesis' future-work target (``benchmarks/test_ext_floating_point.py``).
+Effective-subtraction cases use the standard one's-complement-plus-one
+formulation, so their sign-extension-free operand pairs are also
+captured faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.model.behavioral import mask_top, num_limbs
+
+_U64 = np.uint64
+
+#: (significand bits incl. hidden 1, exponent bits) per format
+FORMATS = {
+    "binary32": (24, 8),
+    "binary64": (53, 11),
+}
+
+
+@dataclass
+class FpAlignment:
+    """Aligned significand pairs of an FP-add stream.
+
+    ``width`` is the adder width the FP datapath needs: significand bits
+    plus guard/round/sticky headroom (+3) plus the carry-out position.
+    ``a``/``b`` are packed operand arrays; ``effective_subtract`` marks
+    the operations where signs differ (the subtraction datapath).
+    """
+
+    width: int
+    a: np.ndarray
+    b: np.ndarray
+    effective_subtract: np.ndarray
+
+
+def _decompose(values: np.ndarray, sig_bits: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(sign, exponent, significand-with-hidden-1) of finite normals."""
+    finite = np.isfinite(values) & (values != 0.0)
+    vals = np.where(finite, values, 1.0)
+    mant, exp = np.frexp(np.abs(vals))  # mant in [0.5, 1)
+    sig = np.rint(mant * (1 << sig_bits)).astype(np.uint64)  # hidden 1 at top
+    return (vals < 0), exp.astype(np.int64), sig
+
+
+def fp_significand_trace(
+    samples: int,
+    fmt: str = "binary32",
+    scale_spread: float = 4.0,
+    rng: Optional[np.random.Generator] = None,
+) -> FpAlignment:
+    """Aligned significand-addition operands of an FP-add stream.
+
+    Values are log-normal-ish (magnitudes spread over ``scale_spread``
+    decades) with random signs — the generic numerical-kernel profile.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; use one of {sorted(FORMATS)}")
+    sig_bits, _ = FORMATS[fmt]
+    gen = rng if rng is not None else np.random.default_rng()
+    width = sig_bits + 4  # guard/round/sticky + carry headroom
+
+    magnitudes = 10.0 ** gen.normal(0.0, scale_spread / 2.0, size=2 * samples)
+    signs = gen.random(2 * samples) < 0.5
+    values = np.where(signs, -magnitudes, magnitudes)
+    x, y = values[:samples], values[samples:]
+
+    sx, ex, mx = _decompose(x, sig_bits)
+    sy, ey, my = _decompose(y, sig_bits)
+
+    # align: smaller exponent's significand shifts right
+    diff = ex - ey
+    shift = np.abs(diff)
+    shift = np.minimum(shift, width).astype(np.uint64)
+    big = np.where(diff >= 0, mx, my) << _U64(3)  # G/R/S headroom
+    small_raw = np.where(diff >= 0, my, mx) << _U64(3)
+    small = np.where(shift < 64, small_raw >> shift, _U64(0))
+
+    effective_subtract = sx != sy
+    # effective subtraction: add the one's complement of the smaller
+    # significand (the +1 enters as the adder's carry-in; carry chains are
+    # unaffected by that detail at the operand-statistics level)
+    mask = _U64((1 << width) - 1)
+    small_op = np.where(effective_subtract, (~small) & mask, small & mask)
+
+    limbs = num_limbs(width)
+    a = np.zeros((samples, limbs), dtype=_U64)
+    b = np.zeros((samples, limbs), dtype=_U64)
+    a[:, 0] = big & mask
+    b[:, 0] = small_op
+    return FpAlignment(
+        width=width,
+        a=mask_top(a, width),
+        b=mask_top(b, width),
+        effective_subtract=effective_subtract,
+    )

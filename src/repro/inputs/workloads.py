@@ -1,0 +1,103 @@
+"""Synthetic application operand traces (extension to thesis Ch. 6.2).
+
+Thesis references [6] and [9] observe that practical adder operands are
+dominated by small, often signed values.  Besides the cryptographic
+kernels of :mod:`repro.inputs.crypto`, this module generates three more
+application-shaped 2's-complement operand streams the thesis' discussion
+implies but does not evaluate:
+
+* **address arithmetic** — a base pointer plus small mixed-sign strides,
+  the classic AGU workload (long sign-extension chains on negative
+  strides);
+* **audio DSP** — 16-bit-ish signed samples accumulated pairwise, small
+  magnitudes around zero;
+* **loop counters** — monotone counters incremented by tiny constants,
+  the extreme small-operand case.
+
+All return packed operand pairs ``(a, b)`` ready for
+:mod:`repro.model.behavioral`, so VLCSA 1/2 stall rates on "real program"
+shapes can be measured (``benchmarks/test_ext_workload_stalls.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.inputs.generators import twos_complement_encode
+from repro.model.behavioral import mask_top, num_limbs
+
+_U64 = np.uint64
+
+
+def _encode_pairs(lhs: np.ndarray, rhs: np.ndarray, width: int):
+    return (
+        twos_complement_encode(lhs.astype(np.int64), width),
+        twos_complement_encode(rhs.astype(np.int64), width),
+    )
+
+
+def address_trace(
+    width: int,
+    samples: int,
+    heap_bits: int = 32,
+    max_stride: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pointer-plus-stride operand pairs (mixed-sign strides).
+
+    Models address generation: a live pointer random-walks around a heap
+    base while offsets of both signs (array indexing forwards and
+    backwards) are added.
+    """
+    if heap_bits >= width:
+        raise ValueError("heap_bits must leave sign headroom below width")
+    gen = rng if rng is not None else np.random.default_rng()
+    base = int(gen.integers(1 << (heap_bits - 2), 1 << (heap_bits - 1)))
+    strides = gen.integers(-max_stride, max_stride + 1, size=samples)
+    pointers = base + np.cumsum(strides)
+    # keep pointers positive and inside the heap
+    pointers = np.clip(pointers, 1 << 8, (1 << heap_bits) - 1)
+    offsets = gen.integers(-max_stride, max_stride + 1, size=samples)
+    return _encode_pairs(pointers, offsets, width)
+
+
+def audio_trace(
+    width: int,
+    samples: int,
+    amplitude_bits: int = 15,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Adjacent-sample sums of a synthetic audio signal (signed, small)."""
+    gen = rng if rng is not None else np.random.default_rng()
+    t = np.arange(samples + 1)
+    amp = float(1 << amplitude_bits)
+    signal = (
+        0.6 * np.sin(2 * math.pi * t / 97.0)
+        + 0.3 * np.sin(2 * math.pi * t / 31.0)
+        + 0.1 * gen.standard_normal(samples + 1)
+    )
+    quantized = np.rint(np.clip(signal, -1.0, 1.0) * (amp - 1)).astype(np.int64)
+    return _encode_pairs(quantized[:-1], quantized[1:], width)
+
+
+def counter_trace(
+    width: int,
+    samples: int,
+    max_increment: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Loop-counter increments: a monotone counter plus tiny constants."""
+    gen = rng if rng is not None else np.random.default_rng()
+    increments = gen.integers(1, max_increment + 1, size=samples)
+    counters = np.cumsum(increments) % (1 << min(width - 2, 40))
+    return _encode_pairs(counters, increments, width)
+
+
+APPLICATION_TRACES = {
+    "address": address_trace,
+    "audio": audio_trace,
+    "counter": counter_trace,
+}

@@ -1,0 +1,105 @@
+"""Carry-chain-length statistics (thesis Ch. 6.1-6.3, Figs. 6.1-6.5).
+
+Definition (the one behind the thesis' dot-graph discussion): a *carry
+chain* starts at a bit position that generates a carry (``g_j = 1``) and
+extends through the maximal run of consecutive propagate positions above
+it; its length is ``1 + run`` (a lone generate is a chain of length 1).
+The histograms of these lengths are what distinguish the input classes —
+a geometric tail for uniform operands versus the bimodal,
+full-width-reaching shape of 2's-complement Gaussian operands.
+
+Operands arrive as the packed ``(samples, limbs)`` arrays of
+:mod:`repro.model.behavioral`; any width is supported (the thesis'
+figures use 32, the ablations also profile 512-bit operands).  The
+algorithms are shift-and-mask sweeps: O(width) vector passes of O(limbs)
+work each.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.model.behavioral import mask_top, num_limbs, shift_right_packed
+
+_U64 = np.uint64
+_LIMB_BITS = 64
+
+
+def _pg_padded(a: np.ndarray, b: np.ndarray, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Propagate/generate masks with one spare zero limb above ``width``.
+
+    The spare limb lets position ``width`` participate in "run ends here"
+    logic even when ``width`` is a multiple of 64.
+    """
+    a2 = np.asarray(a, dtype=_U64)
+    b2 = np.asarray(b, dtype=_U64)
+    # 1-D inputs are per-sample single-limb values (width <= 64).
+    if a2.ndim == 1:
+        a2 = a2.reshape(-1, 1)
+    if b2.ndim == 1:
+        b2 = b2.reshape(-1, 1)
+    limbs = num_limbs(width)
+    if a2.shape[1] < limbs or b2.shape[1] < limbs:
+        raise ValueError("operand arrays narrower than the stated width")
+    samples = a2.shape[0]
+    p = np.zeros((samples, limbs + 1), dtype=_U64)
+    g = np.zeros((samples, limbs + 1), dtype=_U64)
+    p[:, :limbs] = a2[:, :limbs] ^ b2[:, :limbs]
+    g[:, :limbs] = a2[:, :limbs] & b2[:, :limbs]
+    mask_top(p[:, :limbs], width)
+    mask_top(g[:, :limbs], width)
+    return p, g
+
+
+def chain_length_counts(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """Count carry chains by length over a batch of additions.
+
+    Returns ``counts`` of shape ``(width + 1,)`` where ``counts[L]`` is
+    the number of chains of length ``L`` across all samples
+    (``counts[0]`` is always 0).
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    p, g = _pg_padded(a, b, width)
+    counts = np.zeros(width + 1, dtype=np.int64)
+    # runs[t] == 1 iff p_t .. p_{t+r-1} are all 1 (all-ones at r = 0).
+    runs = np.full_like(p, ~_U64(0))
+    for r in range(width):
+        # Exact run of r propagates starting at t: runs_r & ~p_{t+r}.
+        not_next = ~shift_right_packed(p, r)
+        exact = runs & not_next
+        # Chain of length r+1: generate at j, exact run at j+1.
+        chains = g & shift_right_packed(exact, 1)
+        counts[r + 1] = int(np.bitwise_count(chains).sum())
+        runs &= shift_right_packed(p, r)
+        if not runs.any():
+            break
+    return counts
+
+
+def chain_length_histogram(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """Fraction of chains at each length (``shape (width + 1,)``)."""
+    counts = chain_length_counts(a, b, width)
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts, dtype=float)
+    return counts / total
+
+
+def longest_chain_lengths(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """Per-sample longest carry chain length (0 when no carry is generated)."""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    p, g = _pg_padded(a, b, width)
+    longest = np.zeros(p.shape[0], dtype=np.int64)
+    runs = np.full_like(p, ~_U64(0))
+    for r in range(width):
+        chains = g & shift_right_packed(runs, 1)
+        alive = np.any(chains != 0, axis=1)
+        if not alive.any():
+            break
+        longest[alive] = r + 1
+        runs &= shift_right_packed(p, r)
+    return longest

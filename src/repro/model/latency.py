@@ -1,0 +1,137 @@
+"""Variable-latency timing model and stall simulator (thesis Ch. 5.3/6.7).
+
+The thesis' operating model: the clock period is set slightly above the
+longer of the speculative and detection paths; speculative results complete
+in one cycle; a flagged error stalls one extra cycle while recovery (whose
+path must fit in two cycles) completes.  Average cycle: Eq. 5.2 —
+
+    T_ave = (1 + P_err) * T_clk
+
+:class:`VariableLatencyAdderSim` additionally walks a concrete operand
+stream's error flags and produces cycle-accurate counts, which the examples
+and the workload benchmarks use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariableLatencyTiming:
+    """Path delays of one variable-latency adder (ns-like units).
+
+    * ``t_spec``    — speculative datapath critical delay,
+    * ``t_detect``  — error-detection critical delay,
+    * ``t_recover`` — recovery datapath critical delay,
+    * ``margin``    — clock guard band above max(t_spec, t_detect); the
+      thesis says "slightly longer", we default to 5%.
+    """
+
+    t_spec: float
+    t_detect: float
+    t_recover: float
+    margin: float = 1.05
+
+    @property
+    def t_clk(self) -> float:
+        """Clock period: margin * max(speculative, detection) path."""
+        return self.margin * max(self.t_spec, self.t_detect)
+
+    @property
+    def recovery_cycles(self) -> int:
+        """Cycles the recovery result needs (thesis requires <= 2)."""
+        return max(1, math.ceil(self.t_recover / self.t_clk))
+
+    @property
+    def recovery_fits_two_cycles(self) -> bool:
+        """Thesis Ch. 5.2 design constraint: T_recover < 2 * T_clk."""
+        return self.t_recover < 2.0 * self.t_clk
+
+
+def average_cycle(timing: VariableLatencyTiming, p_err: float) -> float:
+    """Thesis Eq. 5.2: effective cycle ``(1 + P_err) * T_clk``.
+
+    Valid when recovery fits in two cycles; when it does not, the stall
+    penalty grows to ``recovery_cycles - 1`` extra cycles.
+    """
+    if not 0.0 <= p_err <= 1.0:
+        raise ValueError(f"error rate must be in [0, 1], got {p_err}")
+    extra = timing.recovery_cycles - 1
+    return (1.0 + p_err * extra) * timing.t_clk
+
+
+@dataclass
+class SimResult:
+    """Cycle-accurate outcome of a simulated operand stream."""
+
+    operations: int
+    stalls: int
+    total_cycles: int
+    t_clk: float
+
+    @property
+    def stall_rate(self) -> float:
+        return self.stalls / self.operations if self.operations else 0.0
+
+    @property
+    def cycles_per_add(self) -> float:
+        return self.total_cycles / self.operations if self.operations else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        """Average wall-clock time per addition."""
+        return self.cycles_per_add * self.t_clk
+
+    def speedup_over(self, fixed_delay: float) -> float:
+        """Throughput ratio versus a fixed-latency adder of ``fixed_delay``.
+
+        The fixed adder completes one addition per ``fixed_delay``; the
+        variable-latency adder averages ``average_latency``.
+        """
+        if self.average_latency == 0.0:
+            raise ZeroDivisionError("simulated stream is empty")
+        return fixed_delay / self.average_latency
+
+
+class VariableLatencyAdderSim:
+    """Walk an error-flag stream through the one/two-cycle protocol."""
+
+    def __init__(self, timing: VariableLatencyTiming):
+        self.timing = timing
+
+    def run(self, error_flags: np.ndarray) -> SimResult:
+        """Simulate a stream: each flagged operation stalls extra cycles."""
+        flags = np.asarray(error_flags, dtype=bool)
+        operations = int(flags.size)
+        stalls = int(flags.sum())
+        extra = self.timing.recovery_cycles - 1
+        total_cycles = operations + stalls * extra
+        return SimResult(
+            operations=operations,
+            stalls=stalls,
+            total_cycles=total_cycles,
+            t_clk=self.timing.t_clk,
+        )
+
+    def run_predicted(self, p_err: float, operations: int) -> SimResult:
+        """The Eq. 5.2 expectation expressed as a :class:`SimResult`."""
+        stalls = round(p_err * operations)
+        extra = self.timing.recovery_cycles - 1
+        return SimResult(
+            operations=operations,
+            stalls=stalls,
+            total_cycles=operations + stalls * extra,
+            t_clk=self.timing.t_clk,
+        )
+
+
+def fixed_adder_sim(delay: float, operations: int) -> SimResult:
+    """A conventional adder as a degenerate one-cycle SimResult."""
+    return SimResult(
+        operations=operations, stalls=0, total_cycles=operations, t_clk=delay
+    )

@@ -1,0 +1,68 @@
+"""Gate-level netlist substrate.
+
+This package replaces the thesis' C++-to-Verilog-to-Design-Compiler flow with
+a pure-Python equivalent:
+
+* :mod:`repro.netlist.circuit`  — netlist construction (nets, gates, buses).
+* :mod:`repro.netlist.validate` — structural checks.
+* :mod:`repro.netlist.simulate` — bit-parallel functional simulation.
+* :mod:`repro.netlist.timing`   — static timing analysis (load-dependent).
+* :mod:`repro.netlist.area`     — cell-area accounting.
+* :mod:`repro.netlist.optimize` — peephole "synthesis" passes.
+
+Circuits are combinational DAGs; gates are instances of the cells in
+:mod:`repro.cells.library`.
+"""
+
+from repro.netlist.circuit import Circuit, Gate, NetlistError
+from repro.netlist.validate import check_circuit, unused_nets
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.timing import TimingReport, analyze_timing, critical_delay
+from repro.netlist.area import area, area_report, gate_counts
+from repro.netlist.optimize import optimize, OptimizeStats, buffer_fanout
+from repro.netlist.power import PowerReport, estimate_power
+from repro.netlist.clocked import ClockedDesign, RegisterSpec
+from repro.netlist.export import from_json, to_dot, to_json
+from repro.netlist.faults import Fault, FaultReport, enumerate_faults, fault_coverage
+from repro.netlist.bdd import (
+    BDD,
+    EquivalenceResult,
+    circuit_to_bdds,
+    interleaved_order,
+    prove_equivalent,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "NetlistError",
+    "check_circuit",
+    "unused_nets",
+    "simulate",
+    "simulate_batch",
+    "TimingReport",
+    "analyze_timing",
+    "critical_delay",
+    "area",
+    "area_report",
+    "gate_counts",
+    "optimize",
+    "OptimizeStats",
+    "buffer_fanout",
+    "PowerReport",
+    "estimate_power",
+    "BDD",
+    "EquivalenceResult",
+    "circuit_to_bdds",
+    "interleaved_order",
+    "prove_equivalent",
+    "ClockedDesign",
+    "RegisterSpec",
+    "to_json",
+    "from_json",
+    "to_dot",
+    "Fault",
+    "FaultReport",
+    "enumerate_faults",
+    "fault_coverage",
+]

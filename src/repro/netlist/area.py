@@ -1,0 +1,46 @@
+"""Cell-area accounting for netlists.
+
+Mirrors the thesis' area numbers (reported in µm² of UMC 65 nm cells) with
+the library of :mod:`repro.cells.library`.  Only relative areas between adder
+architectures are meaningful; DESIGN.md section 1 documents the substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit
+
+
+def area(circuit: Circuit, library: Optional[CellLibrary] = None) -> float:
+    """Total cell area of ``circuit`` in µm²-like units."""
+    lib = library if library is not None else default_library()
+    return sum(lib.area(gate.kind) for gate in circuit.gates)
+
+
+def gate_counts(circuit: Circuit) -> Dict[str, int]:
+    """Instance count per cell kind."""
+    return circuit.count_by_kind()
+
+
+def area_report(
+    circuit: Circuit, library: Optional[CellLibrary] = None
+) -> Dict[str, Tuple[int, float]]:
+    """Per-cell-kind (count, total area) breakdown, plus a ``TOTAL`` row."""
+    lib = library if library is not None else default_library()
+    rows: Dict[str, Tuple[int, float]] = {}
+    for kind, count in sorted(circuit.count_by_kind().items()):
+        rows[kind] = (count, count * lib.area(kind))
+    total_count = sum(c for c, _ in rows.values())
+    total_area = sum(a for _, a in rows.values())
+    rows["TOTAL"] = (total_count, total_area)
+    return rows
+
+
+def gate_equivalents(
+    circuit: Circuit, library: Optional[CellLibrary] = None
+) -> float:
+    """Area expressed in NAND2 gate equivalents."""
+    lib = library if library is not None else default_library()
+    return lib.gate_equivalents(area(circuit, lib))

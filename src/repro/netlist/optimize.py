@@ -1,0 +1,359 @@
+"""Peephole "synthesis" passes over netlists.
+
+The thesis hands its generated Verilog to Synopsys Design Compiler, which
+restructures logic during technology mapping.  This module provides the
+closest executable analogue: a small fixpoint optimizer with four passes —
+
+* **constant folding** — gates with constant inputs are evaluated away;
+* **inverter merging** — ``INV(INV(x)) → x`` and, for single-fanout inner
+  gates, ``INV(AND2) → NAND2``, ``INV(OR2) → NOR2``, ``INV(XOR2) → XNOR2``
+  (and the reverse direction when the inverted form feeds a lone INV);
+* **compound mapping** — ``OR2(AND2(a,b), c) → INV(AOI21(a,b,c))`` and the
+  AOI22/OAI21/OAI22 analogues, which is how mapped prefix adders actually
+  look on a standard-cell library;
+* **dead-gate elimination** — gates outside the transitive fanin of the
+  primary outputs are dropped.
+
+Each pass is a rebuild of the circuit, so the topological-order invariant is
+preserved by construction.  :func:`optimize` iterates the pipeline until the
+gate count stops improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.netlist.circuit import Circuit, Gate
+
+
+@dataclass
+class OptimizeStats:
+    """Before/after gate counts of an :func:`optimize` run."""
+
+    gates_before: int
+    gates_after: int
+    iterations: int
+
+    @property
+    def removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+def _copy_inputs(old: Circuit, new: Circuit) -> Dict[int, int]:
+    env: Dict[int, int] = {}
+    for name, nets in old.input_buses.items():
+        new_nets = new.add_input_bus(name, len(nets))
+        env.update(zip(nets, new_nets))
+    return env
+
+
+def _finish(old: Circuit, new: Circuit, env: Dict[int, int]) -> Circuit:
+    for name, nets in old.output_buses.items():
+        new.set_output_bus(name, [env[n] for n in nets])
+    return new
+
+
+def _live_outputs(circuit: Circuit) -> set:
+    """Net set in the transitive fanin of the primary outputs."""
+    live = set()
+    stack: List[int] = []
+    for nets in circuit.output_buses.values():
+        stack.extend(nets)
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = circuit.driver_of(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return live
+
+
+def strip_dead(circuit: Circuit) -> Circuit:
+    """Drop gates whose outputs reach no primary output."""
+    live = _live_outputs(circuit)
+    new = Circuit(circuit.name)
+    env = _copy_inputs(circuit, new)
+    for gate in circuit.gates:
+        if gate.output not in live:
+            continue
+        env[gate.output] = new.add_gate(gate.kind, [env[n] for n in gate.inputs])
+    return _finish(circuit, new, env)
+
+
+_CONST_EVAL: Dict[str, Callable[[List[Optional[int]]], Optional[int]]] = {}
+
+
+def _fold_gate(
+    new: Circuit, kind: str, ins: List[int], const: Dict[int, int]
+) -> Optional[int]:
+    """Return a replacement net if the gate simplifies, else None.
+
+    ``ins`` are *new-circuit* nets; ``const`` maps new nets to known 0/1.
+    """
+    vals = [const.get(n) for n in ins]
+
+    def c(bit: int) -> int:
+        return new.const1() if bit else new.const0()
+
+    if kind in ("CONST0", "CONST1"):
+        return None
+    if kind == "BUF":
+        return ins[0]
+    if kind == "INV" and vals[0] is not None:
+        return c(1 - vals[0])
+    if kind in ("AND2", "NAND2"):
+        inv = kind == "NAND2"
+        if 0 in vals:
+            return c(inv)
+        if vals[0] == 1 and vals[1] == 1:
+            return c(not inv)
+        if vals[0] == 1:
+            return new.not_(ins[1]) if inv else ins[1]
+        if vals[1] == 1:
+            return new.not_(ins[0]) if inv else ins[0]
+    if kind in ("OR2", "NOR2"):
+        inv = kind == "NOR2"
+        if 1 in vals:
+            return c(not inv)
+        if vals[0] == 0 and vals[1] == 0:
+            return c(inv)
+        if vals[0] == 0:
+            return new.not_(ins[1]) if inv else ins[1]
+        if vals[1] == 0:
+            return new.not_(ins[0]) if inv else ins[0]
+    if kind in ("XOR2", "XNOR2"):
+        inv = kind == "XNOR2"
+        if vals[0] is not None and vals[1] is not None:
+            return c((vals[0] ^ vals[1]) ^ inv)
+        for i, other in ((0, 1), (1, 0)):
+            if vals[i] is not None:
+                flip = vals[i] ^ inv
+                return new.not_(ins[other]) if flip else ins[other]
+    if kind == "MUX2":
+        sel, d0, d1 = ins
+        if vals[0] == 0:
+            return d0
+        if vals[0] == 1:
+            return d1
+        if d0 == d1:
+            return d0
+        if const.get(d0) == 0 and const.get(d1) == 1:
+            return sel
+        if const.get(d0) == 1 and const.get(d1) == 0:
+            return new.not_(sel)
+        if const.get(d1) == 1:
+            return new.or2(sel, d0)
+        if const.get(d1) == 0:
+            inv_sel = new.not_(sel)
+            return new.and2(inv_sel, d0)
+        if const.get(d0) == 1:
+            inv_sel = new.not_(sel)
+            return new.or2(inv_sel, d1)
+        if const.get(d0) == 0:
+            return new.and2(sel, d1)
+    return None
+
+
+def fold_constants(circuit: Circuit) -> Circuit:
+    """Evaluate away gates with constant or degenerate inputs."""
+    new = Circuit(circuit.name)
+    env = _copy_inputs(circuit, new)
+    const: Dict[int, int] = {}
+    for gate in circuit.gates:
+        ins = [env[n] for n in gate.inputs]
+        replacement = _fold_gate(new, gate.kind, ins, const)
+        if replacement is None:
+            replacement = new.add_gate(gate.kind, ins)
+        env[gate.output] = replacement
+        driver = new.driver_of(replacement)
+        if driver is not None and driver.kind == "CONST0":
+            const[replacement] = 0
+        elif driver is not None and driver.kind == "CONST1":
+            const[replacement] = 1
+    return _finish(circuit, new, env)
+
+
+_INV_MERGE = {"AND2": "NAND2", "OR2": "NOR2", "XOR2": "XNOR2",
+              "NAND2": "AND2", "NOR2": "OR2", "XNOR2": "XOR2"}
+
+
+def merge_inverters(circuit: Circuit) -> Circuit:
+    """Collapse INV chains and fuse lone inverters into adjacent gates."""
+    fanout = circuit.fanout_counts()
+    new = Circuit(circuit.name)
+    env = _copy_inputs(circuit, new)
+    for gate in circuit.gates:
+        ins = [env[n] for n in gate.inputs]
+        if gate.kind == "INV":
+            inner = circuit.driver_of(gate.inputs[0])
+            if inner is not None and fanout[gate.inputs[0]] == 1:
+                if inner.kind == "INV":
+                    env[gate.output] = env[inner.inputs[0]]
+                    continue
+                if inner.kind in _INV_MERGE:
+                    env[gate.output] = new.add_gate(
+                        _INV_MERGE[inner.kind], [env[n] for n in inner.inputs]
+                    )
+                    continue
+        env[gate.output] = new.add_gate(gate.kind, ins)
+    return _finish(circuit, new, env)
+
+
+def map_compound(circuit: Circuit) -> Circuit:
+    """Map AND-into-OR (and OR-into-AND) cones onto AOI/OAI cells.
+
+    Only single-fanout inner gates are absorbed, so the transformation never
+    duplicates logic.  The INV completing the compound cell is emitted
+    explicitly; a following :func:`merge_inverters` pass may fuse it onward.
+    """
+    fanout = circuit.fanout_counts()
+    new = Circuit(circuit.name)
+    env = _copy_inputs(circuit, new)
+
+    def absorbable(net: int, kind: str) -> Optional[Gate]:
+        gate = circuit.driver_of(net)
+        if gate is not None and gate.kind == kind and fanout[net] == 1:
+            return gate
+        return None
+
+    for gate in circuit.gates:
+        ins = [env[n] for n in gate.inputs]
+        if gate.kind == "OR2":
+            left = absorbable(gate.inputs[0], "AND2")
+            right = absorbable(gate.inputs[1], "AND2")
+            if left is not None and right is not None:
+                out = new.aoi22(
+                    env[left.inputs[0]], env[left.inputs[1]],
+                    env[right.inputs[0]], env[right.inputs[1]],
+                )
+                env[gate.output] = new.not_(out)
+                continue
+            if left is not None or right is not None:
+                inner = left if left is not None else right
+                other = ins[1] if left is not None else ins[0]
+                out = new.aoi21(env[inner.inputs[0]], env[inner.inputs[1]], other)
+                env[gate.output] = new.not_(out)
+                continue
+        if gate.kind == "AND2":
+            left = absorbable(gate.inputs[0], "OR2")
+            right = absorbable(gate.inputs[1], "OR2")
+            if left is not None and right is not None:
+                out = new.oai22(
+                    env[left.inputs[0]], env[left.inputs[1]],
+                    env[right.inputs[0]], env[right.inputs[1]],
+                )
+                env[gate.output] = new.not_(out)
+                continue
+            if left is not None or right is not None:
+                inner = left if left is not None else right
+                other = ins[1] if left is not None else ins[0]
+                out = new.oai21(env[inner.inputs[0]], env[inner.inputs[1]], other)
+                env[gate.output] = new.not_(out)
+                continue
+        env[gate.output] = new.add_gate(gate.kind, ins)
+    return _finish(circuit, new, env)
+
+
+def _expand_buffers(new: Circuit, src: int, count: int, max_fanout: int) -> List[int]:
+    """Return ``count`` buffer nets driven (via a tree) by ``src``."""
+    if count <= max_fanout:
+        return [new.buf(src) for _ in range(count)]
+    import math
+
+    mids = _expand_buffers(new, src, math.ceil(count / max_fanout), max_fanout)
+    return [new.buf(mids[i % len(mids)]) for i in range(count)]
+
+
+class _LeafAllocator:
+    """Round-robin assignment of a buffered net's sinks to tree leaves."""
+
+    def __init__(self, leaves: List[int]):
+        self.leaves = leaves
+        self._next = 0
+
+    def take(self) -> int:
+        net = self.leaves[self._next]
+        self._next = (self._next + 1) % len(self.leaves)
+        return net
+
+
+def buffer_fanout(circuit: Circuit, max_fanout: int = 8) -> Circuit:
+    """Insert balanced buffer trees on nets driving > ``max_fanout`` pins.
+
+    Mirrors the fanout repair every synthesis flow performs; without it the
+    load-dependent delay model punishes high-fanout nets (Sklansky prefix
+    nodes, SCSA window-select signals, the ERR selects of VLCSA 2) far
+    beyond what a mapped design would see.  Constants are exempt (they are
+    tie cells with no timing).
+    """
+    import math
+
+    if max_fanout < 2:
+        raise ValueError(f"max_fanout must be at least 2, got {max_fanout}")
+    fanout = circuit.fanout_counts()
+    new = Circuit(circuit.name)
+    env: Dict[int, int] = {}
+    allocators: Dict[int, _LeafAllocator] = {}
+
+    def provide(old_net: int, new_net: int) -> None:
+        f = fanout[old_net]
+        if f > max_fanout:
+            leaves = _expand_buffers(new, new_net, math.ceil(f / max_fanout), max_fanout)
+            allocators[old_net] = _LeafAllocator(leaves)
+        env[old_net] = new_net
+
+    def resolve(old_net: int) -> int:
+        alloc = allocators.get(old_net)
+        return alloc.take() if alloc is not None else env[old_net]
+
+    for name, nets in circuit.input_buses.items():
+        new_nets = new.add_input_bus(name, len(nets))
+        for old, fresh in zip(nets, new_nets):
+            provide(old, fresh)
+    for gate in circuit.gates:
+        ins = [resolve(n) for n in gate.inputs]
+        out = new.add_gate(gate.kind, ins)
+        if gate.kind in ("CONST0", "CONST1"):
+            env[gate.output] = out
+        else:
+            provide(gate.output, out)
+    for name, nets in circuit.output_buses.items():
+        new.set_output_bus(name, [resolve(n) for n in nets])
+    return new
+
+
+DEFAULT_PASSES = (fold_constants, merge_inverters, map_compound,
+                  merge_inverters, strip_dead)
+
+
+def optimize(
+    circuit: Circuit,
+    passes: Optional[List[Callable[[Circuit], Circuit]]] = None,
+    max_iterations: int = 8,
+    buffer_limit: Optional[int] = 8,
+) -> tuple[Circuit, OptimizeStats]:
+    """Run the pass pipeline to a gate-count fixpoint, then repair fanout.
+
+    ``buffer_limit`` is the maximum pin load allowed before a buffer tree is
+    inserted (``None`` disables the repair — fanout buffering runs once
+    *after* the fixpoint because it deliberately increases gate count).
+    Returns the optimized circuit and an :class:`OptimizeStats` record.  The
+    input circuit is never mutated.
+    """
+    pipeline = list(passes) if passes is not None else list(DEFAULT_PASSES)
+    before = circuit.num_gates
+    current = circuit
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        count = current.num_gates
+        for pass_fn in pipeline:
+            current = pass_fn(current)
+        if current.num_gates >= count:
+            break
+    if buffer_limit is not None:
+        current = buffer_fanout(current, buffer_limit)
+    return current, OptimizeStats(before, current.num_gates, iterations)

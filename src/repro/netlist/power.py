@@ -1,0 +1,119 @@
+"""Switching-activity-based dynamic power estimation (extension).
+
+The thesis situates variable-latency design among low-power techniques
+(Razor, soft DSP, probabilistic arithmetic — Ch. 2) but reports no power
+numbers.  This module adds the standard first-order estimate so the
+repository can answer the obvious follow-up question:
+
+    P_dyn ∝ f_clk * V² * Σ_nets  activity(net) * C_load(net)
+
+* ``activity`` — toggles per applied input vector, measured by simulating
+  a representative vector stream (bit-parallel, so one pass suffices);
+* ``C_load`` — fanout pins plus the driving cell's own output load, in
+  arbitrary femtofarad-like units proportional to cell area.
+
+Only *relative* comparisons between designs are meaningful, exactly as
+with the delay/area models (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.simulate import _eval_gate
+
+#: Load units per driven input pin (femtofarad-like).
+_PIN_LOAD = 1.0
+#: Self-load per unit of cell area (output diffusion etc.).
+_SELF_LOAD_PER_AREA = 0.25
+
+
+@dataclass
+class PowerReport:
+    """Outcome of :func:`estimate_power` on one circuit."""
+
+    circuit_name: str
+    vectors: int
+    total_toggles: int
+    #: activity-weighted capacitance, the technology-independent figure
+    switched_capacitance: float
+    #: per-net toggle counts (index = net id)
+    toggles: List[int]
+
+    @property
+    def toggles_per_vector(self) -> float:
+        transitions = max(1, self.vectors - 1)
+        return self.total_toggles / transitions
+
+    def dynamic_power(self, f_clk: float = 1.0, vdd: float = 1.0) -> float:
+        """``f * V^2 * C_switched`` per applied vector (arbitrary units)."""
+        transitions = max(1, self.vectors - 1)
+        return f_clk * vdd * vdd * self.switched_capacitance / transitions
+
+
+def estimate_power(
+    circuit: Circuit,
+    inputs: Mapping[str, Sequence[int]],
+    library: Optional[CellLibrary] = None,
+) -> PowerReport:
+    """Estimate switching activity under the given input vector stream.
+
+    ``inputs`` maps each input bus to a *sequence* of vectors; toggles are
+    counted between consecutive vectors (zero-delay model: each net
+    toggles at most once per vector, glitches are not modelled).
+    """
+    lib = library if library is not None else default_library()
+    in_buses = circuit.input_buses
+    if set(inputs) != set(in_buses):
+        raise NetlistError(
+            f"input buses mismatch: expected {sorted(in_buses)}, got {sorted(inputs)}"
+        )
+    lengths = {len(v) for v in inputs.values()}
+    if len(lengths) != 1:
+        raise NetlistError("all input streams must have equal length")
+    (num_vectors,) = lengths
+    if num_vectors < 2:
+        raise NetlistError("activity estimation needs at least two vectors")
+    ones = (1 << num_vectors) - 1
+    transition_mask = ones >> 1  # bits 0..W-2: transitions v -> v+1
+
+    values: List[int] = [0] * circuit.num_nets
+    for name, nets in in_buses.items():
+        width = len(nets)
+        masks = [0] * width
+        for v, value in enumerate(inputs[name]):
+            if not 0 <= value < (1 << width):
+                raise NetlistError(f"value {value} does not fit bus {name!r}")
+            for bit in range(width):
+                if (value >> bit) & 1:
+                    masks[bit] |= 1 << v
+        for bit, net in enumerate(nets):
+            values[net] = masks[bit]
+    for gate in circuit.gates:
+        operands = [values[n] for n in gate.inputs]
+        values[gate.output] = _eval_gate(gate.kind, operands, ones)
+
+    fanout = circuit.fanout_counts()
+    loads: List[float] = [fanout[n] * _PIN_LOAD for n in range(circuit.num_nets)]
+    for gate in circuit.gates:
+        loads[gate.output] += _SELF_LOAD_PER_AREA * lib.area(gate.kind)
+
+    toggles = [0] * circuit.num_nets
+    switched = 0.0
+    total = 0
+    for net in range(circuit.num_nets):
+        t = ((values[net] ^ (values[net] >> 1)) & transition_mask).bit_count()
+        toggles[net] = t
+        total += t
+        switched += t * loads[net]
+
+    return PowerReport(
+        circuit_name=circuit.name,
+        vectors=num_vectors,
+        total_toggles=total,
+        switched_capacitance=switched,
+        toggles=toggles,
+    )

@@ -1,0 +1,149 @@
+"""Static timing analysis over netlists.
+
+Arrival time of a gate output = max over its inputs' arrivals, plus the cell
+delay at the output's fanout load (see :mod:`repro.cells.library`).  Primary
+inputs arrive at time 0 (or per-bus offsets, which the variable-latency
+analyses use to model late carry-in signals).
+
+The report exposes per-net arrivals, the overall critical path, and — the
+query the thesis' evaluation needs — the worst arrival over a named output
+bus, so that the speculative, detection, and recovery paths of one VLCSA
+netlist can be reported separately (Fig. 7.4/7.8/7.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`analyze_timing` on one circuit."""
+
+    circuit_name: str
+    arrival: List[float]
+    #: per net: the input net through which the worst path arrives (or -1)
+    worst_input: List[int]
+    #: nets of each output bus, for path queries
+    output_buses: Dict[str, List[int]] = field(repr=False, default_factory=dict)
+    input_nets: frozenset = field(repr=False, default_factory=frozenset)
+
+    @property
+    def critical_delay(self) -> float:
+        """Worst arrival over all primary outputs."""
+        worst = 0.0
+        for nets in self.output_buses.values():
+            for net in nets:
+                worst = max(worst, self.arrival[net])
+        return worst
+
+    def bus_delay(self, name: str) -> float:
+        """Worst arrival over the named output bus."""
+        try:
+            nets = self.output_buses[name]
+        except KeyError:
+            raise NetlistError(
+                f"no output bus {name!r} in report for {self.circuit_name!r}"
+            ) from None
+        return max(self.arrival[net] for net in nets)
+
+    def buses_delay(self, names: Sequence[str]) -> float:
+        """Worst arrival over several output buses."""
+        return max(self.bus_delay(name) for name in names)
+
+    def path_to(self, net: int) -> List[int]:
+        """Nets along the worst path ending at ``net`` (input first)."""
+        path = [net]
+        while self.worst_input[path[-1]] >= 0:
+            path.append(self.worst_input[path[-1]])
+        path.reverse()
+        return path
+
+    def critical_path(self) -> List[int]:
+        """Nets along the overall critical path."""
+        worst_net, worst_t = None, -1.0
+        for nets in self.output_buses.values():
+            for net in nets:
+                if self.arrival[net] > worst_t:
+                    worst_net, worst_t = net, self.arrival[net]
+        if worst_net is None:
+            return []
+        return self.path_to(worst_net)
+
+    def logic_depth(self, name: Optional[str] = None) -> int:
+        """Gate count along the worst path (to one bus, or overall)."""
+        if name is None:
+            path = self.critical_path()
+        else:
+            nets = self.output_buses[name]
+            worst = max(nets, key=lambda n: self.arrival[n])
+            path = self.path_to(worst)
+        # The first net on the path is a primary input or constant.
+        return max(0, len(path) - 1)
+
+
+def analyze_timing(
+    circuit: Circuit,
+    library: Optional[CellLibrary] = None,
+    input_arrival: float | Mapping[str, float] = 0.0,
+) -> TimingReport:
+    """Run STA on ``circuit`` and return a :class:`TimingReport`.
+
+    ``input_arrival`` may be a scalar applied to every input bus, or a map
+    from bus name to arrival time (missing buses default to 0).
+    """
+    lib = library if library is not None else default_library()
+    fanout = circuit.fanout_counts()
+    arrival = [0.0] * circuit.num_nets
+    worst_input = [-1] * circuit.num_nets
+
+    input_nets = set()
+    for name, nets in circuit.input_buses.items():
+        if isinstance(input_arrival, Mapping):
+            t0 = float(input_arrival.get(name, 0.0))
+        else:
+            t0 = float(input_arrival)
+        for net in nets:
+            arrival[net] = t0
+            input_nets.add(net)
+
+    for gate in circuit.gates:
+        cell = lib[gate.kind]
+        delay = cell.delay(fanout[gate.output])
+        if gate.inputs:
+            worst_net = max(gate.inputs, key=lambda n: arrival[n])
+            arrival[gate.output] = arrival[worst_net] + delay
+            worst_input[gate.output] = worst_net
+        else:
+            arrival[gate.output] = delay
+
+    return TimingReport(
+        circuit_name=circuit.name,
+        arrival=arrival,
+        worst_input=worst_input,
+        output_buses=circuit.output_buses,
+        input_nets=frozenset(input_nets),
+    )
+
+
+def critical_delay(
+    circuit: Circuit, library: Optional[CellLibrary] = None
+) -> float:
+    """Convenience: the circuit's critical-path delay."""
+    return analyze_timing(circuit, library).critical_delay
+
+
+def describe_path(
+    circuit: Circuit, report: TimingReport, path: Sequence[int]
+) -> List[Tuple[str, str, float]]:
+    """Human-readable (net name, driving cell, arrival) rows for a path."""
+    rows = []
+    for net in path:
+        gate = circuit.driver_of(net)
+        kind = gate.kind if gate is not None else "<input>"
+        rows.append((circuit.net_name(net), kind, report.arrival[net]))
+    return rows

@@ -1,0 +1,83 @@
+"""Structural validation of netlists.
+
+Construction via :class:`repro.netlist.circuit.Circuit` already enforces
+topological order (no combinational loops, no use-before-drive), so these
+checks guard the remaining invariants: every declared output is driven,
+arities match the cell library, and nothing is floating.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit, GATE_ARITY, NetlistError
+
+
+def check_circuit(circuit: Circuit, library: Optional[CellLibrary] = None) -> None:
+    """Raise :class:`NetlistError` if the circuit is structurally invalid."""
+    lib = library if library is not None else default_library()
+
+    if not circuit.output_buses:
+        raise NetlistError(f"{circuit.name!r} declares no outputs")
+
+    seen_drivers = set()
+    for idx, gate in enumerate(circuit.gates):
+        if gate.kind not in GATE_ARITY:
+            raise NetlistError(f"gate {idx} has unknown kind {gate.kind!r}")
+        if gate.kind not in lib:
+            raise NetlistError(
+                f"gate {idx} kind {gate.kind!r} missing from library {lib.name!r}"
+            )
+        if len(gate.inputs) != lib[gate.kind].num_inputs:
+            raise NetlistError(
+                f"gate {idx} ({gate.kind}) arity mismatch with library cell"
+            )
+        if gate.output in seen_drivers:
+            raise NetlistError(
+                f"net {circuit.net_name(gate.output)} driven more than once"
+            )
+        seen_drivers.add(gate.output)
+        for net in gate.inputs:
+            if net >= gate.output and circuit.driver_of(net) is gate:
+                raise NetlistError(f"gate {idx} reads its own output")
+
+    for name, nets in circuit.output_buses.items():
+        for net in nets:
+            if not circuit.is_driven(net):
+                raise NetlistError(
+                    f"output {name!r} bit {circuit.net_name(net)} is undriven"
+                )
+
+
+def unused_nets(circuit: Circuit) -> List[int]:
+    """Nets that drive no gate input and no primary output.
+
+    A handful of unused nets is normal in generated structures (e.g. the
+    group-propagate of the most significant window feeds nothing); large
+    counts usually indicate a generator bug, so tests bound this.
+    """
+    fanout = circuit.fanout_counts()
+    return [net for net in range(circuit.num_nets) if fanout[net] == 0]
+
+
+def live_gate_fraction(circuit: Circuit) -> float:
+    """Fraction of gates in the transitive fanin of the primary outputs."""
+    if not circuit.gates:
+        return 1.0
+    live = set()
+    stack: List[int] = []
+    for nets in circuit.output_buses.values():
+        stack.extend(nets)
+    seen_nets = set(stack)
+    while stack:
+        net = stack.pop()
+        gate = circuit.driver_of(net)
+        if gate is None:
+            continue
+        live.add(gate.output)
+        for src in gate.inputs:
+            if src not in seen_nets:
+                seen_nets.add(src)
+                stack.append(src)
+    return len(live) / len(circuit.gates)

@@ -1,0 +1,25 @@
+"""Structural Verilog interchange.
+
+The thesis' C++ generators emit Verilog that Design Compiler consumes.  We
+keep that artifact: :func:`to_verilog` renders any netlist as synthesizable
+structural Verilog (continuous assignments over the cell functions), and
+:func:`from_verilog` reads the emitted subset back into a
+:class:`~repro.netlist.circuit.Circuit`, which the tests use to prove the
+emission is lossless.  :func:`to_testbench` additionally renders a
+self-checking testbench with vectors pre-computed by our simulator, so the
+designs can be validated under any external Verilog simulator.
+"""
+
+from repro.rtl.verilog import to_verilog, write_verilog
+from repro.rtl.reader import from_verilog, VerilogParseError
+from repro.rtl.testbench import to_testbench
+from repro.rtl.sequential import to_sequential_wrapper
+
+__all__ = [
+    "to_verilog",
+    "write_verilog",
+    "from_verilog",
+    "VerilogParseError",
+    "to_testbench",
+    "to_sequential_wrapper",
+]

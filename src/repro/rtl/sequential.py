@@ -1,0 +1,112 @@
+"""Sequential Verilog wrapper for variable-latency adders (thesis Fig. 5.3).
+
+The combinational cores this library generates need a small clocked shell
+to operate as the thesis' 1/2-cycle machine: operand registers, the
+VALID/STALL handshake, and the recovery-result register.  This module
+emits that shell as behavioural-but-synthesizable Verilog around any
+generated core with the ``sum``/``sum_rec``/``err`` port contract, giving
+downstream users a drop-in RTL block:
+
+* cycle 1 — operands captured; speculative ``sum`` and ``err`` settle;
+  if ``err`` is low, ``out_valid`` rises with the speculative result;
+* cycle 2 (only when ``err`` was high) — ``sum_rec`` (registered) is
+  presented and ``out_valid`` rises one cycle late; ``in_ready`` is
+  deasserted during the stall.
+
+We cannot run a Verilog simulator here; the emitted text is structurally
+tested, and the cycle behaviour it encodes is exactly the one
+:class:`repro.model.machine.VariableLatencyMachine` executes at gate level.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+REQUIRED = ("sum", "sum_rec", "err")
+
+
+def to_sequential_wrapper(circuit: Circuit, wrapper_name: str | None = None) -> str:
+    """Emit a clocked VALID/STALL wrapper instantiating ``circuit``.
+
+    The core itself must be emitted separately
+    (:func:`repro.rtl.to_verilog`); the wrapper references it by module
+    name.
+    """
+    outputs = circuit.output_buses
+    for port in REQUIRED:
+        if port not in outputs:
+            raise NetlistError(
+                f"{circuit.name!r} lacks variable-latency port {port!r}"
+            )
+    inputs = circuit.input_buses
+    if set(inputs) != {"a", "b"}:
+        raise NetlistError(f"{circuit.name!r} must have exactly inputs 'a' and 'b'")
+    width = len(inputs["a"])
+    out_width = len(outputs["sum"])
+    name = wrapper_name or f"{circuit.name}_seq"
+
+    lines = [
+        f"// clocked 1/2-cycle shell around {circuit.name} (thesis Fig. 5.3)",
+        f"module {name} (",
+        "  input  wire clk,",
+        "  input  wire rst_n,",
+        "  input  wire in_valid,",
+        f"  input  wire [{width - 1}:0] a,",
+        f"  input  wire [{width - 1}:0] b,",
+        "  output wire in_ready,",
+        "  output reg  out_valid,",
+        f"  output reg  [{out_width - 1}:0] result",
+        ");",
+        f"  reg [{width - 1}:0] a_q, b_q;",
+        "  reg op_live;      // an operation is in flight",
+        "  reg stalled;      // cycle-2 of a recovery",
+        f"  wire [{out_width - 1}:0] spec_sum;",
+        f"  wire [{out_width - 1}:0] rec_sum;",
+        "  wire err;",
+        "",
+        f"  {circuit.name} core (",
+        "    .a(a_q), .b(b_q),",
+        "    .sum(spec_sum), .sum_rec(rec_sum), .err(err)" +
+        (", .valid()" if "valid" in outputs else ""),
+        "  );",
+        "",
+        "  // ready drops only in the cycle a stall is first detected:",
+        "  // capturing then would clobber a_q/b_q while recovery still",
+        "  // needs them.  During the stalled cycle itself capture is safe",
+        "  // (rec_sum latches from the old operands at the same edge).",
+        "  assign in_ready = !(op_live && err && ~stalled);",
+        "",
+        "  always @(posedge clk or negedge rst_n) begin",
+        "    if (!rst_n) begin",
+        "      op_live   <= 1'b0;",
+        "      stalled   <= 1'b0;",
+        "      out_valid <= 1'b0;",
+        f"      result    <= {out_width}'d0;",
+        "    end else begin",
+        "      out_valid <= 1'b0;",
+        "      if (stalled) begin",
+        "        // cycle 2: recovery result is correct by construction",
+        "        result    <= rec_sum;",
+        "        out_valid <= 1'b1;",
+        "        stalled   <= 1'b0;",
+        "        op_live   <= 1'b0;",
+        "      end else if (op_live) begin",
+        "        if (err) begin",
+        "          stalled <= 1'b1;   // STALL: wait for recovery",
+        "        end else begin",
+        "          result    <= spec_sum;  // VALID: 1-cycle result",
+        "          out_valid <= 1'b1;",
+        "          op_live   <= 1'b0;",
+        "        end",
+        "      end",
+        "      if (in_valid && in_ready) begin",
+        "        a_q     <= a;",
+        "        b_q     <= b;",
+        "        op_live <= 1'b1;",
+        "      end",
+        "    end",
+        "  end",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""Delay/area complexity orderings the thesis' arguments rest on (Ch. 2-4)."""
+
+import pytest
+
+from repro.adders import (
+    build_brent_kung_adder,
+    build_carry_skip_adder,
+    build_kogge_stone_adder,
+    build_ripple_adder,
+    build_sklansky_adder,
+)
+from repro.netlist.area import area
+from repro.netlist.timing import analyze_timing, critical_delay
+
+
+def test_ripple_delay_is_linear_in_width():
+    d32 = critical_delay(build_ripple_adder(32))
+    d64 = critical_delay(build_ripple_adder(64))
+    assert d64 / d32 == pytest.approx(2.0, rel=0.15)
+
+
+def test_prefix_adders_beat_ripple_by_width_64():
+    ripple = critical_delay(build_ripple_adder(64))
+    for builder in (build_kogge_stone_adder, build_brent_kung_adder, build_sklansky_adder):
+        assert critical_delay(builder(64)) < ripple / 3
+
+
+def test_carry_skip_beats_ripple_at_width():
+    # Bypass cuts the worst-case chain to ~2*sqrt(n) blocks.
+    assert critical_delay(build_carry_skip_adder(64)) < critical_delay(
+        build_ripple_adder(64)
+    )
+
+
+def test_kogge_stone_is_fastest_prefix_variant():
+    """Thesis section 4.1: "Kogge-Stone adder is considered as the possible
+    fastest adder design in traditional adders"."""
+    for width in (64, 256):
+        ks = critical_delay(build_kogge_stone_adder(width))
+        assert ks <= critical_delay(build_brent_kung_adder(width))
+        assert ks <= critical_delay(build_sklansky_adder(width))
+
+
+def test_brent_kung_is_smallest_log_depth_variant():
+    for width in (64, 256):
+        bk = area(build_brent_kung_adder(width))
+        assert bk < area(build_kogge_stone_adder(width))
+        assert bk < area(build_sklansky_adder(width))
+
+
+def test_ripple_is_smallest_overall():
+    for width in (32, 128):
+        r = area(build_ripple_adder(width))
+        assert r < area(build_kogge_stone_adder(width))
+        assert r < area(build_brent_kung_adder(width))
+
+
+def test_logic_depth_of_kogge_stone_is_logarithmic():
+    # pg row + log2(n) prefix levels (2 gates per black cell) + sum xor
+    for width, bound in [(64, 2 + 2 * 6 + 1), (256, 2 + 2 * 8 + 1), (512, 2 + 2 * 9 + 1)]:
+        report = analyze_timing(build_kogge_stone_adder(width))
+        assert report.logic_depth() <= bound
+
+
+def test_scsa_depth_depends_on_window_not_width():
+    """Thesis section 4.3: SCSA critical path is O(log k), independent of n."""
+    from repro.core import build_scsa_adder
+
+    d128 = analyze_timing(build_scsa_adder(128, 16)).logic_depth()
+    d512 = analyze_timing(build_scsa_adder(512, 16)).logic_depth()
+    assert abs(d512 - d128) <= 1

@@ -1,0 +1,92 @@
+"""Tests for the carry-save reduction substrate (repro.adders.csa)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.adders.csa import (
+    add_final_prefix,
+    columns_to_rows,
+    full_adder_3to2,
+    half_adder,
+    reduce_columns,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import simulate
+
+
+def test_half_adder_truth_table():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    s, carry = half_adder(c, a, b)
+    c.set_output("s", s)
+    c.set_output("c", carry)
+    for x, y in itertools.product((0, 1), repeat=2):
+        out = simulate(c, {"a": x, "b": y})
+        assert out["s"] + 2 * out["c"] == x + y
+
+
+def test_full_adder_3to2_truth_table():
+    c = Circuit("t")
+    ins = [c.add_input(n) for n in "abd"]
+    s, carry = full_adder_3to2(c, *ins)
+    c.set_output("s", s)
+    c.set_output("c", carry)
+    for x, y, z in itertools.product((0, 1), repeat=3):
+        out = simulate(c, {"a": x, "b": y, "d": z})
+        assert out["s"] + 2 * out["c"] == x + y + z
+
+
+class TestReduceColumns:
+    def _column_sum_circuit(self, depths):
+        """Columns with the given depths, all bits as inputs."""
+        c = Circuit("t")
+        columns = []
+        names = []
+        for w, depth in enumerate(depths):
+            col = []
+            for j in range(depth):
+                name = f"x{w}_{j}"
+                col.append(c.add_input(name))
+                names.append((name, w))
+            columns.append(col)
+        return c, columns, names
+
+    @pytest.mark.parametrize("depths", [[3], [4, 4], [1, 5, 2], [7, 7, 7, 7]])
+    def test_reduction_preserves_weighted_sum(self, depths):
+        c, columns, names = self._column_sum_circuit(depths)
+        reduced = reduce_columns(c, columns)
+        assert all(len(col) <= 2 for col in reduced)
+        row_a, row_b = columns_to_rows(c, reduced)
+        sums = add_final_prefix(c, row_a, row_b)
+        c.set_output_bus("total", sums)
+        gen = random.Random(sum(depths))
+        for _ in range(40):
+            assignment = {name: gen.randint(0, 1) for name, _ in names}
+            want = sum(bit << w for (name, w), bit in
+                       ((pair, assignment[pair[0]]) for pair in names))
+            got = simulate(c, assignment)["total"]
+            assert got == want, assignment
+
+    def test_empty_and_shallow_columns_untouched(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        reduced = reduce_columns(c, [[a], [], [a, b]])
+        assert [len(col) for col in reduced] == [1, 0, 2]
+
+    def test_columns_to_rows_rejects_deep_columns(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        with pytest.raises(ValueError, match="reduced"):
+            columns_to_rows(c, [[a, a, a]])
+
+
+def test_add_final_prefix_mismatched_rows():
+    c = Circuit("t")
+    a = c.add_input_bus("a", 3)
+    b = c.add_input_bus("b", 2)
+    with pytest.raises(ValueError, match="equal width"):
+        add_final_prefix(c, a, b)

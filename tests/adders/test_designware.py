@@ -1,0 +1,79 @@
+"""Tests for the DesignWare virtual-synthesis substitute."""
+
+import pytest
+
+from repro.adders.designware import (
+    DESIGNWARE_CANDIDATES,
+    build_designware_adder,
+    designware_report,
+)
+from repro.netlist.simulate import simulate
+from repro.netlist.timing import critical_delay
+
+from tests.conftest import random_pairs
+
+
+def test_result_adds_correctly():
+    c = build_designware_adder(32)
+    for a, b in random_pairs(32, 80):
+        assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+
+def test_leaderboard_covers_all_candidates():
+    report = designware_report(32)
+    assert len(report.leaderboard) == len(DESIGNWARE_CANDIDATES)
+    names = [arch for arch, _, _ in report.leaderboard]
+    assert set(names) == set(DESIGNWARE_CANDIDATES)
+
+
+def test_leaderboard_sorted_by_delay():
+    report = designware_report(32)
+    delays = [d for _, d, _ in report.leaderboard]
+    assert delays == sorted(delays)
+
+
+def test_winner_is_fastest():
+    report = designware_report(64)
+    assert report.delay == report.leaderboard[0][1]
+    assert report.architecture == report.leaderboard[0][0]
+
+
+def test_never_picks_linear_time_architectures():
+    """Ripple and carry-skip can never win a minimal-delay synthesis."""
+    for width in (32, 128):
+        report = designware_report(width)
+        assert report.architecture not in ("ripple", "carry_skip")
+
+
+def test_faster_than_hybrid_carry_select():
+    """Thesis section 7.5: DesignWare beats the hand-built hybrid
+    Kogge-Stone carry-select adder."""
+    report = designware_report(64)
+    hybrid_delay = dict(
+        (arch, delay) for arch, delay, _ in report.leaderboard
+    )["hybrid_ks_select"]
+    assert report.delay < hybrid_delay
+
+
+def test_no_slower_than_unoptimized_kogge_stone():
+    from repro.adders import build_kogge_stone_adder
+
+    for width in (64, 256):
+        assert (
+            designware_report(width).delay
+            <= critical_delay(build_kogge_stone_adder(width)) + 1e-12
+        )
+
+
+def test_memoized_per_width():
+    assert designware_report(48) is designware_report(48)
+
+
+def test_custom_name():
+    c = build_designware_adder(16, name="dw16")
+    assert c.name == "dw16"
+
+
+def test_delay_monotone_nondecreasing_in_width():
+    d = [designware_report(w).delay for w in (16, 64, 256)]
+    assert d[0] <= d[1] <= d[2]

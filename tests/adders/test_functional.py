@@ -1,0 +1,128 @@
+"""Functional correctness of every conventional adder generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ADDER_GENERATORS
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.validate import check_circuit
+
+from tests.conftest import random_pairs
+
+GENERATORS = sorted(ADDER_GENERATORS)
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+def test_exhaustive_small_widths(name, width):
+    """Every generator adds exactly on all inputs at tiny widths."""
+    c = ADDER_GENERATORS[name](width)
+    check_circuit(c)
+    xs, ys = [], []
+    for a in range(1 << width):
+        for b in range(1 << width):
+            xs.append(a)
+            ys.append(b)
+    out = simulate_batch(c, {"a": xs, "b": ys})["sum"]
+    for a, b, s in zip(xs, ys, out):
+        assert s == a + b, (name, width, a, b)
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+@pytest.mark.parametrize("width", [8, 17, 32, 64])
+def test_random_and_corner_cases(name, width):
+    c = ADDER_GENERATORS[name](width)
+    pairs = random_pairs(width, 150, seed=width)
+    out = simulate_batch(
+        c, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+    )["sum"]
+    for (a, b), s in zip(pairs, out):
+        assert s == a + b, (name, width, a, b)
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+def test_sum_bus_width_is_n_plus_one(name):
+    c = ADDER_GENERATORS[name](12)
+    assert len(c.output_bus("sum")) == 13
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+def test_carry_out_is_top_bit(name):
+    c = ADDER_GENERATORS[name](8)
+    top = (1 << 8) - 1
+    assert simulate(c, {"a": top, "b": 1})["sum"] == 256
+    assert simulate(c, {"a": top, "b": top})["sum"] == 2 * top
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+def test_zero_identity(name):
+    c = ADDER_GENERATORS[name](16)
+    for v in (0, 1, 0x5555, 0xFFFF):
+        assert simulate(c, {"a": v, "b": 0})["sum"] == v
+        assert simulate(c, {"a": 0, "b": v})["sum"] == v
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+def test_invalid_width_rejected(name):
+    with pytest.raises(ValueError):
+        ADDER_GENERATORS[name](0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 48) - 1),
+)
+def test_kogge_stone_hypothesis_48bit(a, b):
+    from repro.adders import build_kogge_stone_adder
+
+    c = _KS48
+    assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+
+from repro.adders import build_kogge_stone_adder as _build_ks  # noqa: E402
+
+_KS48 = _build_ks(48)
+
+
+def test_ripple_with_cin():
+    from repro.adders import build_ripple_adder
+
+    c = build_ripple_adder(8, with_cin=True)
+    for a, b, cin in [(0, 0, 1), (255, 255, 1), (100, 27, 0), (100, 27, 1)]:
+        assert simulate(c, {"a": a, "b": b, "cin": cin})["sum"] == a + b + cin
+
+
+def test_carry_select_block_size_variants():
+    from repro.adders import build_carry_select_adder
+
+    for block in (2, 3, 5, 8, 16):
+        c = build_carry_select_adder(16, block=block)
+        pairs = random_pairs(16, 40, seed=block)
+        for a, b in pairs:
+            assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+
+def test_carry_select_kogge_stone_hybrid():
+    from repro.adders import build_carry_select_adder
+
+    c = build_carry_select_adder(32, sub_adder="kogge_stone")
+    for a, b in random_pairs(32, 60):
+        assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+
+def test_carry_select_unknown_sub_adder_rejected():
+    from repro.adders import build_carry_select_adder
+
+    with pytest.raises(ValueError, match="sub-adder"):
+        build_carry_select_adder(16, sub_adder="magic")
+
+
+def test_carry_skip_block_size_variants():
+    from repro.adders import build_carry_skip_adder
+
+    for block in (2, 4, 7):
+        c = build_carry_skip_adder(20, block=block)
+        for a, b in random_pairs(20, 40, seed=block):
+            assert simulate(c, {"a": a, "b": b})["sum"] == a + b

@@ -1,0 +1,88 @@
+"""Tests for multi-operand addition (repro.adders.multi_operand)."""
+
+import random
+
+import pytest
+
+from repro.adders.multi_operand import build_multi_operand_adder, result_width
+from repro.netlist.simulate import simulate
+from repro.netlist.validate import check_circuit
+
+
+def _feed(count, width, gen):
+    return {f"op{i}": gen.randrange(1 << width) for i in range(count)}
+
+
+class TestResultWidth:
+    @pytest.mark.parametrize(
+        "width,count,expected",
+        [(8, 2, 9), (8, 3, 10), (8, 4, 10), (8, 5, 11), (8, 8, 11), (8, 9, 12)],
+    )
+    def test_result_width(self, width, count, expected):
+        assert result_width(width, count) == expected
+
+    def test_bound_is_tight_enough(self):
+        # the maximum possible sum always fits
+        for count in (2, 3, 5, 9):
+            width = 6
+            max_sum = count * ((1 << width) - 1)
+            assert max_sum < (1 << result_width(width, count))
+
+
+class TestExact:
+    @pytest.mark.parametrize("count", [2, 3, 4, 7])
+    def test_random_sums(self, count):
+        width = 8
+        c = build_multi_operand_adder(width, count)
+        check_circuit(c)
+        gen = random.Random(count)
+        for _ in range(150):
+            feed = _feed(count, width, gen)
+            assert simulate(c, feed)["sum"] == sum(feed.values()), feed
+
+    def test_exhaustive_tiny(self):
+        c = build_multi_operand_adder(2, 3)
+        for a in range(4):
+            for b in range(4):
+                for d in range(4):
+                    got = simulate(c, {"op0": a, "op1": b, "op2": d})["sum"]
+                    assert got == a + b + d
+
+    def test_all_max_operands(self):
+        width, count = 10, 5
+        c = build_multi_operand_adder(width, count)
+        top = (1 << width) - 1
+        feed = {f"op{i}": top for i in range(count)}
+        assert simulate(c, feed)["sum"] == count * top
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            build_multi_operand_adder(0, 3)
+        with pytest.raises(ValueError):
+            build_multi_operand_adder(8, 1)
+        with pytest.raises(ValueError, match="final adder"):
+            build_multi_operand_adder(8, 3, final_adder="beads")
+
+
+class TestSpeculativeFinal:
+    def test_scsa_final_mostly_exact(self):
+        c = build_multi_operand_adder(8, 4, final_adder="scsa", window_size=6)
+        gen = random.Random(9)
+        wrong = sum(
+            simulate(c, feed)["sum"] != sum(feed.values())
+            for feed in (_feed(4, 8, gen) for _ in range(400))
+        )
+        assert wrong < 20
+
+    def test_vlcsa_final_reliable(self):
+        c = build_multi_operand_adder(8, 4, final_adder="vlcsa1", window_size=3)
+        gen = random.Random(10)
+        stalls = 0
+        for _ in range(300):
+            feed = _feed(4, 8, gen)
+            out = simulate(c, feed)
+            assert out["sum_rec"] == sum(feed.values())
+            if not out["err"]:
+                assert out["sum"] == sum(feed.values())
+            stalls += out["err"]
+        assert stalls > 0

@@ -1,0 +1,118 @@
+"""Tests for the Wallace multiplier extension (repro.adders.multiplier)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders.multiplier import build_multiplier
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.validate import check_circuit
+
+
+class TestExactMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+    def test_exhaustive_small(self, width):
+        c = build_multiplier(width)
+        check_circuit(c)
+        xs, ys = [], []
+        for a in range(1 << width):
+            for b in range(1 << width):
+                xs.append(a)
+                ys.append(b)
+        out = simulate_batch(c, {"a": xs, "b": ys})["product"]
+        for a, b, p in zip(xs, ys, out):
+            assert p == a * b, (width, a, b)
+
+    @pytest.mark.parametrize("width", [8, 12, 16])
+    def test_random_large(self, width):
+        c = build_multiplier(width)
+        gen = random.Random(width)
+        for _ in range(150):
+            a = gen.randrange(1 << width)
+            b = gen.randrange(1 << width)
+            assert simulate(c, {"a": a, "b": b})["product"] == a * b
+
+    @pytest.mark.parametrize("network", ["brent_kung", "sklansky"])
+    def test_alternative_final_prefix(self, network):
+        c = build_multiplier(8, final_adder=network)
+        gen = random.Random(3)
+        for _ in range(80):
+            a, b = gen.randrange(256), gen.randrange(256)
+            assert simulate(c, {"a": a, "b": b})["product"] == a * b
+
+    def test_corner_cases(self):
+        c = build_multiplier(10)
+        top = (1 << 10) - 1
+        for a, b in [(0, 0), (top, top), (top, 1), (1, top), (0, top)]:
+            assert simulate(c, {"a": a, "b": b})["product"] == a * b
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_multiplier(0)
+
+    def test_unknown_final_adder_rejected(self):
+        with pytest.raises(ValueError, match="final adder"):
+            build_multiplier(8, final_adder="abacus")
+
+
+class TestSpeculativeMultiplier:
+    def test_scsa_final_mostly_exact(self):
+        c = build_multiplier(8, final_adder="scsa", window_size=6)
+        gen = random.Random(5)
+        wrong = 0
+        for _ in range(500):
+            a, b = gen.randrange(256), gen.randrange(256)
+            wrong += simulate(c, {"a": a, "b": b})["product"] != a * b
+        assert wrong < 25  # speculative product errors are rare
+
+    def test_vlcsa_final_is_reliable(self):
+        c = build_multiplier(8, final_adder="vlcsa1", window_size=4)
+        check_circuit(c)
+        gen = random.Random(6)
+        stalls = 0
+        for _ in range(400):
+            a, b = gen.randrange(256), gen.randrange(256)
+            out = simulate(c, {"a": a, "b": b})
+            assert out["product_rec"] == a * b
+            if not out["err"]:
+                assert out["product"] == a * b
+            stalls += out["err"]
+        assert stalls > 0  # k=4 on a 16-bit product must stall sometimes
+
+    def test_default_window_size_solved_from_product_width(self):
+        c = build_multiplier(16, final_adder="scsa")  # no explicit k
+        gen = random.Random(7)
+        for _ in range(60):
+            a, b = gen.randrange(1 << 16), gen.randrange(1 << 16)
+            got = simulate(c, {"a": a, "b": b})["product"]
+            # at the 0.01% operating point 60 draws should all be exact
+            assert got == a * b
+
+
+class TestMultiplierStructure:
+    def test_speculative_final_no_slower_and_smaller(self):
+        """Extension finding: with carry-save arrival skew the speculative
+        final adder's delay win largely vanishes (the Wallace tree
+        dominates), but its area win survives."""
+        from repro.netlist.area import area
+        from repro.netlist.optimize import optimize
+        from repro.netlist.timing import analyze_timing
+
+        exact, _ = optimize(build_multiplier(16))
+        spec, _ = optimize(build_multiplier(16, final_adder="scsa", window_size=8))
+        d_exact = analyze_timing(exact).critical_delay
+        d_spec = analyze_timing(spec).critical_delay
+        assert d_spec <= d_exact * 1.05
+        assert area(spec) < area(exact)
+
+    def test_product_bus_width(self):
+        c = build_multiplier(8)
+        assert len(c.output_bus("product")) == 16
+
+    def test_width_one(self):
+        c = build_multiplier(1)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert simulate(c, {"a": a, "b": b})["product"] == a * b

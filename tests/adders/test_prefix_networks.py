@@ -1,0 +1,118 @@
+"""Structural properties of the prefix-network schedules."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders.prefix import (
+    PREFIX_NETWORKS,
+    brent_kung_network,
+    build_prefix_adder,
+    kogge_stone_network,
+    serial_network,
+    sklansky_network,
+)
+
+NETWORK_NAMES = sorted(PREFIX_NETWORKS)
+
+
+def _simulate_prefix(width, network):
+    """Symbolically run the schedule: each node ends covering [lo..i]."""
+    spans = [(i, i) for i in range(width)]  # (lo, hi) inclusive
+    for level in network:
+        snapshot = list(spans)
+        for target, source in level:
+            t_lo, t_hi = snapshot[target]
+            s_lo, s_hi = snapshot[source]
+            # contiguity: the combined ranges must touch
+            assert s_hi + 1 == t_lo, (target, source, snapshot[target], snapshot[source])
+            spans[target] = (s_lo, t_hi)
+    return spans
+
+
+@pytest.mark.parametrize("name", NETWORK_NAMES)
+@pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 13, 16, 31, 64, 100])
+def test_network_computes_all_prefixes(name, width):
+    """After the schedule, node i covers exactly bits [0..i]."""
+    spans = _simulate_prefix(width, PREFIX_NETWORKS[name](width))
+    for i, (lo, hi) in enumerate(spans):
+        assert lo == 0 and hi == i, (name, width, i, spans[i])
+
+
+@pytest.mark.parametrize("name", NETWORK_NAMES)
+def test_no_duplicate_targets_within_a_level(name):
+    """Each node is written at most once per level (sources may be targets —
+    combines read the pre-level snapshot)."""
+    width = 32
+    for level in PREFIX_NETWORKS[name](width):
+        targets = [t for t, _ in level]
+        assert len(targets) == len(set(targets)), name
+
+
+class TestDepth:
+    @pytest.mark.parametrize("width", [8, 16, 32, 64, 128, 256, 512])
+    def test_kogge_stone_minimal_depth(self, width):
+        assert len(kogge_stone_network(width)) == math.ceil(math.log2(width))
+
+    @pytest.mark.parametrize("width", [8, 16, 32, 64, 256])
+    def test_sklansky_minimal_depth(self, width):
+        assert len(sklansky_network(width)) == math.ceil(math.log2(width))
+
+    @pytest.mark.parametrize("width", [8, 16, 32, 64])
+    def test_brent_kung_depth(self, width):
+        assert len(brent_kung_network(width)) == 2 * int(math.log2(width)) - 1
+
+    def test_serial_depth(self):
+        assert len(serial_network(32)) == 31
+
+
+class TestNodeCounts:
+    def _nodes(self, network):
+        return sum(len(level) for level in network)
+
+    @pytest.mark.parametrize("width", [16, 64, 256])
+    def test_kogge_stone_node_count(self, width):
+        # n*log2(n) - n + 1 nodes for power-of-two widths
+        expected = width * int(math.log2(width)) - width + 1
+        assert self._nodes(kogge_stone_network(width)) == expected
+
+    @pytest.mark.parametrize("width", [16, 64, 256])
+    def test_brent_kung_node_count(self, width):
+        # 2n - log2(n) - 2 for power-of-two widths
+        expected = 2 * width - int(math.log2(width)) - 2
+        assert self._nodes(brent_kung_network(width)) == expected
+
+    @pytest.mark.parametrize("width", [16, 64])
+    def test_brent_kung_is_sparsest_log_network(self, width):
+        bk = self._nodes(brent_kung_network(width))
+        ks = self._nodes(kogge_stone_network(width))
+        sk = self._nodes(sklansky_network(width))
+        assert bk < sk <= ks
+
+    def test_serial_node_count(self):
+        assert self._nodes(serial_network(32)) == 31
+
+
+@settings(max_examples=30, deadline=None)
+@given(width=st.integers(min_value=1, max_value=70))
+def test_all_networks_valid_at_arbitrary_widths(width):
+    for name in NETWORK_NAMES:
+        spans = _simulate_prefix(width, PREFIX_NETWORKS[name](width))
+        assert all(span == (0, i) for i, span in enumerate(spans)), name
+
+
+def test_build_prefix_adder_unknown_network():
+    with pytest.raises(ValueError, match="unknown prefix network"):
+        build_prefix_adder(8, network_name="mystery")
+
+
+def test_build_prefix_adder_group_pg_outputs():
+    from repro.netlist.simulate import simulate
+
+    c = build_prefix_adder(8, emit_group_pg=True)
+    out = simulate(c, {"a": 0xFF, "b": 0x00})
+    assert out["group_p"] == 1 and out["group_g"] == 0
+    out = simulate(c, {"a": 0xFF, "b": 0x01})
+    assert out["group_g"] == 1

@@ -1,0 +1,115 @@
+"""Tests for the subtractor / add-sub generators (repro.adders.subtractor)."""
+
+import random
+
+import pytest
+
+from repro.adders.subtractor import build_addsub, build_subtractor
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.validate import check_circuit
+
+from tests.conftest import random_pairs
+
+
+class TestSubtractor:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+    def test_exhaustive_small(self, width):
+        c = build_subtractor(width)
+        check_circuit(c)
+        mask = (1 << width) - 1
+        for a in range(1 << width):
+            for b in range(1 << width):
+                out = simulate(c, {"a": a, "b": b})
+                assert out["diff"] == (a - b) & mask, (a, b)
+                assert out["borrow"] == (1 if a < b else 0), (a, b)
+
+    @pytest.mark.parametrize("width", [16, 33, 64])
+    def test_random_large(self, width):
+        c = build_subtractor(width)
+        mask = (1 << width) - 1
+        pairs = random_pairs(width, 150, seed=width)
+        out = simulate_batch(
+            c, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+        )
+        for (a, b), d, borrow in zip(pairs, out["diff"], out["borrow"]):
+            assert d == (a - b) & mask
+            assert borrow == (1 if a < b else 0)
+
+    @pytest.mark.parametrize("network", ["brent_kung", "sklansky"])
+    def test_alternative_networks(self, network):
+        c = build_subtractor(20, adder=network)
+        mask = (1 << 20) - 1
+        for a, b in random_pairs(20, 80, seed=5):
+            assert simulate(c, {"a": a, "b": b})["diff"] == (a - b) & mask
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_subtractor(0)
+        with pytest.raises(ValueError, match="unknown adder"):
+            build_subtractor(16, adder="slide_rule")
+
+
+class TestSpeculativeSubtractor:
+    def test_mostly_exact_on_spread_operands(self):
+        c = build_subtractor(32, adder="scsa", window_size=8)
+        gen = random.Random(3)
+        mask = (1 << 32) - 1
+        wrong = 0
+        for _ in range(400):
+            a = gen.randrange(1 << 32)
+            b = gen.randrange(1 << 32)
+            wrong += simulate(c, {"a": a, "b": b})["diff"] != (a - b) & mask
+        assert wrong < 30
+
+    def test_nearby_operands_break_speculation(self):
+        """Ch. 6's premise at gate level: subtracting *nearby* values makes
+        ~b + 1 a long sign-extension pattern, so borrow chains outrun the
+        windows far more often than Eq. 3.13 predicts for uniform inputs."""
+        c = build_subtractor(32, adder="scsa", window_size=8)
+        gen = random.Random(4)
+        mask = (1 << 32) - 1
+        wrong = 0
+        trials = 400
+        for _ in range(trials):
+            a = gen.randrange(1 << 31, 1 << 32)
+            b = a - gen.randrange(1, 1 << 8)  # b just below a
+            wrong += simulate(c, {"a": a, "b": b})["diff"] != (a - b) & mask
+        assert wrong > trials * 0.1  # an order above the uniform rate
+
+
+class TestAddSub:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_exhaustive_both_modes(self, width):
+        c = build_addsub(width)
+        check_circuit(c)
+        mask = (1 << width) - 1
+        step = 1 if width <= 4 else 3
+        for a in range(0, 1 << width, step):
+            for b in range(0, 1 << width, step):
+                add = simulate(c, {"a": a, "b": b, "mode": 0})
+                sub = simulate(c, {"a": a, "b": b, "mode": 1})
+                assert add["result"] == (a + b) & mask
+                assert add["carry"] == (a + b) >> width
+                assert sub["result"] == (a - b) & mask
+                assert sub["carry"] == (1 if a >= b else 0)
+
+    def test_random_wide(self):
+        c = build_addsub(48)
+        mask = (1 << 48) - 1
+        for a, b in random_pairs(48, 120, seed=9):
+            add = simulate(c, {"a": a, "b": b, "mode": 0})
+            sub = simulate(c, {"a": a, "b": b, "mode": 1})
+            assert add["result"] == (a + b) & mask
+            assert sub["result"] == (a - b) & mask
+
+    def test_formally_consistent_with_adder(self):
+        """mode=0 slice is formally the plain adder on its sum bits.
+
+        (The shared datapath XORs b with mode; the BDD engine restricts
+        nothing, so we compare through simulation-exhaustive instead at
+        small width — mode is a free input the plain adder lacks.)"""
+        c = build_addsub(6)
+        for a in range(64):
+            for b in range(64):
+                out = simulate(c, {"a": a, "b": b, "mode": 0})
+                assert out["result"] + (out["carry"] << 6) == a + b

@@ -1,0 +1,109 @@
+"""Tests for the build-and-measure harness (repro.analysis.compare)."""
+
+import pytest
+
+from repro.analysis.compare import (
+    clear_measure_cache,
+    measure_adder,
+    measure_designware,
+    measure_kogge_stone,
+    measure_scsa1,
+    measure_scsa2,
+    measure_vlcsa1,
+    measure_vlcsa2,
+    measure_vlsa,
+    measure_vlsa_speculative,
+)
+
+
+class TestMetricsContents:
+    def test_fixed_adder_has_no_path_split(self):
+        m = measure_kogge_stone(64)
+        assert m.t_spec is None and m.t_detect is None and m.t_recover is None
+        assert m.delay > 0 and m.area > 0 and m.gates > 0
+
+    def test_variable_latency_has_path_split(self):
+        m = measure_vlcsa1(64, 14)
+        assert m.t_spec is not None
+        assert m.t_detect is not None
+        assert m.t_recover is not None
+        assert m.delay == pytest.approx(max(m.t_spec, m.t_detect))
+
+    def test_recovery_slower_than_single_cycle(self):
+        for m in (measure_vlcsa1(64, 14), measure_vlcsa2(64, 13), measure_vlsa(64, 17)):
+            assert m.t_recover > m.delay * 0.9  # recovery path is the long one
+
+    def test_measurements_are_cached(self):
+        assert measure_kogge_stone(32) is measure_kogge_stone(32)
+
+    def test_cache_clear(self):
+        m1 = measure_kogge_stone(32)
+        clear_measure_cache()
+        assert measure_kogge_stone(32) is not m1
+
+    def test_measure_adder_generic(self):
+        from repro.adders import build_brent_kung_adder
+
+        m = measure_adder(build_brent_kung_adder, 32)
+        assert m.width == 32
+
+
+class TestThesisShapes:
+    """The qualitative claims of Ch. 7, as regression-guarded inequalities."""
+
+    @pytest.mark.parametrize("n,k", [(64, 14), (128, 15), (256, 16), (512, 17)])
+    def test_scsa1_faster_and_smaller_than_kogge_stone(self, n, k):
+        """Fig. 7.2/7.3: SCSA 1 beats Kogge-Stone on both axes at 0.01%."""
+        scsa = measure_scsa1(n, k)
+        ks = measure_kogge_stone(n)
+        assert scsa.delay < ks.delay
+        assert scsa.area < ks.area
+
+    @pytest.mark.parametrize("n", [64, 128, 256, 512])
+    def test_scsa1_smaller_than_vlsa_speculative(self, n):
+        """Fig. 7.3: window-level speculation beats per-bit speculation on
+        area at matched error rate."""
+        from repro.analysis.sizing import THESIS_TABLE_7_3
+
+        k, l = THESIS_TABLE_7_3[n]
+        assert measure_scsa1(n, k).area <= measure_vlsa_speculative(n, l).area * 1.05
+
+    @pytest.mark.parametrize("n,k", [(64, 10), (256, 12)])
+    def test_higher_error_rate_trades_area(self, n, k):
+        """Fig. 7.7: the 0.25% design is smaller than the 0.01% design."""
+        from repro.analysis.sizing import THESIS_TABLE_7_4
+
+        k_low = THESIS_TABLE_7_4[n][0]
+        assert measure_scsa1(n, k).area < measure_scsa1(n, k_low).area
+
+    @pytest.mark.parametrize("n", [64, 256, 512])
+    def test_vlcsa1_single_cycle_faster_than_designware(self, n):
+        """Fig. 7.8: VLCSA 1 beats the DesignWare adder when speculation
+        is correct."""
+        from repro.analysis.sizing import THESIS_TABLE_7_4
+
+        k = THESIS_TABLE_7_4[n][0]
+        assert measure_vlcsa1(n, k).delay < measure_designware(n).delay
+
+    @pytest.mark.parametrize("n", [256, 512])
+    def test_vlcsa1_area_below_kogge_stone_at_large_n(self, n):
+        """Fig. 7.5: despite detection+recovery, VLCSA 1 undercuts KS."""
+        from repro.analysis.sizing import THESIS_TABLE_7_4
+
+        k = THESIS_TABLE_7_4[n][0]
+        assert measure_vlcsa1(n, k).area < measure_kogge_stone(n).area
+
+    def test_vlcsa2_costs_more_area_than_vlcsa1(self):
+        """Fig. 7.11 vs 7.9: the second hypothesis and ERR1 cost area."""
+        assert measure_vlcsa2(256, 13).area > measure_vlcsa1(256, 16).area * 0.95
+
+    def test_scsa2_spec_no_deeper_than_scsa1(self):
+        """Thesis 6.5: S*1 adds no logic depth over S*0."""
+        m1 = measure_scsa1(128, 13)
+        m2 = measure_scsa2(128, 13)
+        assert m2.delay <= m1.delay * 1.15
+
+    def test_vlcsa2_select_style_smaller_than_dual(self):
+        dual = measure_vlcsa2(128, 13, style="dual")
+        select = measure_vlcsa2(128, 13, style="select")
+        assert select.area < dual.area

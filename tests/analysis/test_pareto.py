@@ -1,0 +1,95 @@
+"""Tests for Pareto-frontier analysis (repro.analysis.pareto)."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    DesignPoint,
+    design_space,
+    dominates,
+    knee_point,
+    pareto_front,
+)
+
+
+def _pt(k, e, d, a):
+    return DesignPoint(window_size=k, error_rate=e, delay=d, area=a)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1, 2, 2), (2, 2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1, 1), (1, 1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3, 1), (2, 2, 2))
+        assert not dominates((2, 2, 2), (1, 3, 1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        pts = [_pt(1, 0.1, 1.0, 100), _pt(2, 0.1, 1.0, 200), _pt(3, 0.2, 2.0, 300)]
+        front = pareto_front(pts)
+        assert _pt(1, 0.1, 1.0, 100) in front
+        assert _pt(2, 0.1, 1.0, 200) not in front
+        assert _pt(3, 0.2, 2.0, 300) not in front
+
+    def test_tradeoff_points_kept(self):
+        pts = [_pt(1, 0.1, 1.0, 300), _pt(2, 0.01, 2.0, 100)]
+        assert len(pareto_front(pts)) == 2
+
+    def test_sorted_by_error_descending(self):
+        pts = [_pt(1, 0.001, 3.0, 100), _pt(2, 0.1, 1.0, 50)]
+        front = pareto_front(pts)
+        errs = [p.error_rate for p in front]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestDesignSpace:
+    def test_sweep_produces_monotone_error(self):
+        points = design_space(64, window_sizes=range(6, 16, 2))
+        errs = [p.error_rate for p in points]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_frontier_of_real_sweep_nonempty(self):
+        points = design_space(64, window_sizes=range(6, 18, 3))
+        front = pareto_front(points)
+        assert front
+        # the frontier always includes the lowest-error point's dominator set
+        best_err = min(p.error_rate for p in points)
+        assert any(p.error_rate == best_err for p in front)
+
+    def test_scsa_family(self):
+        points = design_space(64, window_sizes=[8, 12], family="scsa1")
+        assert len(points) == 2
+        assert all(p.area > 0 for p in points)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="family"):
+            design_space(64, window_sizes=[8], family="abacus")
+
+
+class TestKnee:
+    def test_knee_is_on_front(self):
+        points = design_space(64, window_sizes=range(6, 18, 2))
+        front = pareto_front(points)
+        assert knee_point(front) in front
+
+    def test_single_point(self):
+        p = _pt(1, 0.1, 1.0, 100)
+        assert knee_point([p]) == p
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([])

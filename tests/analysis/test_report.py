@@ -1,0 +1,55 @@
+"""Tests for report formatting (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, percent, ratio
+
+
+class TestRatio:
+    def test_basic(self):
+        assert ratio(90, 100) == pytest.approx(-0.10)
+        assert ratio(110, 100) == pytest.approx(0.10)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio(1, 0)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1], ["bcd", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 7.4")
+        assert out.splitlines()[0] == "Table 7.4"
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row length"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000012], [1234567.0], [0.5], [0]])
+        assert "1.200e-05" in out
+        assert "1.235e+06" in out
+        assert "0.5" in out
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        out = format_series(
+            "n", [64, 128], [("ks", [1.0, 2.0]), ("scsa", [0.8, 1.1])],
+            title="Fig 7.2",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 7.2"
+        assert "ks" in lines[1] and "scsa" in lines[1]
+        assert "64" in lines[3]
+
+
+def test_percent():
+    assert percent(0.2501) == "25.01%"
+    assert percent(1e-4, digits=2) == "0.01%"

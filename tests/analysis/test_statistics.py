@@ -1,0 +1,78 @@
+"""Tests for the Monte Carlo statistics helpers (repro.analysis.statistics)."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    RateEstimate,
+    rates_compatible,
+    samples_for_rate,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_point_estimate(self):
+        est = wilson_interval(25, 100)
+        assert est.point == pytest.approx(0.25)
+        assert est.low < 0.25 < est.high
+
+    def test_interval_narrows_with_samples(self):
+        wide = wilson_interval(25, 100)
+        narrow = wilson_interval(2500, 10_000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_zero_successes_has_nonzero_upper_bound(self):
+        """The property the normal approximation lacks at tiny rates."""
+        est = wilson_interval(0, 100_000)
+        assert est.low == 0.0
+        assert 0 < est.high < 1e-4
+
+    def test_all_successes(self):
+        est = wilson_interval(50, 50)
+        assert est.high == 1.0
+        assert est.low > 0.9
+
+    def test_bounds_clamped(self):
+        est = wilson_interval(1, 2)
+        assert 0.0 <= est.low <= est.high <= 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_contains(self):
+        est = wilson_interval(100, 1000)
+        assert est.contains(0.1)
+        assert not est.contains(0.5)
+
+
+class TestCompatibility:
+    def test_compatible_rate(self):
+        # a fair-coin sample is compatible with p = 0.5
+        assert rates_compatible(5020, 10_000, 0.5)
+
+    def test_incompatible_rate(self):
+        assert not rates_compatible(5020, 10_000, 0.25)
+
+    def test_thesis_gaussian_rate(self):
+        """250 400 hits out of a million is compatible with 25.01%."""
+        assert rates_compatible(250_400, 1_000_000, 0.2501)
+
+
+class TestPlanning:
+    def test_tiny_rates_need_many_samples(self):
+        # pinning 0.01% within 10% at 95% needs millions of samples —
+        # the reason the thesis ran 10^7
+        needed = samples_for_rate(1e-4, 0.1)
+        assert 3_000_000 < needed < 5_000_000
+
+    def test_looser_tolerance_needs_fewer(self):
+        assert samples_for_rate(1e-4, 0.5) < samples_for_rate(1e-4, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            samples_for_rate(0.0)
+        with pytest.raises(ValueError):
+            samples_for_rate(0.1, 0.0)

@@ -1,0 +1,99 @@
+"""Tests for the standard-cell library model (repro.cells)."""
+
+import pytest
+
+from repro.cells.library import Cell, CellLibrary, UMC65_LIKE, default_library
+from repro.cells.logical_effort import (
+    LOGICAL_EFFORT,
+    optimal_prefix_depth,
+    path_delay_estimate,
+    stage_delay,
+)
+from repro.netlist.circuit import GATE_ARITY
+
+
+def test_every_gate_kind_has_a_cell():
+    for kind, arity in GATE_ARITY.items():
+        cell = UMC65_LIKE[kind]
+        assert cell.num_inputs == arity
+
+
+def test_every_cell_has_logical_effort():
+    for cell in UMC65_LIKE:
+        assert cell.name in LOGICAL_EFFORT
+
+
+def test_delay_increases_with_fanout():
+    inv = UMC65_LIKE["INV"]
+    assert inv.delay(8) > inv.delay(1) > inv.delay(0)
+
+
+def test_negative_fanout_rejected():
+    with pytest.raises(ValueError, match="fanout"):
+        UMC65_LIKE["INV"].delay(-1)
+
+
+def test_familiar_65nm_orderings():
+    lib = UMC65_LIKE
+    # inverting simple gates beat their non-inverting forms
+    assert lib["NAND2"].intrinsic < lib["AND2"].intrinsic
+    assert lib["NOR2"].intrinsic < lib["OR2"].intrinsic
+    # XOR and MUX cost roughly two simple-gate delays
+    assert lib["XOR2"].intrinsic > lib["NAND2"].intrinsic
+    # compound cells beat discrete AND+OR pairs
+    assert lib["AOI21"].intrinsic < lib["AND2"].intrinsic + lib["OR2"].intrinsic
+    # inverter is the cheapest real cell
+    real = [c for c in lib if c.num_inputs > 0]
+    assert min(real, key=lambda c: c.area).name == "INV"
+
+
+def test_constants_are_free():
+    assert UMC65_LIKE["CONST0"].area == 0
+    assert UMC65_LIKE["CONST1"].delay(5) == 0
+
+
+def test_gate_equivalents_unit():
+    assert UMC65_LIKE.gate_equivalents(UMC65_LIKE["NAND2"].area) == pytest.approx(1.0)
+
+
+def test_duplicate_cell_rejected():
+    cell = Cell("X", 1, 1.0, 0.1, 0.01)
+    with pytest.raises(ValueError, match="duplicate"):
+        CellLibrary("dup", [cell, cell])
+
+
+def test_missing_cell_message_names_library():
+    with pytest.raises(KeyError, match="umc65-like"):
+        UMC65_LIKE["NAND97"]
+
+
+def test_default_library_is_umc65_like():
+    assert default_library() is UMC65_LIKE
+
+
+def test_library_iteration_and_len():
+    assert len(UMC65_LIKE) == len(list(UMC65_LIKE))
+    assert "NAND2" in UMC65_LIKE
+
+
+class TestLogicalEffort:
+    def test_stage_delay_grows_with_fanout(self):
+        assert stage_delay("NAND2", 4) > stage_delay("NAND2", 1)
+
+    def test_path_delay_sums_stages(self):
+        d = path_delay_estimate(["INV", "NAND2"], [1, 1])
+        assert d == pytest.approx(stage_delay("INV", 1) + stage_delay("NAND2", 1))
+
+    def test_path_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            path_delay_estimate(["INV"], [1, 2])
+
+    @pytest.mark.parametrize(
+        "width,depth", [(1, 0), (2, 1), (3, 2), (16, 4), (17, 5), (512, 9)]
+    )
+    def test_optimal_prefix_depth(self, width, depth):
+        assert optimal_prefix_depth(width) == depth
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            optimal_prefix_depth(0)

@@ -1,0 +1,137 @@
+"""The two selection-correctness theorems behind VLCSA's reliability.
+
+Theorem 1 (thesis Ch. 5.1): ``ERR0 = 0``  ⟺  the SCSA 1 speculative result
+S*0 is exact.  (Forward direction makes VLCSA error-free; the backward
+direction shows ERR0 never under-detects a two-window chain.)
+
+Theorem 2 (thesis Ch. 6.6 case 2): ``ERR0 = 1 and ERR1 = 0``  ⟹  the
+alternate result S*1 is exact.
+
+These are property-tested with hypothesis over the *behavioural* window
+algebra and cross-checked at gate level in test_vlcsa1/test_vlcsa2.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import build_err0, build_err1
+from repro.model.behavioral import (
+    err0_flags,
+    err1_flags,
+    pack_ints,
+    scsa1_error_flags,
+    scsa2_s1_error_flags,
+    window_profile,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import simulate
+
+
+operand_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 24) - 1), min_size=1, max_size=64
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(av=operand_lists, bv=operand_lists, k=st.integers(min_value=2, max_value=12),
+       rem=st.sampled_from(["lsb", "msb"]))
+def test_theorem_err0_iff_s0_exact(av, bv, k, rem):
+    n = min(len(av), len(bv))
+    width = 24
+    a = pack_ints(av[:n], width)
+    b = pack_ints(bv[:n], width)
+    profile = window_profile(a, b, width, k, rem)
+    np.testing.assert_array_equal(err0_flags(profile), scsa1_error_flags(profile))
+
+
+@settings(max_examples=120, deadline=None)
+@given(av=operand_lists, bv=operand_lists, k=st.integers(min_value=2, max_value=12),
+       rem=st.sampled_from(["lsb", "msb"]))
+def test_theorem_err1_guards_s1(av, bv, k, rem):
+    n = min(len(av), len(bv))
+    width = 24
+    a = pack_ints(av[:n], width)
+    b = pack_ints(bv[:n], width)
+    profile = window_profile(a, b, width, k, rem)
+    flagged_s1_usable = err0_flags(profile) & ~err1_flags(profile)
+    s1_wrong = scsa2_s1_error_flags(profile)
+    assert not np.any(flagged_s1_usable & s1_wrong)
+
+
+# Gaussian-like operands exercise the long-chain corner the theorems guard.
+signed_small = st.integers(min_value=-(1 << 16), max_value=(1 << 16) - 1)
+
+
+@settings(max_examples=120, deadline=None)
+@given(av=st.lists(signed_small, min_size=1, max_size=48),
+       bv=st.lists(signed_small, min_size=1, max_size=48),
+       k=st.integers(min_value=2, max_value=12))
+def test_theorems_on_twos_complement_operands(av, bv, k):
+    n = min(len(av), len(bv))
+    width = 24
+    enc = lambda vs: pack_ints([v % (1 << width) for v in vs[:n]], width)
+    a, b = enc(av), enc(bv)
+    profile = window_profile(a, b, width, k, "msb")
+    np.testing.assert_array_equal(err0_flags(profile), scsa1_error_flags(profile))
+    usable = err0_flags(profile) & ~err1_flags(profile)
+    assert not np.any(usable & scsa2_s1_error_flags(profile))
+
+
+class TestDetectorCircuits:
+    def _err_circuit(self, m):
+        c = Circuit("det")
+        g = c.add_input_bus("g", m)
+        p = c.add_input_bus("p", m)
+        c.set_output("err0", build_err0(c, g, p))
+        c.set_output("err1", build_err1(c, p))
+        return c
+
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_exhaustive_against_formula(self, m):
+        c = self._err_circuit(m)
+        for g in range(1 << m):
+            for p in range(1 << m):
+                out = simulate(c, {"g": g, "p": p})
+                want0 = any(
+                    ((p >> (i + 1)) & 1) and ((g >> i) & 1) for i in range(m - 1)
+                )
+                want1 = any(
+                    ((p >> i) & 1) and not ((p >> (i + 1)) & 1)
+                    for i in range(m - 1)
+                )
+                assert out["err0"] == int(want0), (g, p)
+                assert out["err1"] == int(want1), (g, p)
+
+    def test_single_window_detectors_are_constant_zero(self):
+        c = Circuit("det1")
+        g = c.add_input_bus("g", 1)
+        p = c.add_input_bus("p", 1)
+        c.set_output("err0", build_err0(c, g, p))
+        c.set_output("err1", build_err1(c, p))
+        for g_v in (0, 1):
+            for p_v in (0, 1):
+                out = simulate(c, {"g": g_v, "p": p_v})
+                assert out["err0"] == 0
+                assert out["err1"] == 0
+
+    def test_mismatched_lengths_rejected(self):
+        c = Circuit("det")
+        g = c.add_input_bus("g", 3)
+        p = c.add_input_bus("p", 2)
+        with pytest.raises(ValueError, match="equal length"):
+            build_err0(c, g, p)
+
+    def test_err1_zero_means_propagate_set_upward_closed(self):
+        """ERR1 = 0 ⟺ {i : P[i] = 1} is upward closed — the structural fact
+        behind Theorem 2."""
+        m = 6
+        c = self._err_circuit(m)
+        for p in range(1 << m):
+            out = simulate(c, {"g": 0, "p": p})
+            bits = [(p >> i) & 1 for i in range(m)]
+            upward_closed = all(
+                bits[j] >= bits[i] for i in range(m) for j in range(i, m)
+            )
+            assert (out["err1"] == 0) == upward_closed, p

@@ -1,0 +1,99 @@
+"""Tests for the gate-level VLCSA pipeline (repro.core.pipeline)."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelinedAdder, build_vlcsa_pipeline
+
+
+@pytest.fixture(scope="module")
+def pipe_20_5():
+    return PipelinedAdder(20, 5)
+
+
+class TestProtocol:
+    def test_all_results_correct_in_order(self, pipe_20_5):
+        gen = random.Random(1)
+        pairs = [(gen.randrange(1 << 20), gen.randrange(1 << 20)) for _ in range(300)]
+        results, stats = pipe_20_5.run_stream(pairs)
+        assert results == [a + b for a, b in pairs]
+        assert stats.operations == 300
+
+    def test_fast_path_throughput_is_one_per_cycle(self, pipe_20_5):
+        """Chain-free operands never stall: N ops in N + latency cycles."""
+        pairs = [(1 << i, 0) for i in range(16)] * 5
+        results, stats = pipe_20_5.run_stream(pairs)
+        assert results == [a + b for a, b in pairs]
+        assert stats.stall_cycles == 0
+        assert stats.cycles <= len(pairs) + 3  # pipeline fill/drain
+
+    def test_stall_costs_exactly_one_extra_cycle(self, pipe_20_5):
+        clean = [(5, 6)] * 10
+        _, base = pipe_20_5.run_stream(clean)
+        one_stall = list(clean)
+        one_stall[4] = ((1 << 15) - 1, 1)  # cross-window chain
+        results, stalled = pipe_20_5.run_stream(one_stall)
+        assert results == [a + b for a, b in one_stall]
+        assert stalled.cycles == base.cycles + 1
+        assert stalled.stall_cycles == 1
+
+    def test_back_to_back_stalls(self, pipe_20_5):
+        pairs = [((1 << 15) - 1, 1)] * 8
+        results, stats = pipe_20_5.run_stream(pairs)
+        assert results == [a + b for a, b in pairs]
+        assert stats.stall_cycles == 8
+
+    def test_capture_during_stall_trigger_does_not_corrupt(self, pipe_20_5):
+        """The protocol-bug regression: an operand offered in the very
+        cycle a stall is detected must not clobber the recovery operands."""
+        gen = random.Random(9)
+        pairs = []
+        for _ in range(60):
+            pairs.append(((1 << 15) - 1, 1))  # stall trigger
+            pairs.append((gen.randrange(1 << 20), gen.randrange(1 << 20)))
+        results, _ = pipe_20_5.run_stream(pairs)
+        assert results == [a + b for a, b in pairs]
+
+    def test_stall_rate_matches_behavioral_model(self, pipe_20_5):
+        import numpy as np
+
+        from repro.model.behavioral import err0_flags, pack_ints, window_profile
+
+        gen = random.Random(3)
+        pairs = [(gen.randrange(1 << 20), gen.randrange(1 << 20)) for _ in range(500)]
+        _, stats = pipe_20_5.run_stream(pairs)
+        flags = err0_flags(
+            window_profile(
+                pack_ints([p[0] for p in pairs], 20),
+                pack_ints([p[1] for p in pairs], 20),
+                20,
+                5,
+            )
+        )
+        assert stats.stall_cycles == int(flags.sum())
+
+    def test_empty_stream(self, pipe_20_5):
+        results, stats = pipe_20_5.run_stream([])
+        assert results == []
+        assert stats.cycles == 0
+
+    def test_drain_guard(self, pipe_20_5):
+        with pytest.raises(RuntimeError, match="drain"):
+            pipe_20_5.run_stream([(1, 1)], max_cycles=0)
+
+
+class TestStructure:
+    def test_design_register_banks(self):
+        design = build_vlcsa_pipeline(16, 4)
+        q_buses = {r.q_bus for r in design.registers}
+        assert q_buses == {
+            "a_q", "b_q", "op_live_q", "stalled_q", "out_valid_q", "result_q"
+        }
+        assert sorted(design.free_inputs) == ["a", "b", "in_valid"]
+
+    def test_reset_state_is_idle(self):
+        design = build_vlcsa_pipeline(16, 4)
+        out = design.step({"a": 0, "b": 0, "in_valid": 0})
+        assert out["out_valid"] == 0
+        assert out["in_ready"] == 1

@@ -1,0 +1,89 @@
+"""Tests for the window-prefix error recovery (thesis Ch. 5.2)."""
+
+import pytest
+
+from repro.core.recovery import build_recovery, window_carries
+from repro.core.window import build_window, plan_windows
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import simulate, simulate_batch
+
+from tests.conftest import random_pairs
+
+
+def _recovery_circuit(width, k, network="kogge_stone"):
+    c = Circuit("rec")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    plan = plan_windows(width, k)
+    windows = [build_window(c, a, b, lo, hi) for lo, hi in plan.bounds]
+    c.set_output_bus("sum_rec", build_recovery(c, windows, network))
+    return c
+
+
+@pytest.mark.parametrize("width,k", [(8, 3), (16, 4), (24, 7), (32, 8), (33, 8)])
+def test_recovery_is_always_exact(width, k):
+    c = _recovery_circuit(width, k)
+    pairs = random_pairs(width, 300, seed=width + k)
+    out = simulate_batch(
+        c, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+    )["sum_rec"]
+    for (a, b), got in zip(pairs, out):
+        assert got == a + b, (a, b)
+
+
+def test_recovery_exhaustive_small():
+    c = _recovery_circuit(6, 2)
+    for a in range(64):
+        for b in range(64):
+            assert simulate(c, {"a": a, "b": b})["sum_rec"] == a + b
+
+
+@pytest.mark.parametrize("network", ["serial", "brent_kung", "sklansky"])
+def test_recovery_with_alternative_prefix_networks(network):
+    c = _recovery_circuit(20, 5, network)
+    for a, b in random_pairs(20, 120, seed=11):
+        assert simulate(c, {"a": a, "b": b})["sum_rec"] == a + b
+
+
+def test_window_carries_match_true_carries():
+    width, k = 16, 4
+    c = Circuit("wc")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    plan = plan_windows(width, k)
+    windows = [build_window(c, a, b, lo, hi) for lo, hi in plan.bounds]
+    carries = window_carries(
+        c, [w.group_g for w in windows], [w.group_p for w in windows]
+    )
+    c.set_output_bus("carries", carries)
+    for x, y in random_pairs(width, 200, seed=5):
+        got = simulate(c, {"a": x, "b": y})["carries"]
+        for i, (lo, hi) in enumerate(plan.bounds):
+            mask = (1 << hi) - 1
+            true_carry = ((x & mask) + (y & mask)) >> hi
+            assert (got >> i) & 1 == true_carry, (x, y, i)
+
+
+def test_mismatched_group_signal_lengths_rejected():
+    c = Circuit("wc")
+    g = c.add_input_bus("g", 3)
+    p = c.add_input_bus("p", 4)
+    with pytest.raises(ValueError, match="equal length"):
+        window_carries(c, g, p)
+
+
+def test_recovery_reuses_window_intermediates():
+    """Recovery must not instantiate a second set of window prefix trees:
+    its incremental cost over the bare windows is the m-bit prefix network
+    plus one mux row (thesis Fig. 5.2)."""
+    width, k = 32, 8
+    bare = Circuit("bare")
+    a = bare.add_input_bus("a", width)
+    b = bare.add_input_bus("b", width)
+    plan = plan_windows(width, k)
+    windows = [build_window(bare, a, b, lo, hi) for lo, hi in plan.bounds]
+    bare_gates = bare.num_gates
+    build_recovery(bare, windows)
+    extra = bare.num_gates - bare_gates
+    # m-1 selected windows * k muxes + m-bit prefix (few gates each)
+    assert extra < width + 6 * plan.num_windows

@@ -1,0 +1,130 @@
+"""Tests for the SCSA 1 speculative adder (thesis Ch. 3-4)."""
+
+import pytest
+
+from repro.core import build_scsa_adder, plan_windows
+from repro.model.behavioral import pack_ints, scsa1_error_flags, window_profile
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.validate import check_circuit
+
+from tests.conftest import random_pairs
+
+
+def _reference_scsa(a, b, width, k, remainder="lsb"):
+    """Pure-Python SCSA 1: truncate inter-window carry chains."""
+    plan = plan_windows(width, k, remainder)
+    out = 0
+    spec_carry = 0
+    for lo, hi in plan.bounds:
+        size = hi - lo
+        mask = (1 << size) - 1
+        aw = (a >> lo) & mask
+        bw = (b >> lo) & mask
+        total = aw + bw + spec_carry
+        out |= (total & mask) << lo
+        spec_carry = (aw + bw) >> size  # group generate (chain truncated)
+    return out | (spec_carry << width)
+
+
+class TestSpeculativeSemantics:
+    @pytest.mark.parametrize("width,k", [(8, 3), (12, 4), (16, 5), (16, 7)])
+    def test_matches_reference_model_exhaustively_sampled(self, width, k):
+        c = build_scsa_adder(width, k)
+        check_circuit(c)
+        pairs = random_pairs(width, 400, seed=width * k)
+        out = simulate_batch(
+            c, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+        )["sum"]
+        for (a, b), got in zip(pairs, out):
+            assert got == _reference_scsa(a, b, width, k), (a, b)
+
+    def test_single_window_is_exact(self):
+        c = build_scsa_adder(8, 8)
+        for a, b in random_pairs(8, 100):
+            assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+    def test_window_bigger_than_width_is_exact(self):
+        c = build_scsa_adder(6, 32)
+        for a in range(64):
+            for b in range(0, 64, 5):
+                assert simulate(c, {"a": a, "b": b})["sum"] == a + b
+
+    def test_speculative_errors_exist_and_match_behavioral_model(self):
+        width, k = 24, 4
+        c = build_scsa_adder(width, k)
+        pairs = random_pairs(width, 600, seed=9)
+        av = [a for a, _ in pairs]
+        bv = [b for _, b in pairs]
+        out = simulate_batch(c, {"a": av, "b": bv})["sum"]
+        profile = window_profile(
+            pack_ints(av, width), pack_ints(bv, width), width, k
+        )
+        flags = scsa1_error_flags(profile)
+        n_err = 0
+        for i, (a, b) in enumerate(pairs):
+            wrong = out[i] != a + b
+            assert wrong == bool(flags[i]), (a, b)
+            n_err += wrong
+        assert n_err > 0  # k=4 on 24 bits must show errors in 600 samples
+
+    def test_error_is_always_underestimate_never_overestimate(self):
+        """SCSA's speculative sum is <= the true sum (truncation drops
+        carries, never adds them) — the low-error-magnitude argument of
+        thesis section 3.3."""
+        width, k = 20, 4
+        c = build_scsa_adder(width, k)
+        pairs = random_pairs(width, 500, seed=77)
+        out = simulate_batch(
+            c, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+        )["sum"]
+        for (a, b), got in zip(pairs, out):
+            assert got <= a + b
+
+    def test_thesis_fig_3_6_example(self):
+        """The worked error-magnitude example of Fig. 3.6 (k=8 windows):
+        a generate in the low window rides an all-propagate middle window;
+        the chain into the top window is truncated, so 0x7FFFFF + 1 yields
+        speculative 0x7F0000 instead of 0x800000 — relative error 1/2^7,
+        'which is quite small'."""
+        c = build_scsa_adder(24, 8)
+        got = simulate(c, {"a": 0x7FFFFF, "b": 0x000001})["sum"]
+        assert got == 0x7F0000
+        assert (0x800000 - got) / 0x800000 == pytest.approx(1 / 2 ** 7)
+
+    def test_remainder_placement_changes_plan_not_correct_cases(self):
+        width, k = 20, 6
+        c_lsb = build_scsa_adder(width, k, remainder="lsb")
+        c_msb = build_scsa_adder(width, k, remainder="msb")
+        for a, b in random_pairs(width, 200):
+            want = a + b
+            got_l = simulate(c_lsb, {"a": a, "b": b})["sum"]
+            got_m = simulate(c_msb, {"a": a, "b": b})["sum"]
+            # both speculate; on carry-free operands both are exact
+            if (a ^ b) == a + b:  # no carries anywhere
+                assert got_l == want and got_m == want
+
+
+class TestStructure:
+    def test_area_scales_linearly_with_width_at_fixed_k(self):
+        from repro.netlist.area import area
+
+        a128 = area(build_scsa_adder(128, 16))
+        a256 = area(build_scsa_adder(256, 16))
+        assert a256 / a128 == pytest.approx(2.0, rel=0.1)
+
+    def test_faster_and_smaller_than_kogge_stone_at_thesis_operating_point(self):
+        """The headline claim (Figs. 7.2/7.3) at n=256, k=16."""
+        from repro.adders import build_kogge_stone_adder
+        from repro.netlist.area import area
+        from repro.netlist.timing import critical_delay
+
+        scsa = build_scsa_adder(256, 16)
+        ks = build_kogge_stone_adder(256)
+        assert critical_delay(scsa) < critical_delay(ks)
+        assert area(scsa) < area(ks)
+
+    def test_mux_count_matches_selected_windows(self):
+        width, k = 64, 16
+        c = build_scsa_adder(width, k)
+        # windows 1..3 are selected: 3 windows * 16 bits of muxes
+        assert c.count_by_kind()["MUX2"] == 48

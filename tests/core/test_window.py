@@ -1,0 +1,117 @@
+"""Tests for window planning and the shared-prefix window adder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import build_window, plan_windows
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import simulate_batch
+
+
+class TestPlanWindows:
+    def test_exact_division(self):
+        plan = plan_windows(64, 16)
+        assert plan.bounds == ((0, 16), (16, 32), (32, 48), (48, 64))
+        assert plan.num_windows == 4
+        assert plan.sizes == (16, 16, 16, 16)
+
+    def test_remainder_lsb_puts_small_window_first(self):
+        plan = plan_windows(64, 14)
+        assert plan.sizes == (8, 14, 14, 14, 14)
+        assert plan.bounds[0] == (0, 8)
+
+    def test_remainder_msb_puts_small_window_last(self):
+        plan = plan_windows(64, 14)
+        plan_msb = plan_windows(64, 14, remainder="msb")
+        assert plan_msb.sizes == (14, 14, 14, 14, 8)
+        assert plan_msb.bounds[-1] == (56, 64)
+        assert plan.num_windows == plan_msb.num_windows
+
+    def test_windows_tile_exactly(self):
+        for width in (17, 30, 64, 100, 511):
+            for k in (3, 5, 13):
+                for rem in ("lsb", "msb"):
+                    plan = plan_windows(width, k, rem)
+                    covered = []
+                    for lo, hi in plan.bounds:
+                        covered.extend(range(lo, hi))
+                    assert covered == list(range(width)), (width, k, rem)
+
+    def test_window_larger_than_width_gives_single_window(self):
+        plan = plan_windows(8, 32)
+        assert plan.bounds == ((0, 8),)
+
+    def test_window_equal_to_width_gives_single_window(self):
+        plan = plan_windows(8, 8)
+        assert plan.bounds == ((0, 8),)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            plan_windows(0, 4)
+        with pytest.raises(ValueError):
+            plan_windows(8, 0)
+        with pytest.raises(ValueError):
+            plan_windows(8, 4, remainder="middle")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=600),
+        k=st.integers(min_value=1, max_value=64),
+        rem=st.sampled_from(["lsb", "msb"]),
+    )
+    def test_all_windows_at_most_k_and_at_most_one_smaller(self, width, k, rem):
+        plan = plan_windows(width, k, rem)
+        sizes = plan.sizes
+        assert all(1 <= s <= k for s in sizes)
+        if width > k:
+            assert sum(1 for s in sizes if s < k) <= 1
+
+
+class TestBuildWindow:
+    def _window_circuit(self, width, lo, hi):
+        c = Circuit("w")
+        a = c.add_input_bus("a", width)
+        b = c.add_input_bus("b", width)
+        w = build_window(c, a, b, lo, hi)
+        c.set_output_bus("s0", w.s0)
+        c.set_output_bus("s1", w.s1)
+        c.set_output("gg", w.group_g)
+        c.set_output("gp", w.group_p)
+        return c
+
+    @pytest.mark.parametrize("lo,hi", [(0, 4), (2, 6), (3, 8)])
+    def test_both_hypotheses_exhaustive(self, lo, hi):
+        width, k = 8, hi - lo
+        c = self._window_circuit(width, lo, hi)
+        mask = (1 << k) - 1
+        xs, ys = [], []
+        for a in range(1 << width):
+            xs.append(a)
+            ys.append((a * 37 + 11) % (1 << width))
+        out = simulate_batch(c, {"a": xs, "b": ys})
+        for idx, (a, b) in enumerate(zip(xs, ys)):
+            aw = (a >> lo) & mask
+            bw = (b >> lo) & mask
+            assert out["s0"][idx] == (aw + bw) & mask
+            assert out["s1"][idx] == (aw + bw + 1) & mask
+            assert out["gg"][idx] == ((aw + bw) >> k) & 1
+            assert out["gp"][idx] == (1 if (aw ^ bw) == mask else 0)
+
+    def test_bad_bounds_rejected(self):
+        c = Circuit("w")
+        a = c.add_input_bus("a", 8)
+        b = c.add_input_bus("b", 8)
+        with pytest.raises(ValueError, match="bounds"):
+            build_window(c, a, b, 4, 3)
+        with pytest.raises(ValueError, match="bounds"):
+            build_window(c, a, b, 0, 9)
+
+    def test_alternative_network(self):
+        c = Circuit("w")
+        a = c.add_input_bus("a", 8)
+        b = c.add_input_bus("b", 8)
+        w = build_window(c, a, b, 0, 8, network_name="brent_kung")
+        c.set_output_bus("s0", w.s0)
+        out = simulate_batch(c, {"a": [200], "b": [100]})
+        assert out["s0"][0] == (300) & 0xFF

@@ -1,0 +1,153 @@
+"""Tests for the instrumented cryptographic kernels (repro.inputs.crypto)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.inputs.crypto import (
+    InstrumentedBignum,
+    WORKLOADS,
+    _Recorder,
+    diffie_hellman_trace,
+    ec_elgamal_trace,
+    ecdsa_trace,
+    rsa_trace,
+)
+
+_PRIME_128 = 0xF5095887AF653B3C9434E14211DF86B9
+
+
+@pytest.fixture
+def bn():
+    return InstrumentedBignum(_PRIME_128, _Recorder(100))
+
+
+class TestBignumArithmetic:
+    def test_limb_roundtrip(self, bn):
+        for v in (0, 1, _PRIME_128 - 1, 0xDEADBEEF):
+            assert bn._from_limbs(bn._to_limbs(v)) == v
+
+    def test_add_limbs_matches_python(self, bn, pyrng):
+        for _ in range(50):
+            x = pyrng.randrange(_PRIME_128)
+            y = pyrng.randrange(_PRIME_128)
+            s, carry = bn.add_limbs(bn._to_limbs(x), bn._to_limbs(y))
+            total = x + y
+            assert bn._from_limbs(s) == total % (1 << 128)
+            assert carry == total >> 128
+
+    def test_sub_limbs_matches_python(self, bn, pyrng):
+        for _ in range(50):
+            x = pyrng.randrange(_PRIME_128)
+            y = pyrng.randrange(_PRIME_128)
+            d, borrow = bn.sub_limbs(bn._to_limbs(x), bn._to_limbs(y))
+            assert bn._from_limbs(d) == (x - y) % (1 << 128)
+            assert borrow == (1 if x < y else 0)
+
+    def test_mod_add_sub(self, bn, pyrng):
+        for _ in range(50):
+            x = pyrng.randrange(_PRIME_128)
+            y = pyrng.randrange(_PRIME_128)
+            assert bn._from_limbs(bn.mod_add(bn._to_limbs(x), bn._to_limbs(y))) == (x + y) % _PRIME_128
+            assert bn._from_limbs(bn.mod_sub(bn._to_limbs(x), bn._to_limbs(y))) == (x - y) % _PRIME_128
+
+    def test_mont_mul_matches_python(self, bn, pyrng):
+        rinv = pow(bn.r, -1, _PRIME_128)
+        for _ in range(40):
+            x = pyrng.randrange(_PRIME_128)
+            y = pyrng.randrange(_PRIME_128)
+            got = bn._from_limbs(bn.mont_mul(bn._to_limbs(x), bn._to_limbs(y)))
+            assert got == (x * y * rinv) % _PRIME_128
+
+    def test_mont_domain_roundtrip(self, bn, pyrng):
+        for _ in range(20):
+            v = pyrng.randrange(_PRIME_128)
+            assert bn.from_mont(bn.to_mont(v)) == v
+
+    def test_mod_pow_matches_python(self, bn, pyrng):
+        for _ in range(10):
+            base = pyrng.randrange(2, _PRIME_128)
+            exp = pyrng.randrange(1, 1 << 64)
+            assert bn.mod_pow(base, exp) == pow(base, exp, _PRIME_128)
+
+    def test_mod_inv(self, bn, pyrng):
+        for _ in range(5):
+            v = pyrng.randrange(2, _PRIME_128)
+            assert (v * bn.mod_inv(v)) % _PRIME_128 == 1
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            InstrumentedBignum(100, _Recorder(10))
+
+    def test_every_add_is_recorded(self):
+        rec = _Recorder(10_000)
+        bn = InstrumentedBignum(_PRIME_128, rec)
+        before = rec.total
+        bn.mod_add(bn._to_limbs(123), bn._to_limbs(456))
+        assert rec.total > before
+
+
+class TestRecorder:
+    def test_limit_respected(self):
+        rec = _Recorder(5)
+        for i in range(20):
+            rec.record(i, i)
+        assert len(rec.pairs) == 5
+        assert rec.total == 20
+
+    def test_arrays_shape(self):
+        rec = _Recorder(10)
+        rec.record(1, 2)
+        rec.record(3, 4)
+        a, b = rec.arrays()
+        np.testing.assert_array_equal(a, [1, 3])
+        np.testing.assert_array_equal(b, [2, 4])
+
+    def test_empty_arrays(self):
+        a, b = _Recorder(10).arrays()
+        assert len(a) == 0 and len(b) == 0
+
+
+class TestWorkloads:
+    """Each trace generator self-checks its cryptography internally
+    (round-trips / key agreement), so merely running it is a strong test."""
+
+    def test_registry_contents(self):
+        assert set(WORKLOADS) == {"RSA", "DH", "ECELGP", "ECDSP"}
+
+    def test_rsa_trace(self):
+        tr = rsa_trace(messages=1, limit=20_000)
+        assert tr.name == "RSA"
+        assert len(tr) > 1000
+        assert tr.a.max() < (1 << 32)
+
+    def test_dh_trace(self):
+        tr = diffie_hellman_trace(exchanges=1, limit=20_000)
+        assert tr.name == "DH"
+        assert len(tr) > 1000
+
+    def test_ec_elgamal_trace(self):
+        tr = ec_elgamal_trace(messages=1, limit=20_000)
+        assert tr.name == "ECELGP"
+        assert len(tr) > 1000
+
+    def test_ecdsa_trace(self):
+        tr = ecdsa_trace(signatures=1, limit=20_000)
+        assert tr.name == "ECDSP"
+        assert len(tr) > 1000
+
+    def test_traces_deterministic_per_seed(self):
+        t1 = rsa_trace(messages=1, limit=500, seed=7)
+        t2 = rsa_trace(messages=1, limit=500, seed=7)
+        np.testing.assert_array_equal(t1.a, t2.a)
+        np.testing.assert_array_equal(t1.b, t2.b)
+
+    def test_crypto_chains_have_long_tail(self):
+        """The Fig. 6.2 signature: real modular-arithmetic operand streams
+        show substantially more long carry chains than uniform operands."""
+        from repro.model.carry_chains import chain_length_histogram
+
+        tr = rsa_trace(messages=1, limit=40_000)
+        hist = chain_length_histogram(tr.a, tr.b, 32)
+        assert hist[20:].sum() > 50 * 2.0 ** -20  # way above the uniform tail

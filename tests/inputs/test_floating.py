@@ -1,0 +1,87 @@
+"""Tests for the FP significand-alignment traces (repro.inputs.floating)."""
+
+import numpy as np
+import pytest
+
+from repro.inputs.floating import FORMATS, fp_significand_trace
+from repro.model.behavioral import unpack_ints
+
+
+class TestFormats:
+    def test_known_formats(self):
+        assert FORMATS["binary32"] == (24, 8)
+        assert FORMATS["binary64"] == (53, 11)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            fp_significand_trace(10, fmt="binary128")
+
+    @pytest.mark.parametrize("fmt,width", [("binary32", 28), ("binary64", 57)])
+    def test_adder_width(self, fmt, width, rng):
+        trace = fp_significand_trace(100, fmt=fmt, rng=rng)
+        assert trace.width == width
+
+
+class TestAlignmentSemantics:
+    def test_operands_fit_width(self, rng):
+        trace = fp_significand_trace(2000, rng=rng)
+        limit = 1 << trace.width
+        for v in unpack_ints(trace.a, trace.width):
+            assert 0 <= v < limit
+        for v in unpack_ints(trace.b, trace.width):
+            assert 0 <= v < limit
+
+    def test_big_operand_has_hidden_one_in_place(self, rng):
+        """The larger significand sits left-aligned: its hidden 1 occupies
+        bit sig_bits - 1 + 3 (above the G/R/S headroom)."""
+        trace = fp_significand_trace(2000, rng=rng)
+        sig_bits, _ = FORMATS["binary32"]
+        top_bit = sig_bits - 1 + 3
+        vals = unpack_ints(trace.a, trace.width)
+        assert all((v >> top_bit) & 1 for v in vals)
+
+    def test_effective_subtract_rate_near_half(self, rng):
+        trace = fp_significand_trace(20_000, rng=rng)
+        assert 0.45 < trace.effective_subtract.mean() < 0.55
+
+    def test_effective_subtract_operands_are_complemented(self, rng):
+        """Subtraction operands carry the one's complement pattern: their
+        high bits (above the shifted small significand) are all ones."""
+        trace = fp_significand_trace(5000, rng=rng)
+        bvals = unpack_ints(trace.b, trace.width)
+        top = trace.width - 1
+        sub_hi = [
+            (bvals[i] >> top) & 1
+            for i in range(len(bvals))
+            if trace.effective_subtract[i]
+        ]
+        # the complement of a right-shifted significand has its MSB set
+        assert sub_hi and all(sub_hi)
+
+    def test_deterministic_under_seed(self):
+        t1 = fp_significand_trace(50, rng=np.random.default_rng(5))
+        t2 = fp_significand_trace(50, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(t1.a, t2.a)
+        np.testing.assert_array_equal(t1.b, t2.b)
+
+
+class TestCarryProfile:
+    def test_no_gaussian_style_long_chain_mass(self, rng):
+        """The future-work answer: alignment + complement leave no
+        near-full-width carry-chain population, so plain VLCSA 1 already
+        suits the FP significand datapath."""
+        from repro.model.carry_chains import chain_length_histogram
+
+        trace = fp_significand_trace(50_000, rng=rng)
+        hist = chain_length_histogram(trace.a, trace.b, trace.width)
+        assert hist[1] > 0.3  # short chains dominate
+        assert hist[trace.width - 4:].sum() < 0.01
+
+    def test_vlcsa1_stall_rate_small(self, rng):
+        from repro.model.behavioral import err0_flags, window_profile
+
+        trace = fp_significand_trace(50_000, rng=rng)
+        stall = float(
+            err0_flags(window_profile(trace.a, trace.b, trace.width, 9)).mean()
+        )
+        assert stall < 0.01

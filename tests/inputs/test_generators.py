@@ -1,0 +1,113 @@
+"""Tests for the operand distribution generators (repro.inputs.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.inputs.generators import (
+    GAUSSIAN_SIGMA_THESIS,
+    gaussian_ints,
+    gaussian_operands,
+    twos_complement_encode,
+    uniform_ints,
+    uniform_operands,
+)
+from repro.model.behavioral import unpack_ints
+
+
+class TestUniform:
+    @pytest.mark.parametrize("width", [8, 64, 100, 512])
+    def test_shape_and_range(self, width, rng):
+        arr = uniform_operands(width, 500, rng)
+        vals = unpack_ints(arr, width)
+        assert len(vals) == 500
+        assert all(0 <= v < (1 << width) for v in vals)
+
+    def test_bits_are_fair(self, rng):
+        arr = uniform_operands(32, 50_000, rng)
+        vals = np.array(unpack_ints(arr, 32), dtype=np.uint64)
+        for bit in (0, 15, 31):
+            frac = ((vals >> np.uint64(bit)) & np.uint64(1)).mean()
+            assert frac == pytest.approx(0.5, abs=0.01)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = uniform_operands(64, 10, np.random.default_rng(1))
+        b = uniform_operands(64, 10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_ints_helper(self, rng):
+        vals = uniform_ints(16, 20, rng)
+        assert len(vals) == 20
+        assert all(isinstance(v, int) and 0 <= v < (1 << 16) for v in vals)
+
+
+class TestGaussianInts:
+    def test_sigma_controls_spread(self, rng):
+        small = gaussian_ints(20_000, sigma=10.0, rng=rng)
+        large = gaussian_ints(20_000, sigma=1e6, rng=rng)
+        assert small.std() < large.std()
+        assert small.std() == pytest.approx(10.0, rel=0.05)
+
+    def test_mean_zero(self, rng):
+        vals = gaussian_ints(50_000, sigma=1000.0, rng=rng)
+        assert abs(vals.mean()) < 20
+
+    def test_thesis_sigma_constant(self):
+        assert GAUSSIAN_SIGMA_THESIS == float(2 ** 32)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_ints(10, sigma=0.0)
+
+
+class TestTwosComplement:
+    def test_positive_and_negative_roundtrip(self):
+        width = 32
+        vals = np.array([0, 1, -1, 123456, -123456, 2 ** 30, -(2 ** 30)], dtype=np.int64)
+        arr = twos_complement_encode(vals, width)
+        got = unpack_ints(arr, width)
+        for v, enc in zip(vals, got):
+            assert enc == int(v) % (1 << width)
+
+    def test_sign_extension_fills_upper_limbs(self):
+        width = 128
+        arr = twos_complement_encode(np.array([-5], dtype=np.int64), width)
+        assert unpack_ints(arr, width)[0] == (-5) % (1 << width)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="signed range"):
+            twos_complement_encode(np.array([1 << 20], dtype=np.int64), 16)
+
+    def test_width_one_rejected(self):
+        with pytest.raises(ValueError):
+            twos_complement_encode(np.array([0], dtype=np.int64), 1)
+
+
+class TestGaussianOperands:
+    @pytest.mark.parametrize("width", [64, 128, 512])
+    def test_signed_values_encode_sign_extension(self, width, rng):
+        arr = gaussian_operands(width, 2000, sigma=1e6, rng=rng)
+        vals = unpack_ints(arr, width)
+        half = 1 << (width - 1)
+        negatives = sum(1 for v in vals if v >= half)
+        assert 0.4 < negatives / len(vals) < 0.6
+
+    def test_unsigned_takes_magnitudes(self, rng):
+        arr = gaussian_operands(64, 2000, sigma=1e6, signed=False, rng=rng)
+        vals = unpack_ints(arr, 64)
+        # all small positive magnitudes, no sign-extension patterns
+        assert all(v < (1 << 40) for v in vals)
+
+    def test_thesis_sigma_fits_64_bits(self, rng):
+        arr = gaussian_operands(64, 1000, rng=rng)
+        vals = unpack_ints(arr, 64)
+        assert all(0 <= v < (1 << 64) for v in vals)
+
+    def test_small_sigma_means_long_sign_chains(self, rng):
+        """The property VLCSA 2 exists for: Gaussian 2's-complement sums
+        produce high-order all-propagate runs."""
+        from repro.model.behavioral import err0_flags, window_profile
+
+        a = gaussian_operands(64, 20_000, rng=rng)
+        b = gaussian_operands(64, 20_000, rng=rng)
+        rate = err0_flags(window_profile(a, b, 64, 14)).mean()
+        assert rate == pytest.approx(0.25, abs=0.02)  # thesis Table 7.1

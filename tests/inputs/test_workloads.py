@@ -1,0 +1,92 @@
+"""Tests for the application-trace generators (repro.inputs.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.inputs.workloads import (
+    APPLICATION_TRACES,
+    address_trace,
+    audio_trace,
+    counter_trace,
+)
+from repro.model.behavioral import add_packed, unpack_ints
+
+
+WIDTH = 64
+
+
+class TestTraceShapes:
+    @pytest.mark.parametrize("name", sorted(APPLICATION_TRACES))
+    def test_trace_returns_packed_pairs(self, name, rng):
+        a, b = APPLICATION_TRACES[name](WIDTH, 500, rng=rng)
+        assert a.shape == b.shape == (500, 1)
+
+    @pytest.mark.parametrize("name", sorted(APPLICATION_TRACES))
+    def test_traces_deterministic_under_seeded_rng(self, name):
+        a1, b1 = APPLICATION_TRACES[name](WIDTH, 100, rng=np.random.default_rng(3))
+        a2, b2 = APPLICATION_TRACES[name](WIDTH, 100, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+
+class TestSemantics:
+    def test_address_sums_stay_positive_pointers(self, rng):
+        a, b = address_trace(WIDTH, 2000, rng=rng)
+        sums, _ = add_packed(a, b, WIDTH)
+        vals = unpack_ints(sums, WIDTH)
+        # pointer + offset stays far from the 2's-complement midpoint
+        half = 1 << (WIDTH - 1)
+        wrapped = sum(1 for v in vals if half // 2 < v < half)
+        assert wrapped == 0
+
+    def test_address_offsets_are_mixed_sign(self, rng):
+        _, b = address_trace(WIDTH, 2000, rng=rng)
+        vals = unpack_ints(b, WIDTH)
+        half = 1 << (WIDTH - 1)
+        negatives = sum(1 for v in vals if v >= half)
+        assert 0.3 < negatives / len(vals) < 0.7
+
+    def test_address_heap_bits_bound(self):
+        with pytest.raises(ValueError, match="headroom"):
+            address_trace(32, 10, heap_bits=32)
+
+    def test_audio_is_small_signed(self, rng):
+        a, _ = audio_trace(WIDTH, 3000, amplitude_bits=15, rng=rng)
+        vals = unpack_ints(a, WIDTH)
+        half = 1 << (WIDTH - 1)
+        signed = [v - (1 << WIDTH) if v >= half else v for v in vals]
+        assert max(abs(v) for v in signed) < (1 << 15)
+        assert min(signed) < 0 < max(signed)
+
+    def test_counter_increments_positive_and_tiny(self, rng):
+        _, b = counter_trace(WIDTH, 1000, max_increment=8, rng=rng)
+        vals = unpack_ints(b, WIDTH)
+        assert all(1 <= v <= 8 for v in vals)
+
+
+class TestStallBehaviour:
+    def test_mixed_sign_traces_break_vlcsa1_but_not_vlcsa2(self, rng):
+        """The thesis Ch. 6 story on program-shaped operands: sign
+        extension wrecks VLCSA 1, VLCSA 2 absorbs it."""
+        from repro.model.behavioral import (
+            err0_flags,
+            err1_flags,
+            window_profile,
+        )
+
+        a, b = address_trace(WIDTH, 30_000, rng=rng)
+        p1 = window_profile(a, b, WIDTH, 14, "lsb")
+        p2 = window_profile(a, b, WIDTH, 13, "msb")
+        vlcsa1_stall = float(err0_flags(p1).mean())
+        vlcsa2_stall = float((err0_flags(p2) & err1_flags(p2)).mean())
+        assert vlcsa1_stall > 0.1
+        assert vlcsa2_stall < vlcsa1_stall / 20
+
+    def test_counter_trace_never_stalls_at_thesis_window(self, rng):
+        """Tiny monotone increments cannot build cross-window chains
+        beyond the counter's own MSB region."""
+        from repro.model.behavioral import err0_flags, window_profile
+
+        a, b = counter_trace(WIDTH, 20_000, rng=rng)
+        stall = float(err0_flags(window_profile(a, b, WIDTH, 14)).mean())
+        assert stall < 0.01

@@ -1,0 +1,150 @@
+"""Tests for carry-chain statistics (repro.model.carry_chains)."""
+
+import numpy as np
+import pytest
+
+from repro.inputs.generators import gaussian_operands, uniform_operands
+from repro.model.behavioral import pack_ints
+from repro.model.carry_chains import (
+    chain_length_counts,
+    chain_length_histogram,
+    longest_chain_lengths,
+)
+
+
+def _brute_chain_lengths(a, b, width):
+    """Reference: enumerate chains (generate + maximal propagate run)."""
+    p = a ^ b
+    g = a & b
+    lengths = []
+    for j in range(width):
+        if (g >> j) & 1:
+            run = 0
+            while j + 1 + run < width and (p >> (j + 1 + run)) & 1:
+                run += 1
+            lengths.append(1 + run)
+    return lengths
+
+
+class TestCounts:
+    def test_counts_match_bruteforce(self):
+        width = 20
+        gen = np.random.default_rng(5)
+        vals_a = [int(v) for v in gen.integers(0, 1 << width, 200)]
+        vals_b = [int(v) for v in gen.integers(0, 1 << width, 200)]
+        counts = chain_length_counts(
+            pack_ints(vals_a, width), pack_ints(vals_b, width), width
+        )
+        brute = np.zeros(width + 1, dtype=np.int64)
+        for x, y in zip(vals_a, vals_b):
+            for length in _brute_chain_lengths(x, y, width):
+                brute[length] += 1
+        np.testing.assert_array_equal(counts, brute)
+
+    def test_known_single_vector(self):
+        # a=0b0111, b=0b0001: generate at 0, propagates at 1,2 -> one chain len 3
+        counts = chain_length_counts(pack_ints([0b0111], 4), pack_ints([0b0001], 4), 4)
+        assert counts[3] == 1 and counts.sum() == 1
+
+    def test_no_generate_no_chain(self):
+        counts = chain_length_counts(pack_ints([0b1010], 4), pack_ints([0b0101], 4), 4)
+        assert counts.sum() == 0
+
+    def test_counts_zero_index_unused(self):
+        counts = chain_length_counts(pack_ints([3], 4), pack_ints([3], 4), 4)
+        assert counts[0] == 0
+
+    def test_multi_limb_matches_bruteforce(self):
+        width = 100
+        gen = np.random.default_rng(11)
+        vals_a = [int(gen.integers(0, 1 << 50)) | (int(gen.integers(0, 1 << 50)) << 50)
+                  for _ in range(60)]
+        vals_b = [int(gen.integers(0, 1 << 50)) | (int(gen.integers(0, 1 << 50)) << 50)
+                  for _ in range(60)]
+        counts = chain_length_counts(
+            pack_ints(vals_a, width), pack_ints(vals_b, width), width
+        )
+        brute = np.zeros(width + 1, dtype=np.int64)
+        for x, y in zip(vals_a, vals_b):
+            for length in _brute_chain_lengths(x, y, width):
+                brute[length] += 1
+        np.testing.assert_array_equal(counts, brute)
+
+    def test_chain_at_limb_boundary(self):
+        width = 128
+        # generate at bit 62, propagates through bits 63..66: length 5
+        a = pack_ints([(0b11110 << 62) | (1 << 62)], width)
+        b = pack_ints([1 << 62], width)
+        counts = chain_length_counts(a, b, width)
+        assert counts[5] == 1 and counts.sum() == 1
+
+    def test_generate_at_top_bit_counts_when_width_is_limb_multiple(self):
+        width = 64
+        a = pack_ints([1 << 63], width)
+        b = pack_ints([1 << 63], width)
+        counts = chain_length_counts(a, b, width)
+        assert counts[1] == 1 and counts.sum() == 1
+
+
+class TestHistogram:
+    def test_histogram_sums_to_one(self, rng):
+        a = uniform_operands(32, 5000, rng)
+        b = uniform_operands(32, 5000, rng)
+        hist = chain_length_histogram(a, b, 32)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_empty_batch_histogram_is_zero(self):
+        a = pack_ints([0b1010], 4)
+        b = pack_ints([0b0101], 4)
+        assert chain_length_histogram(a, b, 4).sum() == 0.0
+
+    def test_uniform_tail_is_geometric(self, rng):
+        """Thesis Fig. 6.1: uniform chains decay ~2x per extra bit."""
+        a = uniform_operands(32, 200_000, rng)
+        b = uniform_operands(32, 200_000, rng)
+        hist = chain_length_histogram(a, b, 32)
+        for length in range(1, 6):
+            assert hist[length] / hist[length + 1] == pytest.approx(2.0, rel=0.15)
+
+    def test_twos_complement_gaussian_is_bimodal(self, rng):
+        """Thesis Fig. 6.5: long (near-full-width) chains carry real mass
+        for 2's-complement Gaussian operands, unlike uniform ones."""
+        n = 100_000
+        a = gaussian_operands(32, n, sigma=float(2 ** 16), rng=rng)
+        b = gaussian_operands(32, n, sigma=float(2 ** 16), rng=rng)
+        hist = chain_length_histogram(a, b, 32)
+        long_mass = hist[12:].sum()
+        assert long_mass > 0.01
+        au = uniform_operands(32, n, rng)
+        bu = uniform_operands(32, n, rng)
+        hist_u = chain_length_histogram(au, bu, 32)
+        assert hist_u[12:].sum() < 0.001
+
+
+class TestLongest:
+    def test_longest_matches_bruteforce(self):
+        width = 16
+        gen = np.random.default_rng(9)
+        vals_a = [int(v) for v in gen.integers(0, 1 << width, 150)]
+        vals_b = [int(v) for v in gen.integers(0, 1 << width, 150)]
+        got = longest_chain_lengths(
+            pack_ints(vals_a, width), pack_ints(vals_b, width), width
+        )
+        for i, (x, y) in enumerate(zip(vals_a, vals_b)):
+            lengths = _brute_chain_lengths(x, y, width)
+            assert got[i] == (max(lengths) if lengths else 0), (x, y)
+
+    def test_longest_zero_when_no_generates(self):
+        got = longest_chain_lengths(pack_ints([0b1010], 4), pack_ints([0b0101], 4), 4)
+        assert got[0] == 0
+
+    def test_average_longest_grows_like_log_width(self, rng):
+        """The classic O(log n) expected longest-chain result (thesis Ch. 3)."""
+        means = []
+        for width in (8, 16, 32, 64):
+            a = uniform_operands(width, 30_000, rng)
+            b = uniform_operands(width, 30_000, rng)
+            means.append(longest_chain_lengths(a, b, width).mean())
+        diffs = np.diff(means)
+        # doubling the width adds ~1 to the expected longest chain
+        assert all(0.5 < d < 1.8 for d in diffs), means

@@ -1,0 +1,143 @@
+"""Tests for error-magnitude analysis (repro.model.error_magnitude)."""
+
+import numpy as np
+import pytest
+
+from repro.inputs.generators import uniform_operands
+from repro.model.behavioral import pack_ints, unpack_ints
+from repro.model.error_magnitude import (
+    relative_error_stats,
+    scsa1_magnitude_stats,
+    scsa1_speculative_values,
+    vlsa_magnitude_stats,
+    vlsa_speculative_values,
+)
+
+from tests.conftest import random_pairs
+
+
+class TestSpeculativeValues:
+    @pytest.mark.parametrize("width,k", [(16, 4), (24, 5), (32, 8)])
+    def test_scsa_values_match_reference(self, width, k):
+        from tests.core.test_scsa import _reference_scsa
+
+        pairs = random_pairs(width, 200, seed=k)
+        a = pack_ints([x for x, _ in pairs], width)
+        b = pack_ints([y for _, y in pairs], width)
+        got = scsa1_speculative_values(a, b, width, k)
+        for i, (x, y) in enumerate(pairs):
+            assert int(got[i]) == _reference_scsa(x, y, width, k), (x, y)
+
+    @pytest.mark.parametrize("width,l", [(16, 4), (24, 6)])
+    def test_vlsa_values_match_bruteforce(self, width, l):
+        pairs = random_pairs(width, 200, seed=l)
+        a = pack_ints([x for x, _ in pairs], width)
+        b = pack_ints([y for _, y in pairs], width)
+        got = vlsa_speculative_values(a, b, width, l)
+        for i, (x, y) in enumerate(pairs):
+            want = 0
+            p = x ^ y
+            for bit in range(width + 1):
+                lo = max(0, bit - l)
+                mask = (1 << (bit - lo)) - 1
+                carry = (((x >> lo) & mask) + ((y >> lo) & mask)) >> (bit - lo)
+                if bit < width:
+                    want |= (((p >> bit) & 1) ^ carry) << bit
+                else:
+                    want |= carry << width
+            assert int(got[i]) == want, (x, y)
+
+    def test_vlsa_full_lookahead_is_exact(self):
+        width = 20
+        pairs = random_pairs(width, 100)
+        a = pack_ints([x for x, _ in pairs], width)
+        b = pack_ints([y for _, y in pairs], width)
+        got = vlsa_speculative_values(a, b, width, width)
+        for i, (x, y) in enumerate(pairs):
+            assert int(got[i]) == x + y
+
+    def test_width_limit_enforced(self):
+        a = pack_ints([0], 64)
+        with pytest.raises(ValueError, match="63"):
+            scsa1_speculative_values(a, a, 64, 8)
+        with pytest.raises(ValueError, match="63"):
+            vlsa_speculative_values(a, a, 64, 8)
+
+
+class TestMagnitudeStructure:
+    def test_scsa_errors_are_always_underestimates(self, rng):
+        """SCSA truncation drops carries, never adds them (§3.3)."""
+        width, k = 32, 5
+        a = uniform_operands(width, 50_000, rng)
+        b = uniform_operands(width, 50_000, rng)
+        spec = scsa1_speculative_values(a, b, width, k)
+        true = a[:, 0].astype(np.float64) + b[:, 0].astype(np.float64)
+        assert np.all(spec.astype(np.float64) <= true)
+
+    def test_scsa_error_is_a_sum_of_dropped_boundary_carries(self, rng):
+        """Each error equals a sum of 2^boundary terms (§3.3's structure)."""
+        from repro.core.window import plan_windows
+
+        width, k = 30, 5
+        plan = plan_windows(width, k)
+        boundaries = {hi for _, hi in plan.bounds}
+        a = uniform_operands(width, 30_000, rng)
+        b = uniform_operands(width, 30_000, rng)
+        spec = scsa1_speculative_values(a, b, width, k)
+        av = unpack_ints(a, width)
+        bv = unpack_ints(b, width)
+        for i in range(len(av)):
+            diff = av[i] + bv[i] - int(spec[i])
+            while diff:
+                low = diff & -diff
+                assert low.bit_length() - 1 in boundaries, (av[i], bv[i])
+                diff ^= low
+
+    def test_stats_fields_consistent(self, rng):
+        width, k = 32, 5
+        a = uniform_operands(width, 40_000, rng)
+        b = uniform_operands(width, 40_000, rng)
+        stats = scsa1_magnitude_stats(a, b, width, k)
+        assert stats.samples == 40_000
+        assert 0 < stats.errors < stats.samples
+        assert 0 < stats.median_relative <= stats.max_relative <= 1.0
+        assert stats.error_rate == pytest.approx(stats.errors / stats.samples)
+
+    def test_no_errors_case(self):
+        a = pack_ints([1, 2, 3], 16)
+        b = pack_ints([4, 5, 6], 16)
+        stats = scsa1_magnitude_stats(a, b, 16, 16)  # single window: exact
+        assert stats.errors == 0
+        assert stats.mean_relative == 0.0
+
+    def test_typical_error_magnitude_is_small(self, rng):
+        """§3.3's quantitative content: the *median* erroneous result is
+        off by well under 1% when operands use the full width."""
+        width, k = 48, 8
+        a = uniform_operands(width, 200_000, rng)
+        b = uniform_operands(width, 200_000, rng)
+        stats = scsa1_magnitude_stats(a, b, width, k)
+        assert stats.errors > 20
+        assert stats.median_relative < 0.01
+
+    def test_relative_error_stats_on_known_values(self):
+        width = 16
+        a = pack_ints([100, 200], width)
+        b = pack_ints([50, 56], width)
+        spec = pack_ints([150, 128], width)  # second value wrong by 128
+        stats = relative_error_stats(spec, a, b, width)
+        assert stats.errors == 1
+        assert stats.max_relative == pytest.approx(128 / 256)
+
+
+class TestScsaVsVlsaComparison:
+    def test_both_schemes_measured_on_same_stream(self, rng):
+        width = 48
+        a = uniform_operands(width, 100_000, rng)
+        b = uniform_operands(width, 100_000, rng)
+        scsa = scsa1_magnitude_stats(a, b, width, 8)
+        vlsa = vlsa_magnitude_stats(a, b, width, 8)
+        # both schemes err on this stream; both keep median impact small
+        assert scsa.errors > 0 and vlsa.errors > 0
+        assert scsa.median_relative < 0.05
+        assert vlsa.median_relative < 0.05

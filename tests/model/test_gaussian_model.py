@@ -1,0 +1,112 @@
+"""Tests for the closed-form Gaussian error model (repro.model.gaussian_model).
+
+The thesis (§6.7) has no analytical model for 2's-complement Gaussian
+inputs; this extension provides one and these tests pin it against Monte
+Carlo across the operating range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inputs.generators import gaussian_operands
+from repro.model.behavioral import err0_flags, err1_flags, window_profile
+from repro.model.gaussian_model import (
+    active_width,
+    vlcsa1_gaussian_error_rate,
+    vlcsa2_gaussian_stall_rate,
+    vlcsa2_gaussian_window_size_for,
+)
+
+SIGMA = float(2 ** 32)
+
+
+class TestActiveWidth:
+    def test_grows_with_sigma(self):
+        assert active_width(2.0 ** 40) > active_width(2.0 ** 20)
+
+    def test_thesis_sigma(self):
+        assert active_width(SIGMA) == pytest.approx(34.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            active_width(1.0)
+
+
+class TestVlcsa1Model:
+    def test_sign_chain_term_dominates(self):
+        rate = vlcsa1_gaussian_error_rate(64, 14, SIGMA)
+        assert rate == pytest.approx(0.25, abs=0.001)
+
+    def test_matches_thesis_25_01(self):
+        """The model's two terms literally explain '25.01%'."""
+        rate = vlcsa1_gaussian_error_rate(64, 14, SIGMA)
+        assert 0.2500 < rate < 0.2502
+
+    @pytest.mark.parametrize("n,k", [(64, 14), (128, 15), (256, 16)])
+    def test_against_monte_carlo(self, n, k, rng):
+        a = gaussian_operands(n, 200_000, rng=rng)
+        b = gaussian_operands(n, 200_000, rng=rng)
+        mc = float(err0_flags(window_profile(a, b, n, k, "lsb")).mean())
+        model = vlcsa1_gaussian_error_rate(n, k, SIGMA)
+        assert model == pytest.approx(mc, rel=0.02)
+
+    def test_degenerates_to_uniform_model_when_sigma_fills_adder(self):
+        from repro.model.error_model import scsa_error_rate
+
+        rate = vlcsa1_gaussian_error_rate(32, 8, float(2 ** 31))
+        assert rate == pytest.approx(scsa_error_rate(32, 8))
+
+
+class TestVlcsa2Model:
+    @pytest.mark.parametrize("n,k", [(64, 13), (64, 11), (64, 9), (128, 13), (256, 9)])
+    def test_against_monte_carlo_thesis_sigma(self, n, k, rng):
+        a = gaussian_operands(n, 400_000, rng=rng)
+        b = gaussian_operands(n, 400_000, rng=rng)
+        p = window_profile(a, b, n, k, "msb")
+        mc = float((err0_flags(p) & err1_flags(p)).mean())
+        model = vlcsa2_gaussian_stall_rate(n, k, SIGMA)
+        # within 40% relative (MC noise at these tiny rates is real too)
+        assert 0.6 * mc < model < 1.6 * max(mc, 1e-5), (n, k, mc, model)
+
+    @pytest.mark.parametrize("s", [24, 40])
+    def test_across_sigmas(self, s, rng):
+        sigma = float(2 ** s)
+        n, k = 128, 11
+        a = gaussian_operands(n, 300_000, sigma=sigma, rng=rng)
+        b = gaussian_operands(n, 300_000, sigma=sigma, rng=rng)
+        p = window_profile(a, b, n, k, "msb")
+        mc = float((err0_flags(p) & err1_flags(p)).mean())
+        model = vlcsa2_gaussian_stall_rate(n, k, sigma)
+        assert 0.5 * mc < model < 2.0 * max(mc, 1e-5), (s, mc, model)
+
+    def test_rate_independent_of_width(self):
+        rates = {
+            vlcsa2_gaussian_stall_rate(n, 13, SIGMA) for n in (64, 128, 256, 512)
+        }
+        assert len(rates) == 1  # Table 7.5's width-independence, analytically
+
+    def test_stall_vanishes_when_window_covers_active_region(self):
+        assert vlcsa2_gaussian_stall_rate(256, 36, SIGMA) == 0.0
+
+
+class TestAnalyticTable75:
+    """The headline: the analytic solver reproduces Table 7.5 exactly."""
+
+    @pytest.mark.parametrize("n", [64, 128, 256, 512])
+    def test_low_target(self, n):
+        assert vlcsa2_gaussian_window_size_for(n, 1e-4, SIGMA) == 13
+
+    @pytest.mark.parametrize("n", [64, 128, 256, 512])
+    def test_high_target(self, n):
+        assert vlcsa2_gaussian_window_size_for(n, 25e-4, SIGMA) == 9
+
+    def test_agrees_with_monte_carlo_solver(self):
+        from repro.analysis.sizing import vlcsa2_window_size_for
+
+        analytic = vlcsa2_gaussian_window_size_for(64, 1e-4, SIGMA)
+        monte_carlo = vlcsa2_window_size_for(64, 1e-4, samples=150_000)
+        assert abs(analytic - monte_carlo) <= 1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            vlcsa2_gaussian_window_size_for(64, 0.0, SIGMA)

@@ -1,0 +1,115 @@
+"""Tests for the gate-level variable-latency machine (repro.model.machine)."""
+
+import random
+
+import pytest
+
+from repro.core import build_vlcsa1, build_vlcsa2, build_vlsa
+from repro.model.machine import VariableLatencyMachine
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return VariableLatencyMachine(build_vlcsa1(20, 5))
+
+
+class TestProtocol:
+    def test_single_add_fast_path(self, machine):
+        result, cycles = machine.add(100, 200)
+        assert result == 300
+        assert cycles == 1
+
+    def test_single_add_stall_path(self, machine):
+        a, b = (1 << 15) - 1, 1  # cross-window chain
+        result, cycles = machine.add(a, b)
+        assert result == a + b
+        assert cycles == 2
+
+    def test_stream_all_results_exact(self, machine):
+        gen = random.Random(1)
+        pairs = [(gen.randrange(1 << 20), gen.randrange(1 << 20)) for _ in range(400)]
+        trace = machine.verify_stream(pairs)
+        assert len(trace.results) == 400
+        assert set(trace.cycles) <= {1, 2}
+        assert trace.total_cycles == 400 + sum(trace.stalled)
+
+    def test_stall_rate_matches_detector_rate(self, machine):
+        """k=5 on 20 bits stalls a few percent of uniform additions."""
+        gen = random.Random(2)
+        pairs = [(gen.randrange(1 << 20), gen.randrange(1 << 20)) for _ in range(2000)]
+        trace = machine.run(pairs)
+        assert 0.005 < trace.stall_rate < 0.10
+
+    def test_empty_stream(self, machine):
+        trace = machine.run([])
+        assert trace.total_cycles == 0
+        assert trace.stall_rate == 0.0
+        assert trace.cycles_per_add == 0.0
+
+    def test_wrong_result_raises(self):
+        """verify_stream flags a broken design."""
+
+        class Liar:
+            pass
+
+        c = Circuit("liar")
+        a = c.add_input_bus("a", 4)
+        b = c.add_input_bus("b", 4)
+        zero = c.const0()
+        c.set_output_bus("sum", [zero] * 5)
+        c.set_output_bus("sum_rec", [zero] * 5)
+        c.set_output("err", zero)
+        machine = VariableLatencyMachine(c)
+        with pytest.raises(AssertionError, match="returned"):
+            machine.verify_stream([(1, 2)])
+
+
+class TestPortContract:
+    def test_missing_ports_rejected(self):
+        c = Circuit("bad")
+        a = c.add_input_bus("a", 4)
+        b = c.add_input_bus("b", 4)
+        c.set_output_bus("sum", a)
+        with pytest.raises(NetlistError, match="lacks"):
+            VariableLatencyMachine(c)
+
+    def test_wrong_inputs_rejected(self):
+        c = Circuit("bad2")
+        x = c.add_input_bus("x", 4)
+        c.set_output_bus("sum", x)
+        c.set_output_bus("sum_rec", x)
+        c.set_output("err", c.const0())
+        with pytest.raises(NetlistError, match="inputs 'a' and 'b'"):
+            VariableLatencyMachine(c)
+
+    def test_works_with_all_variable_latency_designs(self):
+        gen = random.Random(3)
+        pairs = [(gen.randrange(1 << 18), gen.randrange(1 << 18)) for _ in range(150)]
+        for circuit in (
+            build_vlcsa1(18, 5),
+            build_vlcsa2(18, 5),
+            build_vlsa(18, 5),
+        ):
+            trace = VariableLatencyMachine(circuit).verify_stream(pairs)
+            assert len(trace.results) == len(pairs), circuit.name
+
+
+class TestAgainstStatisticalSim:
+    def test_machine_matches_behavioral_stall_prediction(self):
+        """Gate-level stall count == behavioural ERR0 count on the same
+        stream (the conformance property)."""
+        import numpy as np
+
+        from repro.model.behavioral import err0_flags, pack_ints, window_profile
+
+        width, k = 24, 6
+        machine = VariableLatencyMachine(build_vlcsa1(width, k))
+        gen = random.Random(4)
+        pairs = [(gen.randrange(1 << width), gen.randrange(1 << width))
+                 for _ in range(600)]
+        trace = machine.run(pairs)
+        a = pack_ints([p[0] for p in pairs], width)
+        b = pack_ints([p[1] for p in pairs], width)
+        flags = err0_flags(window_profile(a, b, width, k))
+        assert trace.stalled == [bool(f) for f in flags]

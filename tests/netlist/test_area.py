@@ -1,0 +1,64 @@
+"""Tests for the area model (repro.netlist.area)."""
+
+import pytest
+
+from repro.cells.library import default_library
+from repro.netlist.area import area, area_report, gate_counts, gate_equivalents
+from repro.netlist.circuit import Circuit
+
+
+def _small():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("y", c.or2(c.and2(a, b), c.xor2(a, b)))
+    return c
+
+
+def test_area_is_sum_of_cell_areas():
+    c = _small()
+    lib = default_library()
+    expected = lib.area("AND2") + lib.area("XOR2") + lib.area("OR2")
+    assert area(c) == pytest.approx(expected)
+
+
+def test_gate_counts():
+    assert gate_counts(_small()) == {"AND2": 1, "OR2": 1, "XOR2": 1}
+
+
+def test_area_report_totals_match():
+    rows = area_report(_small())
+    total_count, total_area = rows.pop("TOTAL")
+    assert total_count == sum(c for c, _ in rows.values())
+    assert total_area == pytest.approx(sum(a for _, a in rows.values()))
+    assert total_area == pytest.approx(area(_small()))
+
+
+def test_gate_equivalents_nand2_is_unit():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("y", c.nand2(a, b))
+    assert gate_equivalents(c) == pytest.approx(1.0)
+
+
+def test_empty_logic_has_zero_area():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("y", a)
+    assert area(c) == 0.0
+
+
+def test_bigger_adder_has_bigger_area():
+    from repro.adders import build_kogge_stone_adder
+
+    assert area(build_kogge_stone_adder(64)) < area(build_kogge_stone_adder(128))
+
+
+def test_kogge_stone_area_superlinear_brent_kung_linearish():
+    """KS is O(n log n) nodes; BK is O(n): their ratio must grow with n."""
+    from repro.adders import build_brent_kung_adder, build_kogge_stone_adder
+
+    ratio_small = area(build_kogge_stone_adder(64)) / area(build_brent_kung_adder(64))
+    ratio_large = area(build_kogge_stone_adder(512)) / area(build_brent_kung_adder(512))
+    assert ratio_large > ratio_small

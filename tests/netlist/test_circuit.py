@@ -1,0 +1,178 @@
+"""Tests for netlist construction (repro.netlist.circuit)."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit, Gate, NetlistError, concat_buses
+
+
+class TestNetAllocation:
+    def test_new_net_indices_are_sequential(self):
+        c = Circuit("t")
+        assert c.new_net() == 0
+        assert c.new_net() == 1
+        assert c.num_nets == 2
+
+    def test_net_name_defaults_to_index(self):
+        c = Circuit("t")
+        n = c.new_net()
+        assert c.net_name(n) == f"n{n}"
+
+    def test_named_net_keeps_name(self):
+        c = Circuit("t")
+        n = c.new_net("carry")
+        assert c.net_name(n) == "carry"
+
+    def test_fresh_net_is_undriven(self):
+        c = Circuit("t")
+        n = c.new_net()
+        assert not c.is_driven(n)
+        assert c.driver_of(n) is None
+
+
+class TestPorts:
+    def test_input_bus_is_lsb_first_and_driven(self):
+        c = Circuit("t")
+        bus = c.add_input_bus("a", 4)
+        assert len(bus) == 4
+        for net in bus:
+            assert c.is_driven(net)
+            assert c.is_input_net(net)
+        assert c.net_name(bus[0]) == "a[0]"
+
+    def test_single_bit_input_has_plain_name(self):
+        c = Circuit("t")
+        n = c.add_input("cin")
+        assert c.net_name(n) == "cin"
+
+    def test_duplicate_port_name_rejected(self):
+        c = Circuit("t")
+        c.add_input_bus("a", 2)
+        with pytest.raises(NetlistError, match="already used"):
+            c.add_input_bus("a", 3)
+
+    def test_output_name_collision_with_input_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        with pytest.raises(NetlistError, match="already used"):
+            c.set_output("a", a)
+
+    def test_zero_width_bus_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(NetlistError, match="width"):
+            c.add_input_bus("a", 0)
+
+    def test_output_bus_roundtrip(self):
+        c = Circuit("t")
+        a = c.add_input_bus("a", 3)
+        c.set_output_bus("y", a)
+        assert c.output_bus("y") == a
+
+    def test_unknown_output_bus_raises(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", a)
+        with pytest.raises(NetlistError, match="no output bus"):
+            c.output_bus("z")
+
+    def test_unknown_input_bus_raises(self):
+        c = Circuit("t")
+        with pytest.raises(NetlistError, match="no input bus"):
+            c.input_bus("a")
+
+
+class TestGateConstruction:
+    def test_gate_output_is_driven(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        out = c.not_(a)
+        assert c.is_driven(out)
+        assert c.driver_of(out).kind == "INV"
+
+    def test_use_before_drive_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        dangling = c.new_net()
+        with pytest.raises(NetlistError, match="before being driven"):
+            c.and2(a, dangling)
+
+    def test_unknown_gate_kind_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate kind"):
+            Gate("AND99", (0, 1), 2)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(NetlistError, match="expects"):
+            Gate("AND2", (0,), 1)
+
+    def test_gates_are_topologically_ordered(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.and2(a, b)
+        y = c.or2(x, a)
+        c.set_output("y", y)
+        seen = set(net for bus in c.input_buses.values() for net in bus)
+        for gate in c.gates:
+            for net in gate.inputs:
+                assert net in seen
+            seen.add(gate.output)
+
+    def test_constants_are_memoized(self):
+        c = Circuit("t")
+        assert c.const0() == c.const0()
+        assert c.const1() == c.const1()
+        assert c.const0() != c.const1()
+
+
+class TestTrees:
+    def test_tree_over_zero_nets_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(NetlistError, match="zero nets"):
+            c.and_tree([])
+
+    def test_tree_over_one_net_is_identity(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        assert c.and_tree([a]) == a
+        assert c.or_tree([a]) == a
+        assert c.xor_tree([a]) == a
+
+    def test_tree_depth_is_logarithmic(self):
+        from repro.netlist.timing import analyze_timing
+
+        c = Circuit("t")
+        bus = c.add_input_bus("x", 64)
+        c.set_output("y", c.or_tree(bus))
+        report = analyze_timing(c)
+        # 64 leaves -> 6 combine levels (+1 possible polarity INV).
+        assert report.logic_depth("y") <= 7
+
+
+class TestStats:
+    def test_count_by_kind(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("y", c.and2(a, c.and2(a, b)))
+        assert c.count_by_kind() == {"AND2": 2}
+
+    def test_stats_string_mentions_name_and_counts(self):
+        c = Circuit("mydesign")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        s = c.stats()
+        assert "mydesign" in s
+        assert "INV:1" in s
+
+    def test_fanout_counts_include_outputs(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.not_(a)
+        c.set_output("y", y)
+        c.set_output("y2", y)
+        fan = c.fanout_counts()
+        assert fan[y] == 2  # two primary-output connections
+        assert fan[a] == 1
+
+
+def test_concat_buses_orders_low_bits_first():
+    assert concat_buses([1, 2], [3], [4, 5]) == [1, 2, 3, 4, 5]

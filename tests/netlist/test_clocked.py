@@ -1,0 +1,115 @@
+"""Tests for the clocked-simulation layer (repro.netlist.clocked)."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.clocked import ClockedDesign, RegisterSpec
+
+
+def _counter(width=4):
+    """A free-running counter: q <- q + 1 each cycle."""
+    c = Circuit("counter")
+    q = c.add_input_bus("q", width)
+    carry = c.const1()  # +1
+    bits = []
+    for i in range(width):
+        bits.append(c.xor2(q[i], carry))
+        carry = c.and2(q[i], carry)
+    c.set_output_bus("d", bits)
+    c.set_output_bus("count", q)
+    return ClockedDesign(c, [RegisterSpec("q", "d")])
+
+
+def _accumulator(width=8):
+    """acc <- acc + x when en, else hold."""
+    from repro.adders.ripple import ripple_chain
+
+    c = Circuit("acc")
+    x = c.add_input_bus("x", width)
+    en = c.add_input("en")
+    acc = c.add_input_bus("acc_q", width)
+    sums, _ = ripple_chain(c, acc, x, c.const0())
+    nxt = [c.mux2(en, acc[i], sums[i]) for i in range(width)]
+    c.set_output_bus("acc_d", nxt)
+    c.set_output_bus("value", acc)
+    return ClockedDesign(c, [RegisterSpec("acc_q", "acc_d")])
+
+
+class TestCounter:
+    def test_counts_up(self):
+        design = _counter()
+        seen = [design.step()["count"] for _ in range(6)]
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_wraps(self):
+        design = _counter(width=2)
+        seen = [design.step()["count"] for _ in range(6)]
+        assert seen == [0, 1, 2, 3, 0, 1]
+
+    def test_reset_restarts(self):
+        design = _counter()
+        for _ in range(3):
+            design.step()
+        design.reset()
+        assert design.step()["count"] == 0
+
+    def test_custom_reset_value(self):
+        c = Circuit("hold")
+        q = c.add_input_bus("q", 4)
+        c.set_output_bus("d", q)
+        c.set_output_bus("now", q)
+        design = ClockedDesign(c, [RegisterSpec("q", "d", reset_value=9)])
+        assert design.step()["now"] == 9
+        assert design.step()["now"] == 9  # holds
+
+
+class TestAccumulator:
+    def test_accumulates_with_enable(self):
+        design = _accumulator()
+        design.step({"x": 5, "en": 1})
+        design.step({"x": 7, "en": 1})
+        design.step({"x": 100, "en": 0})  # held
+        out = design.step({"x": 0, "en": 0})
+        assert out["value"] == 12
+
+    def test_run_stream(self):
+        design = _accumulator()
+        outs = design.run([{"x": v, "en": 1} for v in (1, 2, 3, 4)])
+        assert [o["value"] for o in outs] == [0, 1, 3, 6]
+
+
+class TestValidation:
+    def test_unknown_q_bus(self):
+        c = Circuit("t")
+        a = c.add_input_bus("a", 2)
+        c.set_output_bus("d", a)
+        with pytest.raises(NetlistError, match="not an input bus"):
+            ClockedDesign(c, [RegisterSpec("q", "d")])
+
+    def test_unknown_d_bus(self):
+        c = Circuit("t")
+        q = c.add_input_bus("q", 2)
+        c.set_output_bus("out", q)
+        with pytest.raises(NetlistError, match="not an output bus"):
+            ClockedDesign(c, [RegisterSpec("q", "d")])
+
+    def test_narrow_d_bus(self):
+        c = Circuit("t")
+        q = c.add_input_bus("q", 4)
+        c.set_output_bus("d", q[:2])
+        with pytest.raises(NetlistError, match="narrower"):
+            ClockedDesign(c, [RegisterSpec("q", "d")])
+
+    def test_missing_free_input(self):
+        design = _accumulator()
+        with pytest.raises(NetlistError, match="missing value"):
+            design.step({"x": 1})  # 'en' absent
+
+    def test_unknown_input_rejected(self):
+        design = _counter()
+        with pytest.raises(NetlistError, match="unknown input"):
+            design.step({"bogus": 1})
+
+    def test_free_inputs_listed(self):
+        design = _accumulator()
+        assert sorted(design.free_inputs) == ["en", "x"]

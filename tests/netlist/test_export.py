@@ -1,0 +1,80 @@
+"""Tests for netlist interchange (repro.netlist.export)."""
+
+import json
+
+import pytest
+
+from repro.netlist.circuit import NetlistError
+from repro.netlist.export import from_json, to_dot, to_json
+from repro.netlist.simulate import simulate_batch
+
+from tests.conftest import random_pairs
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: __import__("repro.adders", fromlist=["x"]).build_ripple_adder(8),
+            lambda: __import__("repro.adders", fromlist=["x"]).build_kogge_stone_adder(16),
+            lambda: __import__("repro.core", fromlist=["x"]).build_vlcsa1(16, 4),
+            lambda: __import__("repro.core", fromlist=["x"]).build_vlcsa2(16, 4),
+        ],
+    )
+    def test_function_preserved(self, builder):
+        circuit = builder()
+        restored = from_json(to_json(circuit))
+        width = len(circuit.input_buses["a"])
+        pairs = random_pairs(width, 50)
+        feed = {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+        assert simulate_batch(circuit, feed) == simulate_batch(restored, feed)
+
+    def test_structure_preserved(self):
+        from repro.core import build_vlcsa1
+
+        circuit = build_vlcsa1(20, 5)
+        restored = from_json(to_json(circuit))
+        assert restored.name == circuit.name
+        assert restored.num_gates == circuit.num_gates
+        assert restored.count_by_kind() == circuit.count_by_kind()
+        assert set(restored.output_buses) == set(circuit.output_buses)
+
+    def test_document_shape(self):
+        from repro.adders import build_ripple_adder
+
+        doc = json.loads(to_json(build_ripple_adder(4)))
+        assert doc["format"] == "repro-netlist"
+        assert doc["inputs"] == {"a": 4, "b": 4}
+        assert len(doc["gates"]) > 0
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(NetlistError, match="not a repro-netlist"):
+            from_json('{"format": "something-else"}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(NetlistError, match="version"):
+            from_json('{"format": "repro-netlist", "version": 99}')
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(4)
+        dot = to_dot(c)
+        assert dot.startswith(f'digraph "{c.name}"')
+        assert dot.count("->") >= c.num_gates  # at least one edge per gate
+        assert "sum" in dot
+
+    def test_monster_rejected(self):
+        from repro.adders import build_kogge_stone_adder
+
+        with pytest.raises(NetlistError, match="raise"):
+            to_dot(build_kogge_stone_adder(512))
+
+    def test_max_gates_override(self):
+        from repro.adders import build_kogge_stone_adder
+
+        c = build_kogge_stone_adder(64)
+        dot = to_dot(c, max_gates=10_000)
+        assert "digraph" in dot

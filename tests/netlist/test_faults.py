@@ -1,0 +1,108 @@
+"""Tests for stuck-at fault simulation (repro.netlist.faults)."""
+
+import random
+
+import pytest
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.faults import Fault, enumerate_faults, fault_coverage
+
+
+def _and_gate():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("y", c.and2(a, b))
+    return c
+
+
+class TestEnumeration:
+    def test_two_faults_per_gate(self):
+        c = _and_gate()
+        faults = enumerate_faults(c)
+        assert len(faults) == 2
+        assert {f.stuck_at for f in faults} == {0, 1}
+
+    def test_constants_excluded(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.and2(a, c.const1()))
+        nets_with_faults = {f.net for f in enumerate_faults(c)}
+        const_net = c.gates[0].output  # CONST1 emitted first
+        assert c.gates[0].kind == "CONST1"
+        assert const_net not in nets_with_faults
+
+
+class TestDetection:
+    def test_exhaustive_vectors_catch_everything_on_and(self):
+        c = _and_gate()
+        vectors = {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}
+        report = fault_coverage(c, vectors)
+        assert report.coverage == 1.0
+        assert not report.undetected
+
+    def test_insufficient_vectors_miss_faults(self):
+        c = _and_gate()
+        # only the (1,1) vector: stuck-at-1 on the AND output is invisible
+        report = fault_coverage(c, {"a": [1], "b": [1]})
+        assert report.coverage < 1.0
+        assert Fault(c.gates[-1].output, 1) in report.undetected
+
+    def test_explicit_fault_list(self):
+        c = _and_gate()
+        y = c.gates[-1].output
+        report = fault_coverage(
+            c, {"a": [1, 0], "b": [1, 1]}, faults=[Fault(y, 0)]
+        )
+        assert report.total == 1
+        assert report.detected == 1
+
+    def test_observation_restriction(self):
+        """A fault visible on one bus may be invisible on another."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.and2(a, b)
+        c.set_output("y", x)
+        c.set_output("z", c.buf(a))
+        vectors = {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}
+        full = fault_coverage(c, vectors)
+        only_z = fault_coverage(c, vectors, observe=["z"])
+        assert full.coverage == 1.0
+        assert only_z.coverage < full.coverage
+
+    def test_adder_random_vectors_reach_high_coverage(self):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(8)
+        gen = random.Random(3)
+        vectors = {
+            "a": [gen.randrange(256) for _ in range(64)],
+            "b": [gen.randrange(256) for _ in range(64)],
+        }
+        report = fault_coverage(c, vectors)
+        assert report.coverage > 0.95
+
+    def test_single_vector_low_coverage(self):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(8)
+        report = fault_coverage(c, {"a": [0], "b": [0]})
+        assert report.coverage < 0.6
+
+
+class TestValidation:
+    def test_mismatched_buses(self):
+        c = _and_gate()
+        with pytest.raises(NetlistError, match="mismatch"):
+            fault_coverage(c, {"a": [1]})
+
+    def test_empty_vectors(self):
+        c = _and_gate()
+        with pytest.raises(NetlistError, match="at least one"):
+            fault_coverage(c, {"a": [], "b": []})
+
+    def test_unknown_observe_bus(self):
+        c = _and_gate()
+        with pytest.raises(NetlistError, match="observe"):
+            fault_coverage(c, {"a": [1], "b": [1]}, observe=["nope"])

@@ -1,0 +1,251 @@
+"""Tests for the peephole optimizer (repro.netlist.optimize)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.optimize import (
+    buffer_fanout,
+    fold_constants,
+    map_compound,
+    merge_inverters,
+    optimize,
+    strip_dead,
+)
+from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.validate import check_circuit
+
+
+def _exhaustive_equivalent(c1, c2, widths):
+    """Check functional equivalence over all input combinations."""
+    names = sorted(widths)
+    spaces = [range(1 << widths[n]) for n in names]
+    for combo in itertools.product(*spaces):
+        ins = dict(zip(names, combo))
+        assert simulate(c1, ins) == simulate(c2, ins), ins
+
+
+class TestFoldConstants:
+    def test_and_with_zero(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.and2(a, c.const0()))
+        out = fold_constants(c)
+        assert simulate(out, {"a": 1})["y"] == 0
+        assert out.count_by_kind().get("AND2", 0) == 0
+
+    def test_or_with_one(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.or2(c.const1(), a))
+        out = fold_constants(c)
+        assert simulate(out, {"a": 0})["y"] == 1
+
+    def test_xor_with_const_becomes_inverter_or_wire(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y0", c.xor2(a, c.const0()))
+        c.set_output("y1", c.xor2(a, c.const1()))
+        out = strip_dead(fold_constants(c))
+        for v in (0, 1):
+            got = simulate(out, {"a": v})
+            assert got["y0"] == v
+            assert got["y1"] == 1 - v
+        assert out.count_by_kind().get("XOR2", 0) == 0
+
+    def test_mux_with_const_select(self):
+        c = Circuit("t")
+        d0 = c.add_input("d0")
+        d1 = c.add_input("d1")
+        c.set_output("y", c.mux2(c.const1(), d0, d1))
+        out = fold_constants(c)
+        assert out.count_by_kind().get("MUX2", 0) == 0
+        for x0, x1 in itertools.product((0, 1), repeat=2):
+            assert simulate(out, {"d0": x0, "d1": x1})["y"] == x1
+
+    def test_mux_same_data_collapses(self):
+        c = Circuit("t")
+        s = c.add_input("s")
+        d = c.add_input("d")
+        c.set_output("y", c.mux2(s, d, d))
+        out = fold_constants(c)
+        assert out.count_by_kind().get("MUX2", 0) == 0
+
+    def test_constant_propagation_is_transitive(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = c.and2(c.const0(), a)  # 0
+        y = c.or2(x, a)  # a
+        c.set_output("y", y)
+        out = strip_dead(fold_constants(c))
+        assert out.num_gates == 0  # y aliases input a
+        for v in (0, 1):
+            assert simulate(out, {"a": v})["y"] == v
+
+
+class TestMergeInverters:
+    def test_double_inverter_removed(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(c.not_(a)))
+        out = strip_dead(merge_inverters(c))
+        assert out.num_gates == 0
+
+    def test_inv_and_becomes_nand(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("y", c.not_(c.and2(a, b)))
+        out = strip_dead(merge_inverters(c))
+        assert out.count_by_kind() == {"NAND2": 1}
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1})
+
+    def test_shared_gate_not_absorbed(self):
+        """An AND feeding two sinks must survive inverter merging."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.and2(a, b)
+        c.set_output("y", c.not_(x))
+        c.set_output("z", x)
+        out = strip_dead(merge_inverters(c))
+        assert out.count_by_kind().get("AND2", 0) == 1
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1})
+
+
+class TestMapCompound:
+    def test_and_or_becomes_aoi(self):
+        c = Circuit("t")
+        ins = [c.add_input(n) for n in "abx"]
+        c.set_output("y", c.or2(c.and2(ins[0], ins[1]), ins[2]))
+        out = strip_dead(map_compound(c))
+        kinds = out.count_by_kind()
+        assert kinds.get("AOI21") == 1
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1, "x": 1})
+
+    def test_double_and_or_becomes_aoi22(self):
+        c = Circuit("t")
+        ins = [c.add_input(n) for n in "abxw"]
+        c.set_output(
+            "y", c.or2(c.and2(ins[0], ins[1]), c.and2(ins[2], ins[3]))
+        )
+        out = strip_dead(map_compound(c))
+        assert out.count_by_kind().get("AOI22") == 1
+        _exhaustive_equivalent(c, out, {k: 1 for k in "abxw"})
+
+    def test_or_and_becomes_oai(self):
+        c = Circuit("t")
+        ins = [c.add_input(n) for n in "abx"]
+        c.set_output("y", c.and2(c.or2(ins[0], ins[1]), ins[2]))
+        out = strip_dead(map_compound(c))
+        assert out.count_by_kind().get("OAI21") == 1
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1, "x": 1})
+
+
+class TestStripDead:
+    def test_dead_gate_removed(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.not_(a)  # dead
+        c.set_output("y", c.buf(a))
+        out = strip_dead(c)
+        assert out.count_by_kind().get("INV", 0) == 0
+
+    def test_live_logic_kept(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        out = strip_dead(c)
+        assert out.count_by_kind() == {"INV": 1}
+
+
+class TestBufferFanout:
+    def test_high_fanout_net_gets_buffers(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = c.not_(a)
+        c.set_output_bus("y", [c.not_(x) for _ in range(30)])
+        out = buffer_fanout(c, max_fanout=8)
+        check_circuit(out)
+        fan = out.fanout_counts()
+        assert max(fan) <= 8
+        assert out.count_by_kind().get("BUF", 0) >= 4
+        for v in (0, 1):
+            assert simulate(out, {"a": v})["y"] == simulate(c, {"a": v})["y"]
+
+    def test_low_fanout_untouched(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        out = buffer_fanout(c, max_fanout=8)
+        assert out.count_by_kind().get("BUF", 0) == 0
+
+    def test_high_fanout_input_buffered(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output_bus("y", [c.not_(a) for _ in range(20)])
+        out = buffer_fanout(c, max_fanout=4)
+        assert max(out.fanout_counts()) <= 4
+
+    def test_invalid_limit_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", a)
+        with pytest.raises(ValueError, match="max_fanout"):
+            buffer_fanout(c, max_fanout=1)
+
+
+class TestOptimizePipeline:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_adder_preserved_exhaustively(self, width):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(width)
+        opt, stats = optimize(c)
+        check_circuit(opt)
+        assert stats.gates_before == c.num_gates
+        for a in range(1 << width):
+            for b in range(0, 1 << width, 3):
+                assert simulate(opt, {"a": a, "b": b})["sum"] == a + b
+
+    def test_optimize_reduces_kogge_stone(self):
+        from repro.adders import build_kogge_stone_adder
+
+        c = build_kogge_stone_adder(32)
+        opt, stats = optimize(c, buffer_limit=None)
+        assert opt.num_gates < c.num_gates
+        assert stats.removed > 0
+
+    def test_random_circuit_equivalence(self):
+        """Optimizer preserves function on randomly-built DAGs."""
+        gen = random.Random(7)
+        for trial in range(12):
+            c = Circuit(f"rand{trial}")
+            nets = list(c.add_input_bus("x", 4))
+            nets.append(c.const0())
+            nets.append(c.const1())
+            for _ in range(25):
+                op = gen.choice(
+                    ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2", "INV", "MUX2"]
+                )
+                arity = {"INV": 1, "MUX2": 3}.get(op, 2)
+                ins = [gen.choice(nets) for _ in range(arity)]
+                nets.append(c.add_gate(op, ins))
+            c.set_output_bus("y", nets[-6:])
+            opt, _ = optimize(c)
+            check_circuit(opt)
+            vals = list(range(16))
+            assert (
+                simulate_batch(c, {"x": vals})["y"]
+                == simulate_batch(opt, {"x": vals})["y"]
+            )
+
+    def test_optimize_does_not_mutate_input(self):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(6)
+        before = c.num_gates
+        optimize(c)
+        assert c.num_gates == before

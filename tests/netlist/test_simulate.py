@@ -1,0 +1,161 @@
+"""Tests for bit-parallel simulation (repro.netlist.simulate)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.simulate import simulate, simulate_batch
+
+
+def _two_input_circuit(kind):
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("y", c.add_gate(kind, [a, b]))
+    return c
+
+
+TWO_INPUT_TRUTH = {
+    "AND2": lambda a, b: a & b,
+    "OR2": lambda a, b: a | b,
+    "XOR2": lambda a, b: a ^ b,
+    "NAND2": lambda a, b: 1 - (a & b),
+    "NOR2": lambda a, b: 1 - (a | b),
+    "XNOR2": lambda a, b: 1 - (a ^ b),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(TWO_INPUT_TRUTH))
+def test_two_input_gate_truth_tables(kind):
+    c = _two_input_circuit(kind)
+    fn = TWO_INPUT_TRUTH[kind]
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert simulate(c, {"a": a, "b": b})["y"] == fn(a, b)
+
+
+def test_inv_buf_const():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("inv", c.not_(a))
+    c.set_output("buf", c.buf(a))
+    c.set_output("zero", c.const0())
+    c.set_output("one", c.const1())
+    for a_val in (0, 1):
+        out = simulate(c, {"a": a_val})
+        assert out["inv"] == 1 - a_val
+        assert out["buf"] == a_val
+        assert out["zero"] == 0
+        assert out["one"] == 1
+
+
+def test_mux_semantics():
+    c = Circuit("t")
+    sel = c.add_input("sel")
+    d0 = c.add_input("d0")
+    d1 = c.add_input("d1")
+    c.set_output("y", c.mux2(sel, d0, d1))
+    for s, x0, x1 in itertools.product((0, 1), repeat=3):
+        got = simulate(c, {"sel": s, "d0": x0, "d1": x1})["y"]
+        assert got == (x1 if s else x0)
+
+
+@pytest.mark.parametrize(
+    "kind,fn",
+    [
+        ("AOI21", lambda a, b, x: 1 - ((a & b) | x)),
+        ("OAI21", lambda a, b, x: 1 - ((a | b) & x)),
+    ],
+)
+def test_compound_three_input_cells(kind, fn):
+    c = Circuit("t")
+    ins = [c.add_input(n) for n in "abx"]
+    c.set_output("y", c.add_gate(kind, ins))
+    for a, b, x in itertools.product((0, 1), repeat=3):
+        assert simulate(c, {"a": a, "b": b, "x": x})["y"] == fn(a, b, x)
+
+
+@pytest.mark.parametrize(
+    "kind,fn",
+    [
+        ("AOI22", lambda a, b, x, w: 1 - ((a & b) | (x & w))),
+        ("OAI22", lambda a, b, x, w: 1 - ((a | b) & (x | w))),
+    ],
+)
+def test_compound_four_input_cells(kind, fn):
+    c = Circuit("t")
+    ins = [c.add_input(n) for n in "abxw"]
+    c.set_output("y", c.add_gate(kind, ins))
+    for a, b, x, w in itertools.product((0, 1), repeat=4):
+        assert simulate(c, {"a": a, "b": b, "x": x, "w": w})["y"] == fn(a, b, x, w)
+
+
+class TestBatchSemantics:
+    def test_batch_matches_single(self):
+        c = Circuit("t")
+        a = c.add_input_bus("a", 5)
+        b = c.add_input_bus("b", 5)
+        outs = [c.xor2(a[i], b[i]) for i in range(5)]
+        c.set_output_bus("y", outs)
+        xs = list(range(12))
+        ys = list(range(5, 17))
+        batch = simulate_batch(c, {"a": xs, "b": ys})["y"]
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            assert batch[i] == simulate(c, {"a": x, "b": y})["y"]
+
+    def test_empty_batch(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        assert simulate_batch(c, {"a": []})["y"] == []
+
+    def test_missing_input_bus_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.set_output("y", c.const1())
+        with pytest.raises(NetlistError, match="mismatch"):
+            simulate_batch(c, {"a": [1]})
+
+    def test_extra_input_bus_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", a)
+        with pytest.raises(NetlistError, match="mismatch"):
+            simulate_batch(c, {"a": [1], "b": [0]})
+
+    def test_ragged_batches_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("y", c.and2(a, b))
+        with pytest.raises(NetlistError, match="equal length"):
+            simulate_batch(c, {"a": [1, 0], "b": [1]})
+
+    def test_value_too_wide_rejected(self):
+        c = Circuit("t")
+        a = c.add_input_bus("a", 3)
+        c.set_output_bus("y", a)
+        with pytest.raises(NetlistError, match="does not fit"):
+            simulate(c, {"a": 8})
+
+    def test_negative_value_rejected(self):
+        c = Circuit("t")
+        a = c.add_input_bus("a", 3)
+        c.set_output_bus("y", a)
+        with pytest.raises(NetlistError, match="does not fit"):
+            simulate(c, {"a": -1})
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vals=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=80)
+)
+def test_wide_batch_identity_bus(vals):
+    """Transposing in and back out of bitmask form is lossless."""
+    c = Circuit("t")
+    a = c.add_input_bus("a", 8)
+    c.set_output_bus("y", a)
+    assert simulate_batch(c, {"a": vals})["y"] == vals

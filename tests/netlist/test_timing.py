@@ -1,0 +1,150 @@
+"""Tests for static timing analysis (repro.netlist.timing)."""
+
+import pytest
+
+from repro.cells.library import Cell, CellLibrary
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.timing import analyze_timing, critical_delay, describe_path
+
+
+def _unit_library():
+    """Library with delay exactly 1.0 per stage (no load term)."""
+    from repro.cells.library import UMC65_LIKE
+
+    cells = [
+        Cell(c.name, c.num_inputs, c.area, 1.0, 0.0)
+        for c in UMC65_LIKE
+    ]
+    # Constants stay free so they don't skew depth counting.
+    cells = [
+        Cell(c.name, c.num_inputs, c.area, 0.0 if c.name.startswith("CONST") else 1.0, 0.0)
+        for c in UMC65_LIKE
+    ]
+    return CellLibrary("unit", cells)
+
+
+class TestArrival:
+    def test_inputs_arrive_at_zero(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        report = analyze_timing(c)
+        assert report.arrival[a] == 0.0
+
+    def test_chain_depth_equals_delay_in_unit_library(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = a
+        for _ in range(5):
+            x = c.not_(x)
+        c.set_output("y", x)
+        report = analyze_timing(c, _unit_library())
+        assert report.critical_delay == pytest.approx(5.0)
+        assert report.logic_depth() == 5
+
+    def test_max_over_inputs(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        slow = c.not_(c.not_(c.not_(a)))
+        y = c.and2(slow, b)
+        c.set_output("y", y)
+        report = analyze_timing(c, _unit_library())
+        assert report.critical_delay == pytest.approx(4.0)
+
+    def test_input_arrival_offsets(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("y", c.and2(a, b))
+        report = analyze_timing(c, _unit_library(), input_arrival={"b": 10.0})
+        assert report.critical_delay == pytest.approx(11.0)
+
+    def test_scalar_input_arrival(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        report = analyze_timing(c, _unit_library(), input_arrival=2.5)
+        assert report.critical_delay == pytest.approx(3.5)
+
+    def test_fanout_increases_delay_in_loaded_library(self):
+        def build(n_sinks):
+            c = Circuit("t")
+            a = c.add_input("a")
+            x = c.not_(a)
+            outs = [c.not_(x) for _ in range(n_sinks)]
+            c.set_output_bus("y", outs)
+            return analyze_timing(c).arrival[x]
+
+        assert build(8) > build(1)
+
+
+class TestPathQueries:
+    def test_bus_delay_separates_output_groups(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        fast = c.not_(a)
+        slow = c.not_(c.not_(c.not_(a)))
+        c.set_output("fast", fast)
+        c.set_output("slow", slow)
+        report = analyze_timing(c, _unit_library())
+        assert report.bus_delay("fast") == pytest.approx(1.0)
+        assert report.bus_delay("slow") == pytest.approx(3.0)
+        assert report.buses_delay(["fast", "slow"]) == pytest.approx(3.0)
+
+    def test_unknown_bus_raises(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("y", c.not_(a))
+        report = analyze_timing(c)
+        with pytest.raises(NetlistError, match="no output bus"):
+            report.bus_delay("nope")
+
+    def test_critical_path_starts_at_input(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        y = c.and2(c.not_(a), b)
+        c.set_output("y", y)
+        report = analyze_timing(c)
+        path = report.critical_path()
+        assert path[0] in (a, b)
+        assert path[-1] == y
+
+    def test_path_arrivals_monotone(self):
+        from repro.adders import build_kogge_stone_adder
+
+        c = build_kogge_stone_adder(16)
+        report = analyze_timing(c)
+        path = report.critical_path()
+        arrivals = [report.arrival[n] for n in path]
+        assert arrivals == sorted(arrivals)
+
+    def test_describe_path_rows(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.not_(a)
+        c.set_output("y", y)
+        report = analyze_timing(c)
+        rows = describe_path(c, report, report.critical_path())
+        assert rows[0][1] == "<input>"
+        assert rows[-1][1] == "INV"
+
+
+def test_critical_delay_convenience_matches_report():
+    from repro.adders import build_ripple_adder
+
+    c = build_ripple_adder(8)
+    assert critical_delay(c) == pytest.approx(analyze_timing(c).critical_delay)
+
+
+def test_adder_width_scaling_is_logarithmic_for_prefix():
+    """O(log n) critical path: delay(512) - delay(256) ~ one level."""
+    from repro.adders import build_kogge_stone_adder
+
+    d256 = critical_delay(build_kogge_stone_adder(256))
+    d512 = critical_delay(build_kogge_stone_adder(512))
+    d64 = critical_delay(build_kogge_stone_adder(64))
+    assert d512 > d256
+    # One extra prefix level (256->512), versus two (64->256): sub-linear.
+    assert (d512 - d256) < (d256 - d64)

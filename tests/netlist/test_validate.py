@@ -1,0 +1,55 @@
+"""Tests for structural validation (repro.netlist.validate)."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.validate import check_circuit, live_gate_fraction, unused_nets
+
+
+def test_valid_circuit_passes():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("y", c.not_(a))
+    check_circuit(c)  # should not raise
+
+
+def test_no_outputs_rejected():
+    c = Circuit("t")
+    c.add_input("a")
+    with pytest.raises(NetlistError, match="no outputs"):
+        check_circuit(c)
+
+
+def test_unused_nets_found():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")  # never used
+    c.set_output("y", c.not_(a))
+    assert b in unused_nets(c)
+
+
+def test_all_generated_designs_validate():
+    from repro.adders import ADDER_GENERATORS
+    from repro.core import build_scsa_adder, build_vlcsa1, build_vlcsa2, build_vlsa
+
+    for gen in ADDER_GENERATORS.values():
+        check_circuit(gen(24))
+    check_circuit(build_scsa_adder(24, 6))
+    check_circuit(build_vlcsa1(24, 6))
+    check_circuit(build_vlcsa2(24, 6))
+    check_circuit(build_vlsa(24, 6))
+
+
+def test_live_fraction_full_after_strip():
+    from repro.adders import build_kogge_stone_adder
+
+    c = build_kogge_stone_adder(32)  # generator strips dead gates
+    assert live_gate_fraction(c) == pytest.approx(1.0)
+
+
+def test_live_fraction_detects_dead_logic():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.not_(a)  # dead
+    c.set_output("y", c.buf(a))
+    assert live_gate_fraction(c) == pytest.approx(0.5)

@@ -1,0 +1,67 @@
+"""Tests for the sequential Verilog wrapper (repro.rtl.sequential)."""
+
+import pytest
+
+from repro.core import build_vlcsa1, build_vlcsa2, build_vlsa
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.rtl.sequential import to_sequential_wrapper
+
+
+@pytest.fixture(scope="module")
+def wrapper_text():
+    return to_sequential_wrapper(build_vlcsa1(32, 8))
+
+
+class TestStructure:
+    def test_module_header_and_ports(self, wrapper_text):
+        assert "module vlcsa1_32w8_seq (" in wrapper_text
+        for port in ("clk", "rst_n", "in_valid", "in_ready", "out_valid", "result"):
+            assert port in wrapper_text
+        assert "input  wire [31:0] a," in wrapper_text
+        assert "output reg  [32:0] result" in wrapper_text
+
+    def test_instantiates_core_by_name(self, wrapper_text):
+        assert "vlcsa1_32w8 core (" in wrapper_text
+        assert ".sum(spec_sum)" in wrapper_text
+        assert ".sum_rec(rec_sum)" in wrapper_text
+
+    def test_handshake_logic_present(self, wrapper_text):
+        assert "assign in_ready = !(op_live && err && ~stalled);" in wrapper_text
+        assert "stalled <= 1'b1;   // STALL" in wrapper_text
+        assert "result    <= rec_sum;" in wrapper_text
+
+    def test_capture_gated_by_ready(self, wrapper_text):
+        """Capture must not clobber operands in the stall-trigger cycle."""
+        assert "if (in_valid && in_ready) begin" in wrapper_text
+
+    def test_reset_clears_state(self, wrapper_text):
+        assert "if (!rst_n) begin" in wrapper_text
+        assert "out_valid <= 1'b0;" in wrapper_text
+
+    def test_custom_wrapper_name(self):
+        text = to_sequential_wrapper(build_vlcsa1(16, 4), wrapper_name="my_adder")
+        assert "module my_adder (" in text
+
+
+class TestContract:
+    def test_works_for_all_variable_latency_designs(self):
+        for circuit in (build_vlcsa1(16, 4), build_vlcsa2(16, 4), build_vlsa(16, 4)):
+            text = to_sequential_wrapper(circuit)
+            assert f"module {circuit.name}_seq (" in text
+
+    def test_missing_ports_rejected(self):
+        c = Circuit("plain")
+        a = c.add_input_bus("a", 4)
+        b = c.add_input_bus("b", 4)
+        c.set_output_bus("sum", a)
+        with pytest.raises(NetlistError, match="lacks"):
+            to_sequential_wrapper(c)
+
+    def test_wrong_inputs_rejected(self):
+        c = Circuit("odd")
+        x = c.add_input_bus("x", 4)
+        c.set_output_bus("sum", x)
+        c.set_output_bus("sum_rec", x)
+        c.set_output("err", c.const0())
+        with pytest.raises(NetlistError, match="inputs 'a' and 'b'"):
+            to_sequential_wrapper(c)

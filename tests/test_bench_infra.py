@@ -1,0 +1,22 @@
+"""Tests for the benchmark infrastructure (benchmarks/conftest.py)."""
+
+import importlib
+
+import benchmarks.conftest as bc
+
+
+def test_reduced_scale_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+    assert not bc.full_scale()
+    assert bc.mc_samples(10_000_000, 400_000) == 400_000
+
+
+def test_full_scale_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    assert bc.full_scale()
+    assert bc.mc_samples(10_000_000, 400_000) == 10_000_000
+
+
+def test_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+    assert not bc.full_scale()

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_gen_writes_verilog(tmp_path, capsys):
+    out = tmp_path / "adder.v"
+    assert main(["gen", "vlcsa1", "24", "6", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "module vlcsa1_24w6" in text
+    assert "endmodule" in text
+
+
+def test_gen_to_stdout_parses_back(capsys):
+    assert main(["gen", "kogge_stone", "16"]) == 0
+    captured = capsys.readouterr().out
+    from repro.rtl import from_verilog
+    from repro.netlist.simulate import simulate
+
+    circuit = from_verilog(captured)
+    assert simulate(circuit, {"a": 1000, "b": 2345})["sum"] == 3345
+
+
+def test_gen_optimized_is_smaller(tmp_path):
+    raw = tmp_path / "raw.v"
+    opt = tmp_path / "opt.v"
+    main(["gen", "kogge_stone", "32", "-o", str(raw)])
+    main(["gen", "kogge_stone", "32", "-o", str(opt), "--optimize"])
+    assert opt.read_text().count("assign") < raw.read_text().count("assign")
+
+
+def test_gen_unknown_design_fails():
+    with pytest.raises(SystemExit):
+        main(["gen", "quantum", "64"])
+
+
+def test_gen_default_window_from_solver(tmp_path):
+    out = tmp_path / "a.v"
+    assert main(["gen", "scsa1", "64", "-o", str(out)]) == 0
+    assert "scsa1_64w14" in out.read_text()  # Table 7.4 window
+
+
+def test_tb_emits_testbench(tmp_path):
+    out = tmp_path / "tb.v"
+    assert main(["tb", "ripple", "8", "-o", str(out), "--vectors", "5"]) == 0
+    text = out.read_text()
+    assert "module ripple_8_tb;" in text
+    assert text.count("!==") == 5
+
+
+def test_report_table(capsys):
+    assert main(["report", "32", "--designs", "kogge_stone", "scsa1"]) == 0
+    out = capsys.readouterr().out
+    assert "kogge_stone" in out
+    assert "scsa1" in out
+    assert "delay" in out
+
+
+def test_report_unknown_design_fails():
+    with pytest.raises(SystemExit):
+        main(["report", "32", "--designs", "abacus"])
+
+
+def test_sweep_table(capsys):
+    assert main(["sweep", "32", "--k-min", "6", "--k-max", "10", "--k-step", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "P_err" in out
+    assert out.count("\n") >= 5
+
+
+def test_errors_uniform(capsys):
+    assert main(["errors", "32", "--window", "8", "--samples", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "Eq. 3.13" in out
+    assert "VLCSA 2 stall" in out
+
+
+def test_errors_gaussian_shows_vlcsa1_collapse(capsys):
+    assert main(
+        ["errors", "64", "--inputs", "gaussian", "--samples", "30000"]
+    ) == 0
+    out = capsys.readouterr().out
+    # the 25%-ish VLCSA 1 rate appears in the table
+    assert any(token.startswith("2") and "%" in token
+               for token in out.split() if "%" in token)
+
+
+def test_equiv_equivalent_designs(capsys):
+    assert main(["equiv", "brent_kung", "kogge_stone", "16"]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_equiv_speculative_not_equivalent(capsys):
+    assert main(["equiv", "scsa1", "kogge_stone", "16", "--window", "4"]) == 1
+    out = capsys.readouterr().out
+    assert "NOT EQUIVALENT" in out
+    assert "counterexample" in out
+
+
+def test_equiv_named_buses(capsys):
+    assert main(
+        ["equiv", "vlcsa1", "kogge_stone", "16", "--window", "4",
+         "--bus1", "sum_rec", "--bus2", "sum"]
+    ) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_chains_histogram(capsys):
+    assert main(["chains", "16", "--samples", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "carry-chain lengths" in out
+    assert "#" in out  # the bar chart rendered
+
+
+def test_chains_gaussian(capsys):
+    assert main(["chains", "64", "--inputs", "gaussian", "--samples", "20000"]) == 0
+    assert "gaussian" in capsys.readouterr().out
+
+
+def test_seq_emits_core_and_shell(tmp_path):
+    out = tmp_path / "seq.v"
+    assert main(["seq", "vlcsa1", "16", "4", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert text.count("module ") == 2
+    assert "vlcsa1_16w4_seq" in text
+    assert "posedge clk" in text
+
+
+def test_figures_command(tmp_path, capsys):
+    assert main(
+        ["figures", "-o", str(tmp_path), "--names", "fig3_5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fig3_5.json" in out
+    assert (tmp_path / "fig3_5.json").exists()

@@ -1,0 +1,91 @@
+"""Thesis-scale sanity: the designs behave at the evaluation's largest
+width (n = 512), not just at test-friendly sizes."""
+
+import random
+
+import pytest
+
+from repro.analysis.sizing import THESIS_TABLE_7_3, THESIS_TABLE_7_5
+from repro.netlist.simulate import simulate_batch
+from repro.netlist.timing import analyze_timing
+from repro.netlist.validate import check_circuit, live_gate_fraction
+
+
+WIDTH = 512
+
+
+@pytest.fixture(scope="module")
+def operands():
+    gen = random.Random(512)
+    pairs = [(gen.randrange(1 << WIDTH), gen.randrange(1 << WIDTH))
+             for _ in range(24)]
+    pairs.append(((1 << WIDTH) - 1, 1))  # full-length carry chain
+    pairs.append((0, 0))
+    return pairs
+
+
+def _exercise(circuit, pairs, exact_bus, spec_bus=None, err_bus=None):
+    check_circuit(circuit)
+    assert live_gate_fraction(circuit) == pytest.approx(1.0)
+    out = simulate_batch(
+        circuit, {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+    )
+    for (a, b), value in zip(pairs, out[exact_bus]):
+        assert value == a + b
+    if spec_bus and err_bus:
+        for (a, b), spec, err in zip(pairs, out[spec_bus], out[err_bus]):
+            if not err:
+                assert spec == a + b
+
+
+def test_kogge_stone_512(operands):
+    from repro.adders import build_kogge_stone_adder
+
+    c = build_kogge_stone_adder(WIDTH)
+    _exercise(c, operands, "sum")
+    assert analyze_timing(c).critical_delay > 0
+
+
+def test_vlcsa1_512(operands):
+    from repro.core import build_vlcsa1
+
+    k = THESIS_TABLE_7_3[WIDTH][0]
+    c = build_vlcsa1(WIDTH, k)
+    _exercise(c, operands, "sum_rec", "sum", "err")
+    report = analyze_timing(c)
+    # the full-length chain case must stall
+    out = simulate_batch(c, {"a": [(1 << WIDTH) - 1], "b": [1]})
+    assert out["err"][0] == 1
+    assert report.bus_delay("sum_rec") > report.bus_delay("sum")
+
+
+def test_vlcsa2_512(operands):
+    from repro.core import build_vlcsa2
+
+    k = THESIS_TABLE_7_5[WIDTH][0]
+    c = build_vlcsa2(WIDTH, k)
+    _exercise(c, operands, "sum_rec", "sum", "err")
+
+
+def test_vlsa_512(operands):
+    from repro.core import build_vlsa
+
+    l = THESIS_TABLE_7_3[WIDTH][1]
+    c = build_vlsa(WIDTH, l)
+    _exercise(c, operands, "sum_rec", "sum", "err")
+
+
+def test_behavioral_at_512_matches_gates(operands):
+    """The Monte Carlo engine agrees with gate simulation at full width."""
+    from repro.core import build_vlcsa1
+    from repro.model.behavioral import err0_flags, pack_ints, window_profile
+
+    k = THESIS_TABLE_7_3[WIDTH][0]
+    c = build_vlcsa1(WIDTH, k)
+    av = [a for a, _ in operands]
+    bv = [b for _, b in operands]
+    out = simulate_batch(c, {"a": av, "b": bv})
+    flags = err0_flags(
+        window_profile(pack_ints(av, WIDTH), pack_ints(bv, WIDTH), WIDTH, k)
+    )
+    assert out["err"] == [int(f) for f in flags]
