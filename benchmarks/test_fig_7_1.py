@@ -2,13 +2,17 @@
 
 Paper: markers (simulation, 10^7 unsigned uniform inputs) sit on the solid
 analytic curves for n in {64, 128, 256, 512} across window sizes.
+
+The Monte Carlo column runs through :mod:`repro.engine`: one
+deterministically-seeded job per (n, k) point, all executed as a group
+(serial here for reproducible timing; ``run_jobs(..., workers=N)`` gives
+the same bits on a multi-core box).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.report import format_table
-from repro.model.behavioral import monte_carlo_scsa_error_rate
+from repro.engine import MonteCarloErrorJob, run_jobs
 from repro.model.error_model import scsa_error_rate, scsa_error_rate_exact
 
 from benchmarks.conftest import mc_samples, run_once
@@ -21,20 +25,31 @@ POINTS = [
     (512, (9, 11, 13, 15)),
 ]
 
+SEED = 71
+
 
 def test_fig_7_1_error_model_validation(benchmark):
     samples = mc_samples(10_000_000, 400_000)
+    flat = [(n, k) for n, ks in POINTS for k in ks]
 
     def compute():
-        rows = []
-        rng = np.random.default_rng(71)
-        for n, ks in POINTS:
-            for k in ks:
-                analytic = scsa_error_rate(n, k)
-                exact = scsa_error_rate_exact(n, k)
-                mc = monte_carlo_scsa_error_rate(n, k, samples, rng)
-                rows.append((n, k, analytic, exact, mc))
-        return rows
+        jobs = [
+            MonteCarloErrorJob(
+                width=n, window=k, samples=samples, seed=SEED, counters=("scsa1",)
+            )
+            for n, k in flat
+        ]
+        results = run_jobs(jobs)
+        return [
+            (
+                n,
+                k,
+                scsa_error_rate(n, k),
+                scsa_error_rate_exact(n, k),
+                result.aggregate.rate("scsa1_errors"),
+            )
+            for (n, k), result in zip(flat, results)
+        ]
 
     rows = run_once(benchmark, compute)
 

@@ -16,43 +16,49 @@ Monte Carlo error = speculative result (either hypothesis for VLCSA 2)
 differs from the true sum; nominal = the detector fires (ERR for VLCSA 1,
 ERR0 & ERR1 for VLCSA 2).  VLCSA 2 uses MSB remainder placement (the
 reproduction finding documented in EXPERIMENTS.md).
+
+Each (n, k) point is one :class:`repro.engine.MonteCarloErrorJob` carrying
+all four counters; the group runs through one engine call.
 """
 
-import numpy as np
-
 from repro.analysis.report import format_table, percent
-from repro.inputs.generators import gaussian_operands
-from repro.model.behavioral import (
-    err0_flags,
-    err1_flags,
-    scsa1_error_flags,
-    scsa2_s1_error_flags,
-    window_profile,
-)
+from repro.engine import MonteCarloErrorJob, run_jobs
 
 from benchmarks.conftest import mc_samples, run_once
 
 POINTS = [(64, 14), (128, 15), (256, 16), (512, 17)]
 PAPER_VLCSA1 = 0.2501
 PAPER_VLCSA2 = 0.0001
+SEED = 712
 
 
-def test_tab_7_1_and_7_2_gaussian_error_rates(benchmark, bench_rng):
+def test_tab_7_1_and_7_2_gaussian_error_rates(benchmark):
     samples = mc_samples(1_000_000, 250_000)
 
     def compute():
-        rows = []
-        for n, k in POINTS:
-            a = gaussian_operands(n, samples, rng=bench_rng)
-            b = gaussian_operands(n, samples, rng=bench_rng)
-            p1 = window_profile(a, b, n, k, "lsb")
-            mc1 = float(scsa1_error_flags(p1).mean())
-            nom1 = float(err0_flags(p1).mean())
-            p2 = window_profile(a, b, n, k, "msb")
-            mc2 = float((scsa1_error_flags(p2) & scsa2_s1_error_flags(p2)).mean())
-            nom2 = float((err0_flags(p2) & err1_flags(p2)).mean())
-            rows.append((n, k, mc1, nom1, mc2, nom2))
-        return rows
+        jobs = [
+            MonteCarloErrorJob(
+                width=n,
+                window=k,
+                samples=samples,
+                distribution="gaussian",
+                seed=SEED,
+                counters=("scsa1", "vlcsa1_nominal", "vlcsa2", "vlcsa2_stall"),
+            )
+            for n, k in POINTS
+        ]
+        results = run_jobs(jobs)
+        return [
+            (
+                n,
+                k,
+                agg.rate("scsa1_errors"),
+                agg.rate("vlcsa1_nominal"),
+                agg.rate("vlcsa2_errors"),
+                agg.rate("vlcsa2_stalls"),
+            )
+            for (n, k), agg in zip(POINTS, (r.aggregate for r in results))
+        ]
 
     rows = run_once(benchmark, compute)
 

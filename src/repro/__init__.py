@@ -94,6 +94,19 @@ from repro.inputs import (
     WORKLOADS,
 )
 
+# Execution engine
+from repro.engine import (
+    ElaborationCache,
+    EngineMetrics,
+    MonteCarloErrorJob,
+    MonteCarloMagnitudeJob,
+    SweepJob,
+    SweepPoint,
+    measure_design,
+    run_job,
+    run_jobs,
+)
+
 # Analysis
 from repro.analysis import (
     scsa_window_size_for,
@@ -168,6 +181,16 @@ __all__ = [
     "gaussian_operands",
     "GAUSSIAN_SIGMA_THESIS",
     "WORKLOADS",
+    # engine
+    "ElaborationCache",
+    "EngineMetrics",
+    "MonteCarloErrorJob",
+    "MonteCarloMagnitudeJob",
+    "SweepJob",
+    "SweepPoint",
+    "measure_design",
+    "run_job",
+    "run_jobs",
     # analysis
     "scsa_window_size_for",
     "vlsa_chain_length_for",

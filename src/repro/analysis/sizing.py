@@ -84,22 +84,36 @@ def vlcsa2_window_size_for(
     sigma: Optional[float] = None,
     slack: float = DEFAULT_SLACK,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 2012,
+    workers: int = 0,
 ) -> int:
     """Smallest VLCSA 2 window size meeting the target *stall* rate under
     2's-complement Gaussian operands (Monte Carlo — no closed form exists,
-    thesis section 6.7)."""
-    from repro.inputs.generators import GAUSSIAN_SIGMA_THESIS, gaussian_operands
-    from repro.model.behavioral import err0_flags, err1_flags, window_profile
+    thesis section 6.7).
+
+    Each candidate window runs as a :class:`repro.engine.MonteCarloErrorJob`
+    with the same root seed, so every ``k`` sees the same operand streams
+    (the search stays monotone up to MC noise) and ``workers`` can spread
+    the chunks over processes without changing the answer.  ``rng`` is kept
+    for callers that want a randomized seed: one integer is drawn from it.
+    """
+    from repro.engine import MonteCarloErrorJob, run_job
 
     if target <= 0:
         raise ValueError("target error rate must be positive")
-    sig = sigma if sigma is not None else GAUSSIAN_SIGMA_THESIS
-    generator = rng if rng is not None else np.random.default_rng(2012)
-    a = gaussian_operands(width, samples, sigma=sig, rng=generator)
-    b = gaussian_operands(width, samples, sigma=sig, rng=generator)
+    if rng is not None:
+        seed = int(rng.integers(0, 2**31))
     for k in range(2, width + 1):
-        profile = window_profile(a, b, width, k, remainder="msb")
-        stall = float((err0_flags(profile) & err1_flags(profile)).mean())
+        job = MonteCarloErrorJob(
+            width=width,
+            window=k,
+            samples=samples,
+            distribution="gaussian",
+            sigma=sigma,
+            seed=seed,
+            counters=("vlcsa2_stall",),
+        )
+        stall = run_job(job, workers=workers).aggregate.rate("vlcsa2_stalls")
         if stall <= target * slack:
             return k
     return width

@@ -8,14 +8,24 @@ analyses this reproduction adds:
 * ``report``  — delay/area (and per-path) report for a design;
 * ``sweep``   — window-size sweep at one width;
 * ``errors``  — Monte Carlo error/stall rates on a chosen input class;
-* ``tb``      — emit a self-checking Verilog testbench.
+* ``tb``      — emit a self-checking Verilog testbench;
+* ``engine``  — the batch-execution engine: cached, optionally parallel
+  Monte Carlo / sweep / magnitude runs with a metrics report.
+
+``sweep`` and ``errors`` execute through :mod:`repro.engine`, so they gain
+``--workers`` (multiprocessing) for free.  A global ``--seed`` before the
+subcommand seeds any sampling command; each run is deterministic either
+way (the default seed is fixed).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional
+
+DEFAULT_SEED = 2012
 
 import numpy as np
 
@@ -42,6 +52,14 @@ from repro.netlist.bdd import prove_equivalent
 from repro.netlist.circuit import Circuit
 from repro.netlist.optimize import optimize
 from repro.rtl import to_testbench, to_verilog
+
+
+def _resolve_seed(args: argparse.Namespace, default: int = DEFAULT_SEED) -> int:
+    """Per-command ``--seed`` wins, then the global one, then the default."""
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        seed = getattr(args, "global_seed", None)
+    return default if seed is None else seed
 
 
 def _build_design(name: str, width: int, window: Optional[int]) -> Circuit:
@@ -82,7 +100,7 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 def _cmd_tb(args: argparse.Namespace) -> int:
     circuit = _build_design(args.design, args.width, args.window)
-    gen = np.random.default_rng(args.seed)
+    gen = np.random.default_rng(_resolve_seed(args))
     vectors = {
         name: [int(gen.integers(0, 1 << len(nets))) for _ in range(args.vectors)]
         for name, nets in circuit.input_buses.items()
@@ -131,17 +149,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import SweepJob, SweepPoint, measure_design, run_job
+    from repro.engine.jobs import process_cache
+
     width = args.width
+    job = SweepJob(
+        points=tuple(
+            SweepPoint("vlcsa1", width, k)
+            for k in range(args.k_min, args.k_max + 1, args.k_step)
+        ),
+        mc_samples=args.mc_samples,
+        seed=_resolve_seed(args),
+    )
+    result = run_job(job, workers=args.workers)
+    headers = ["k", "P_err", "1-cycle delay", "area"]
+    if args.mc_samples:
+        headers.append(f"P_err MC({args.mc_samples})")
     rows = []
-    for k in range(args.k_min, args.k_max + 1, args.k_step):
-        m = measure_vlcsa1(width, k)
-        rows.append(
-            (k, f"{scsa_error_rate(width, k):.2e}", f"{m.delay:.3f}", f"{m.area:.0f}")
-        )
-    dw = measure_designware(width)
+    for row in result.aggregate.ordered():
+        cols = [
+            row["window"],
+            f"{row['model_error_rate']:.2e}",
+            f"{row['delay']:.3f}",
+            f"{row['area']:.0f}",
+        ]
+        if args.mc_samples:
+            cols.append(f"{row['mc_error_rate']:.2e}")
+        rows.append(tuple(cols))
+    dw = measure_design("designware", width, cache=process_cache(None))
     print(
         format_table(
-            ["k", "P_err", "1-cycle delay", "area"],
+            headers,
             rows,
             title=f"VLCSA 1 sweep @ n={width} "
             f"(DesignWare reference: {dw.delay:.3f} / {dw.area:.0f})",
@@ -151,36 +189,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_errors(args: argparse.Namespace) -> int:
-    from repro.inputs.generators import gaussian_operands, uniform_operands
-    from repro.model.behavioral import (
-        err0_flags,
-        err1_flags,
-        scsa1_error_flags,
-        scsa2_s1_error_flags,
-        window_profile,
-    )
+    from repro.engine import MonteCarloErrorJob, run_job
 
     width = args.width
     k = args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
-    gen = np.random.default_rng(args.seed)
-    if args.inputs == "uniform":
-        a = uniform_operands(width, args.samples, gen)
-        b = uniform_operands(width, args.samples, gen)
-    else:
-        a = gaussian_operands(width, args.samples, rng=gen)
-        b = gaussian_operands(width, args.samples, rng=gen)
-
-    p1 = window_profile(a, b, width, k, "lsb")
-    p2 = window_profile(a, b, width, k, "msb")
-    stall2 = err0_flags(p2) & err1_flags(p2)
-    both_wrong = scsa1_error_flags(p2) & scsa2_s1_error_flags(p2)
+    job = MonteCarloErrorJob(
+        width=width,
+        window=k,
+        samples=args.samples,
+        distribution=args.inputs,
+        seed=_resolve_seed(args),
+        counters=("scsa1", "vlcsa2", "vlcsa2_stall"),
+    )
+    agg = run_job(job, workers=args.workers).aggregate
     print(
         format_table(
             ["metric", "rate"],
             [
-                ("SCSA 1 / VLCSA 1 error (= stall)", percent(float(scsa1_error_flags(p1).mean()), 4)),
-                ("VLCSA 2 stall (ERR0 & ERR1)", percent(float(stall2.mean()), 4)),
-                ("VLCSA 2 both hypotheses wrong", percent(float(both_wrong.mean()), 4)),
+                ("SCSA 1 / VLCSA 1 error (= stall)", percent(agg.rate("scsa1_errors"), 4)),
+                ("VLCSA 2 stall (ERR0 & ERR1)", percent(agg.rate("vlcsa2_stalls"), 4)),
+                ("VLCSA 2 both hypotheses wrong", percent(agg.rate("vlcsa2_errors"), 4)),
                 ("Eq. 3.13 prediction (uniform)", percent(scsa_error_rate(width, k), 4)),
             ],
             title=f"n={width}, k={k}, {args.inputs} inputs, {args.samples} samples",
@@ -232,7 +260,7 @@ def _cmd_chains(args: argparse.Namespace) -> int:
     from repro.inputs.generators import gaussian_operands, uniform_operands
     from repro.model.carry_chains import chain_length_histogram
 
-    gen = np.random.default_rng(args.seed)
+    gen = np.random.default_rng(_resolve_seed(args))
     if args.inputs == "uniform":
         a = uniform_operands(args.width, args.samples, gen)
         b = uniform_operands(args.width, args.samples, gen)
@@ -256,11 +284,259 @@ def _cmd_chains(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_cache(args: argparse.Namespace):
+    """The disk-backed elaboration cache the engine subcommand uses."""
+    from repro.engine import default_cache_dir
+    from repro.engine.jobs import process_cache
+
+    if getattr(args, "no_cache", False):
+        return None, None
+    directory = args.cache_dir if args.cache_dir else str(default_cache_dir())
+    return process_cache(directory), directory
+
+
+def _emit_json(path: Optional[str], payload: dict) -> None:
+    if not path:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True, default=float)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _print_metrics(metrics) -> None:
+    print()
+    for line in metrics.format_lines():
+        print(f"  {line}")
+
+
+def _cmd_engine_errors(args: argparse.Namespace) -> int:
+    """Fig. 7.1-style Monte Carlo run: one job per window size, one pool."""
+    from repro.engine import (
+        DEFAULT_CHUNK,
+        EngineMetrics,
+        MonteCarloErrorJob,
+        measure_design,
+        run_jobs,
+    )
+
+    width = args.width
+    windows = args.windows or [
+        args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
+    ]
+    seed = _resolve_seed(args)
+    jobs = [
+        MonteCarloErrorJob(
+            width=width,
+            window=k,
+            samples=args.samples,
+            distribution=args.inputs,
+            seed=seed,
+            chunk_size=args.chunk or DEFAULT_CHUNK,
+            counters=("scsa1", "vlcsa2", "vlcsa2_stall"),
+        )
+        for k in windows
+    ]
+    metrics = EngineMetrics()
+    results = run_jobs(jobs, workers=args.workers, metrics=metrics)
+
+    cache, cache_dir = _engine_cache(args)
+    designs = {}
+    if not args.no_design:
+        with metrics.phase("elaborate"):
+            for k in windows:
+                designs[k] = measure_design("scsa1", width, k, cache=cache)
+        if cache is not None:
+            metrics.merge_counters(cache.counters())
+
+    rows = []
+    report_rows = []
+    for k, result in zip(windows, results):
+        agg = result.aggregate
+        design = designs.get(k)
+        row = {
+            "window": k,
+            "model_error_rate": scsa_error_rate(width, k),
+            "scsa1_error_rate": agg.rate("scsa1_errors"),
+            "vlcsa2_stall_rate": agg.rate("vlcsa2_stalls"),
+            "vlcsa2_error_rate": agg.rate("vlcsa2_errors"),
+            "samples": agg.samples,
+        }
+        if design is not None:
+            row["delay"] = design.delay
+            row["area"] = design.area
+        report_rows.append(row)
+        rows.append(
+            (
+                k,
+                f"{row['model_error_rate']:.3e}",
+                f"{row['scsa1_error_rate']:.3e}",
+                f"{row['vlcsa2_stall_rate']:.3e}",
+                f"{design.delay:.3f}" if design else "-",
+                f"{design.area:.0f}" if design else "-",
+            )
+        )
+    print(
+        format_table(
+            ["k", "Eq.3.13", "SCSA1 MC", "VLCSA2 stall", "delay", "area"],
+            rows,
+            title=f"engine errors @ n={width}, {args.inputs} inputs, "
+            f"{args.samples} samples/window, {args.workers} workers",
+        )
+    )
+    _print_metrics(metrics)
+    _emit_json(
+        args.json,
+        {
+            "command": "engine errors",
+            "width": width,
+            "inputs": args.inputs,
+            "samples": args.samples,
+            "seed": seed,
+            "workers": args.workers,
+            "cache_dir": cache_dir,
+            "rows": report_rows,
+            "metrics": metrics.to_dict(),
+        },
+    )
+    return 0
+
+
+def _cmd_engine_sweep(args: argparse.Namespace) -> int:
+    """STA/area (and optional Monte Carlo) sweep through the engine."""
+    from repro.engine import EngineMetrics, SweepJob, SweepPoint, run_job
+    from repro.engine.elab import SWEEPABLE_DESIGNS, _FIXED
+
+    width = args.width
+    points = []
+    for design in args.designs:
+        if design not in SWEEPABLE_DESIGNS:
+            raise SystemExit(
+                f"unknown design {design!r}; choose from {SWEEPABLE_DESIGNS}"
+            )
+        if design in _FIXED:
+            points.append(SweepPoint(design, width, None))
+        else:
+            points.extend(
+                SweepPoint(design, width, k)
+                for k in range(args.k_min, args.k_max + 1, args.k_step)
+            )
+    cache, cache_dir = _engine_cache(args)
+    job = SweepJob(
+        points=tuple(points),
+        mc_samples=args.mc_samples,
+        seed=_resolve_seed(args),
+        cache_dir=cache_dir,
+    )
+    metrics = EngineMetrics()
+    result = run_job(job, workers=args.workers, metrics=metrics)
+    rows = result.aggregate.ordered()
+    print(
+        format_table(
+            ["design", "k", "delay", "area", "gates", "P_err model", "P_err MC"],
+            [
+                (
+                    row["architecture"],
+                    row["window"] if row["window"] is not None else "-",
+                    f"{row['delay']:.3f}",
+                    f"{row['area']:.0f}",
+                    row["gates"],
+                    _fmt_rate(row.get("model_error_rate")),
+                    _fmt_rate(row.get("mc_error_rate")),
+                )
+                for row in rows
+            ],
+            title=f"engine sweep @ n={width} ({len(points)} designs, "
+            f"{args.workers} workers)",
+        )
+    )
+    _print_metrics(metrics)
+    _emit_json(
+        args.json,
+        {
+            "command": "engine sweep",
+            "width": width,
+            "workers": args.workers,
+            "cache_dir": cache_dir,
+            "rows": list(rows),
+            "metrics": metrics.to_dict(),
+        },
+    )
+    return 0
+
+
+def _fmt_rate(value) -> str:
+    return f"{value:.3e}" if value is not None else "-"
+
+
+def _cmd_engine_magnitude(args: argparse.Namespace) -> int:
+    """Error-magnitude run (thesis section 3.3) through the engine."""
+    from repro.engine import (
+        DEFAULT_CHUNK,
+        EngineMetrics,
+        MonteCarloMagnitudeJob,
+        run_job,
+    )
+
+    width = args.width
+    k = args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
+    job = MonteCarloMagnitudeJob(
+        width=width,
+        window=k,
+        samples=args.samples,
+        distribution=args.inputs,
+        seed=_resolve_seed(args),
+        chunk_size=args.chunk or DEFAULT_CHUNK,
+    )
+    metrics = EngineMetrics()
+    stats = run_job(job, workers=args.workers, metrics=metrics).aggregate
+    scale = float(1 << width)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("samples", stats.samples),
+                ("errors", stats.errors),
+                ("error rate", f"{stats.errors / stats.samples:.3e}"),
+                ("mean |error|", f"{stats.mean_abs_error:.4g}"),
+                ("mean |error| / 2^n", f"{stats.mean_abs_error / scale:.3e}"),
+                ("max |error|", stats.max_abs_error),
+            ],
+            title=f"engine magnitude @ n={width}, k={k}, {args.inputs} inputs",
+        )
+    )
+    _print_metrics(metrics)
+    _emit_json(
+        args.json,
+        {
+            "command": "engine magnitude",
+            "width": width,
+            "window": k,
+            "samples": stats.samples,
+            "errors": stats.errors,
+            "sum_abs_error": stats.sum_abs_error,
+            "max_abs_error": stats.max_abs_error,
+            "metrics": metrics.to_dict(),
+        },
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand wired in."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Variable-latency carry select addition toolkit (Du, DATE 2012)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        dest="global_seed",
+        help=f"seed for any sampling subcommand (default {DEFAULT_SEED})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -278,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     tb.add_argument("window", type=int, nargs="?", default=None)
     tb.add_argument("-o", "--output")
     tb.add_argument("--vectors", type=int, default=64)
-    tb.add_argument("--seed", type=int, default=2012)
+    tb.add_argument("--seed", type=int, default=None)
     tb.set_defaults(fn=_cmd_tb)
 
     report = sub.add_parser("report", help="delay/area report")
@@ -292,6 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--k-min", type=int, default=6)
     sweep.add_argument("--k-max", type=int, default=20)
     sweep.add_argument("--k-step", type=int, default=2)
+    sweep.add_argument("--mc-samples", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=0)
+    sweep.add_argument("--seed", type=int, default=None)
     sweep.set_defaults(fn=_cmd_sweep)
 
     errors = sub.add_parser("errors", help="Monte Carlo error/stall rates")
@@ -299,7 +578,8 @@ def build_parser() -> argparse.ArgumentParser:
     errors.add_argument("--window", type=int, default=None)
     errors.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
     errors.add_argument("--samples", type=int, default=200_000)
-    errors.add_argument("--seed", type=int, default=2012)
+    errors.add_argument("--seed", type=int, default=None)
+    errors.add_argument("--workers", type=int, default=0)
     errors.set_defaults(fn=_cmd_errors)
 
     equiv = sub.add_parser("equiv", help="formal equivalence check (BDD)")
@@ -315,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     chains.add_argument("width", type=int)
     chains.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
     chains.add_argument("--samples", type=int, default=100_000)
-    chains.add_argument("--seed", type=int, default=2012)
+    chains.add_argument("--seed", type=int, default=None)
     chains.set_defaults(fn=_cmd_chains)
 
     seq = sub.add_parser(
@@ -335,6 +615,59 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--names", nargs="*", default=None)
     figures.add_argument("--samples", type=int, default=100_000)
     figures.set_defaults(fn=_cmd_figures)
+
+    engine = sub.add_parser(
+        "engine", help="batch-execution engine: cached, parallel runs + metrics"
+    )
+    esub = engine.add_subparsers(dest="engine_command", required=True)
+
+    def _engine_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0/1 = serial, bit-identical)")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="write a JSON report ('-' for stdout)")
+        p.add_argument("--cache-dir", default=None,
+                       help="elaboration cache directory (default: user cache dir)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk elaboration cache")
+
+    e_err = esub.add_parser(
+        "errors", help="Monte Carlo error/stall rates (Fig. 7.1 style)"
+    )
+    e_err.add_argument("width", type=int)
+    e_err.add_argument("--window", type=int, default=None)
+    e_err.add_argument("--windows", type=int, nargs="*", default=None,
+                       help="sweep several window sizes through one pool")
+    e_err.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
+    e_err.add_argument("--samples", type=int, default=1_000_000)
+    e_err.add_argument("--chunk", type=int, default=None)
+    e_err.add_argument("--no-design", action="store_true",
+                       help="skip the delay/area columns (no elaboration)")
+    _engine_common(e_err)
+    e_err.set_defaults(fn=_cmd_engine_errors)
+
+    e_sweep = esub.add_parser("sweep", help="cached STA/area sweep over designs")
+    e_sweep.add_argument("width", type=int)
+    e_sweep.add_argument("--designs", nargs="*",
+                         default=["vlcsa1", "vlcsa2", "designware"])
+    e_sweep.add_argument("--k-min", type=int, default=6)
+    e_sweep.add_argument("--k-max", type=int, default=20)
+    e_sweep.add_argument("--k-step", type=int, default=2)
+    e_sweep.add_argument("--mc-samples", type=int, default=0)
+    _engine_common(e_sweep)
+    e_sweep.set_defaults(fn=_cmd_engine_sweep)
+
+    e_mag = esub.add_parser(
+        "magnitude", help="error-magnitude statistics (thesis section 3.3)"
+    )
+    e_mag.add_argument("width", type=int)
+    e_mag.add_argument("--window", type=int, default=None)
+    e_mag.add_argument("--inputs", choices=["uniform", "gaussian"], default="uniform")
+    e_mag.add_argument("--samples", type=int, default=500_000)
+    e_mag.add_argument("--chunk", type=int, default=None)
+    _engine_common(e_mag)
+    e_mag.set_defaults(fn=_cmd_engine_magnitude)
 
     return parser
 

@@ -1,0 +1,70 @@
+"""repro.engine — cached, parallel batch-execution engine.
+
+The thesis-scale experiments (10^7 uniform samples for Fig. 7.1, 10^6
+Gaussian samples for Tables 7.1/7.2, the (n, k) sweeps behind Tables
+7.3-7.5) are embarrassingly chunkable, yet the original scripts ran them
+from a cold start in one process.  This subsystem is the shared substrate
+they now execute through:
+
+* :mod:`repro.engine.cache` — an elaboration cache (in-process LRU plus an
+  optional corruption-tolerant on-disk store) keyed by a content hash of
+  ``(architecture, n, k, options)``, so ``Circuit`` construction,
+  optimization, and STA run once per design per machine;
+* :mod:`repro.engine.jobs` — declarative, deterministically-seeded job
+  specs (Monte Carlo error rates, error magnitudes, STA/area sweeps) whose
+  aggregates are integer counters and count histograms, which merge
+  associatively and commutatively so chunks may finish in any order;
+* :mod:`repro.engine.runner` — a multiprocessing worker pool with
+  per-chunk seed derivation (``numpy.random.SeedSequence.spawn``
+  semantics), backpressure-bounded queues, and a serial fallback that is
+  bit-identical to the parallel path;
+* :mod:`repro.engine.kernels` — SWAR (SIMD-within-a-register) Monte Carlo
+  kernels that evaluate all windows of a batch at once instead of looping
+  per window;
+* :mod:`repro.engine.metrics` — cache-hit counters, per-phase wall-clock
+  timers, and chunk throughput, exposed via the ``repro engine`` CLI
+  subcommand and a machine-readable JSON report.
+"""
+
+from repro.engine.cache import ElaborationCache, cache_key, default_cache_dir
+from repro.engine.elab import measure_design, SWEEPABLE_DESIGNS
+from repro.engine.jobs import (
+    DEFAULT_CHUNK,
+    ChunkSpec,
+    ErrorCounts,
+    MagnitudeStats,
+    MonteCarloErrorJob,
+    MonteCarloMagnitudeJob,
+    SweepJob,
+    SweepPoint,
+    SweepRows,
+    chunk_seed_sequence,
+)
+from repro.engine.kernels import scsa1_error_count, scsa1_error_flags_swar
+from repro.engine.metrics import EngineMetrics
+from repro.engine.runner import EngineError, EngineResult, run_job, run_jobs
+
+__all__ = [
+    "ChunkSpec",
+    "DEFAULT_CHUNK",
+    "ElaborationCache",
+    "EngineError",
+    "EngineMetrics",
+    "EngineResult",
+    "ErrorCounts",
+    "MagnitudeStats",
+    "MonteCarloErrorJob",
+    "MonteCarloMagnitudeJob",
+    "SweepJob",
+    "SweepPoint",
+    "SweepRows",
+    "SWEEPABLE_DESIGNS",
+    "cache_key",
+    "chunk_seed_sequence",
+    "default_cache_dir",
+    "measure_design",
+    "run_job",
+    "run_jobs",
+    "scsa1_error_count",
+    "scsa1_error_flags_swar",
+]

@@ -1,0 +1,80 @@
+"""Design elaboration through the engine cache.
+
+``measure_design`` is the engine's single entry point for "give me the STA
+row of design X at (n, k)": it consults an :class:`ElaborationCache`
+first and only on a miss performs the elaborate → optimize → STA pipeline
+(via :mod:`repro.analysis.compare`, whose in-process memoisation remains a
+third, innermost layer).  The cached payload is the :class:`DesignMetrics`
+row itself — deterministic for a given parameter tuple, so a disk hit is
+bit-for-bit the same as a fresh elaboration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.compare import (
+    DesignMetrics,
+    measure_designware,
+    measure_kogge_stone,
+    measure_scsa1,
+    measure_scsa2,
+    measure_vlcsa1,
+    measure_vlcsa2,
+    measure_vlsa,
+    measure_vlsa_speculative,
+)
+from repro.engine.cache import ElaborationCache, cache_key
+
+#: Designs that take a window/chain parameter, and their measure functions.
+_WINDOWED: Dict[str, Callable[..., DesignMetrics]] = {
+    "scsa1": measure_scsa1,
+    "scsa2": measure_scsa2,
+    "vlcsa1": measure_vlcsa1,
+    "vlcsa2": measure_vlcsa2,
+    "vlsa": measure_vlsa,
+    "vlsa_spec": measure_vlsa_speculative,
+}
+
+#: Fixed-latency references (no window parameter).
+_FIXED: Dict[str, Callable[..., DesignMetrics]] = {
+    "kogge_stone": measure_kogge_stone,
+    "designware": measure_designware,
+}
+
+SWEEPABLE_DESIGNS = tuple(sorted(_WINDOWED) + sorted(_FIXED))
+
+
+def measure_design(
+    architecture: str,
+    width: int,
+    window: Optional[int] = None,
+    options: Optional[Dict[str, Any]] = None,
+    cache: Optional[ElaborationCache] = None,
+) -> DesignMetrics:
+    """STA/area metrics for a named design, through the elaboration cache.
+
+    ``options`` are forwarded to the underlying measure function (e.g.
+    ``{"style": "select"}`` for the VLCSA 2 ablation) and participate in
+    the cache key.  With ``cache=None`` the engine still works — it simply
+    re-elaborates (plus whatever :mod:`repro.analysis.compare` memoised).
+    """
+    opts = dict(options or {})
+
+    if architecture in _WINDOWED:
+        if window is None:
+            raise ValueError(f"design {architecture!r} needs a window parameter")
+        builder = lambda: _WINDOWED[architecture](width, window, **opts)
+    elif architecture in _FIXED:
+        if window is not None:
+            raise ValueError(f"design {architecture!r} takes no window parameter")
+        builder = lambda: _FIXED[architecture](width, **opts)
+    else:
+        raise ValueError(
+            f"unknown design {architecture!r}; choose from {SWEEPABLE_DESIGNS}"
+        )
+
+    if cache is None:
+        return builder()
+    key = cache_key(architecture, width, window, opts)
+    return cache.get_or_build(key, builder)

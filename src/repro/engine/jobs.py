@@ -1,0 +1,450 @@
+"""Declarative, deterministically-seeded job specs and their aggregates.
+
+A *job* is a frozen, picklable description of a whole experiment: what to
+simulate or elaborate, how many samples, and a root seed.  The runner (or
+anyone) expands it with three methods:
+
+* ``chunk_specs()`` — the full list of :class:`ChunkSpec` work units;
+* ``new_aggregate()`` — a zero aggregate;
+* ``run_chunk(spec)`` — execute one chunk and return its partial aggregate.
+
+Seeding discipline: chunk ``i`` draws from
+``numpy.random.SeedSequence(job.seed, spawn_key=(i,))`` — exactly the
+``i``-th child that ``SeedSequence(job.seed).spawn(...)`` would produce —
+so a chunk's random stream depends only on ``(job.seed, i)``, never on
+which worker runs it or in which order.
+
+Aggregates hold **integers only** (counts, count histograms, exact sums,
+maxima), so merging is associative *and* commutative with no float
+round-off: the parallel runner may fold chunks in completion order and
+still match the serial runner bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.cache import ElaborationCache
+from repro.engine.kernels import scsa1_error_count
+from repro.model.behavioral import (
+    err0_flags,
+    err1_flags,
+    scsa1_error_flags,
+    scsa2_s1_error_flags,
+    vlsa_error_flags,
+    window_profile,
+)
+
+#: Default Monte Carlo chunk: large enough to amortize numpy dispatch,
+#: small enough that a 512-bit chunk stays comfortably in cache/RAM.
+DEFAULT_CHUNK = 1 << 16
+
+_ERROR_COUNTERS = ("scsa1", "vlcsa1_nominal", "vlcsa2", "vlcsa2_stall")
+_DISTRIBUTIONS = ("uniform", "gaussian", "gaussian-unsigned")
+
+
+def chunk_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """The ``index``-th spawned child of ``SeedSequence(seed)``.
+
+    Constructed directly via ``spawn_key`` so chunk seeds cost O(1) each
+    instead of spawning a prefix; equivalence with ``.spawn()`` is pinned
+    by a test.
+    """
+    if index < 0:
+        raise ValueError(f"chunk index must be non-negative, got {index}")
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One schedulable unit of a job: chunk ``index`` covering ``size``
+    samples (``payload`` carries per-chunk data, e.g. a sweep point)."""
+
+    index: int
+    size: int
+    payload: Any = None
+
+
+def _chunk_sizes(samples: int, chunk_size: int) -> Tuple[int, ...]:
+    full, rem = divmod(samples, chunk_size)
+    return (chunk_size,) * full + ((rem,) if rem else ())
+
+
+# ---------------------------------------------------------------------------
+# Monte Carlo error rates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ErrorCounts:
+    """Streaming aggregate of a Monte Carlo error-rate job (exact ints)."""
+
+    samples: int = 0
+    scsa1_errors: int = 0  # LSB-remainder profile: SCSA 1 / VLCSA 1 error
+    vlcsa1_nominal: int = 0  # ERR0 over the LSB profile (detector fires)
+    vlcsa2_errors: int = 0  # MSB profile: both hypotheses wrong
+    vlcsa2_stalls: int = 0  # MSB profile: ERR0 & ERR1 (stall taken)
+    vlsa_errors: int = 0  # l-bit per-output speculation wrong
+    chain_counts: Optional[np.ndarray] = None  # int64, shape (width + 1,)
+
+    def merge(self, other: "ErrorCounts") -> "ErrorCounts":
+        """Fold another partial aggregate in (exact, order-independent)."""
+        self.samples += other.samples
+        self.scsa1_errors += other.scsa1_errors
+        self.vlcsa1_nominal += other.vlcsa1_nominal
+        self.vlcsa2_errors += other.vlcsa2_errors
+        self.vlcsa2_stalls += other.vlcsa2_stalls
+        self.vlsa_errors += other.vlsa_errors
+        if other.chain_counts is not None:
+            if self.chain_counts is None:
+                self.chain_counts = other.chain_counts.copy()
+            else:
+                self.chain_counts = self.chain_counts + other.chain_counts
+        return self
+
+    def rate(self, counter: str) -> float:
+        """Counter value divided by samples (0.0 on an empty aggregate)."""
+        if self.samples == 0:
+            return 0.0
+        return getattr(self, counter) / self.samples
+
+
+@dataclass(frozen=True)
+class MonteCarloErrorJob:
+    """Monte Carlo error/stall rates of the (n, k) speculative family.
+
+    ``counters`` selects what is measured (each entry adds work):
+
+    * ``"scsa1"`` — SCSA 1 / VLCSA 1 mis-speculation (LSB remainder),
+      via the SWAR kernel when it is the only LSB-side counter;
+    * ``"vlcsa1_nominal"`` — ERR0 fires (LSB remainder);
+    * ``"vlcsa2"`` — both VLCSA 2 hypotheses wrong (MSB remainder);
+    * ``"vlcsa2_stall"`` — ERR0 & ERR1 (MSB remainder).
+
+    ``chain_lengths`` adds a carry-chain-length count histogram;
+    ``vlsa_chain`` adds the VLSA error count for that chain length.
+    """
+
+    width: int
+    window: int
+    samples: int
+    distribution: str = "uniform"
+    sigma: Optional[float] = None
+    seed: int = 2012
+    chunk_size: int = DEFAULT_CHUNK
+    counters: Tuple[str, ...] = _ERROR_COUNTERS
+    chain_lengths: bool = False
+    vlsa_chain: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError(f"width must be >= 2, got {self.width}")
+        if not 1 <= self.window <= self.width:
+            raise ValueError(f"window {self.window} out of range for width {self.width}")
+        if self.samples < 1:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; choose from {_DISTRIBUTIONS}"
+            )
+        unknown = set(self.counters) - set(_ERROR_COUNTERS)
+        if unknown:
+            raise ValueError(f"unknown counters {sorted(unknown)}; choose from {_ERROR_COUNTERS}")
+
+    # -- job protocol -----------------------------------------------------
+
+    def chunk_specs(self) -> Tuple[ChunkSpec, ...]:
+        """The job's work units: full chunks plus one remainder chunk."""
+        return tuple(
+            ChunkSpec(index=i, size=size)
+            for i, size in enumerate(_chunk_sizes(self.samples, self.chunk_size))
+        )
+
+    def new_aggregate(self) -> ErrorCounts:
+        """A zero aggregate (with a histogram row if chain_lengths)."""
+        counts = ErrorCounts()
+        if self.chain_lengths:
+            counts.chain_counts = np.zeros(self.width + 1, dtype=np.int64)
+        return counts
+
+    def _operands(self, rng: np.random.Generator, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.inputs.generators import (
+            GAUSSIAN_SIGMA_THESIS,
+            gaussian_operands,
+            uniform_operands,
+        )
+
+        if self.distribution == "uniform":
+            return (
+                uniform_operands(self.width, size, rng),
+                uniform_operands(self.width, size, rng),
+            )
+        sigma = self.sigma if self.sigma is not None else GAUSSIAN_SIGMA_THESIS
+        signed = self.distribution == "gaussian"
+        a = gaussian_operands(self.width, size, sigma=sigma, signed=signed, rng=rng)
+        b = gaussian_operands(self.width, size, sigma=sigma, signed=signed, rng=rng)
+        return a, b
+
+    def run_chunk(self, spec: ChunkSpec) -> ErrorCounts:
+        """Simulate one chunk; randomness comes only from (seed, index)."""
+        rng = np.random.default_rng(chunk_seed_sequence(self.seed, spec.index))
+        a, b = self._operands(rng, spec.size)
+        counts = self.new_aggregate()
+        counts.samples = spec.size
+
+        want = set(self.counters)
+        if "vlcsa1_nominal" in want:
+            # The LSB profile is being built anyway; read SCSA 1 off it.
+            profile = window_profile(a, b, self.width, self.window, "lsb")
+            counts.vlcsa1_nominal = int(err0_flags(profile).sum())
+            if "scsa1" in want:
+                counts.scsa1_errors = int(scsa1_error_flags(profile).sum())
+        elif "scsa1" in want:
+            counts.scsa1_errors = scsa1_error_count(a, b, self.width, self.window, "lsb")
+
+        if want & {"vlcsa2", "vlcsa2_stall"}:
+            profile = window_profile(a, b, self.width, self.window, "msb")
+            if "vlcsa2" in want:
+                both_wrong = scsa1_error_flags(profile) & scsa2_s1_error_flags(profile)
+                counts.vlcsa2_errors = int(both_wrong.sum())
+            if "vlcsa2_stall" in want:
+                stall = err0_flags(profile) & err1_flags(profile)
+                counts.vlcsa2_stalls = int(stall.sum())
+
+        if self.vlsa_chain is not None:
+            counts.vlsa_errors = int(
+                vlsa_error_flags(a, b, self.width, self.vlsa_chain).sum()
+            )
+        if self.chain_lengths:
+            from repro.model.carry_chains import chain_length_counts
+
+            counts.chain_counts = chain_length_counts(a, b, self.width)
+        return counts
+
+    def with_seed(self, seed: int) -> "MonteCarloErrorJob":
+        """The same job under a different root seed."""
+        return replace(self, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Monte Carlo error magnitudes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MagnitudeStats:
+    """Exact-integer error-magnitude aggregate (thesis section 3.3)."""
+
+    samples: int = 0
+    errors: int = 0
+    sum_abs_error: int = 0  # exact Python int — never overflows
+    max_abs_error: int = 0
+
+    def merge(self, other: "MagnitudeStats") -> "MagnitudeStats":
+        """Fold another partial aggregate in (exact sums, running max)."""
+        self.samples += other.samples
+        self.errors += other.errors
+        self.sum_abs_error += other.sum_abs_error
+        self.max_abs_error = max(self.max_abs_error, other.max_abs_error)
+        return self
+
+    @property
+    def mean_abs_error(self) -> float:
+        return self.sum_abs_error / self.samples if self.samples else 0.0
+
+
+@dataclass(frozen=True)
+class MonteCarloMagnitudeJob:
+    """Error magnitudes of SCSA 1 speculation (single-limb widths <= 63)."""
+
+    width: int
+    window: int
+    samples: int
+    distribution: str = "uniform"
+    sigma: Optional[float] = None
+    remainder: str = "lsb"
+    seed: int = 2012
+    chunk_size: int = DEFAULT_CHUNK
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.width <= 63:
+            raise ValueError(
+                f"magnitude analysis supports widths 2..63, got {self.width}"
+            )
+        if not 1 <= self.window <= self.width:
+            raise ValueError(f"window {self.window} out of range for width {self.width}")
+        if self.samples < 1:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; choose from {_DISTRIBUTIONS}"
+            )
+
+    def chunk_specs(self) -> Tuple[ChunkSpec, ...]:
+        """The job's work units: full chunks plus one remainder chunk."""
+        return tuple(
+            ChunkSpec(index=i, size=size)
+            for i, size in enumerate(_chunk_sizes(self.samples, self.chunk_size))
+        )
+
+    def new_aggregate(self) -> MagnitudeStats:
+        """A zero aggregate."""
+        return MagnitudeStats()
+
+    def run_chunk(self, spec: ChunkSpec) -> MagnitudeStats:
+        """Measure one chunk's |true - speculative| statistics."""
+        from repro.model.error_magnitude import scsa1_speculative_values
+
+        job = MonteCarloErrorJob(  # reuse the operand recipe (same streams)
+            width=self.width,
+            window=self.window,
+            samples=self.samples,
+            distribution=self.distribution,
+            sigma=self.sigma,
+            seed=self.seed,
+            chunk_size=self.chunk_size,
+        )
+        rng = np.random.default_rng(chunk_seed_sequence(self.seed, spec.index))
+        a, b = job._operands(rng, spec.size)
+        av = a[:, 0].astype(np.uint64)
+        bv = b[:, 0].astype(np.uint64)
+        true = av + bv  # width <= 63: full sum incl. carry-out fits in 64 bits
+        spec_vals = scsa1_speculative_values(a, b, self.width, self.window, self.remainder)
+        diff = true - spec_vals  # speculation only ever drops carries
+        nonzero = diff[diff != 0]
+        stats = MagnitudeStats(samples=spec.size, errors=int(nonzero.size))
+        if nonzero.size:
+            stats.sum_abs_error = int(sum(int(v) for v in nonzero))
+            stats.max_abs_error = int(nonzero.max())
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# STA / area sweeps
+# ---------------------------------------------------------------------------
+
+#: Per-process elaboration caches, keyed by disk directory (lazy; workers
+#: of one run share the directory and therefore each other's disk entries).
+_PROCESS_CACHES: Dict[Optional[str], ElaborationCache] = {}
+
+
+def process_cache(directory: Optional[str], capacity: int = 128) -> ElaborationCache:
+    """The calling process's cache bound to ``directory`` (created lazily)."""
+    if directory not in _PROCESS_CACHES:
+        _PROCESS_CACHES[directory] = ElaborationCache(
+            capacity=capacity, directory=directory
+        )
+    return _PROCESS_CACHES[directory]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design instance of a sweep: ``(architecture, n, k, options)``."""
+
+    architecture: str
+    width: int
+    window: Optional[int] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class SweepRows:
+    """Sweep aggregate: per-point rows plus summed worker-side counters.
+
+    Rows are keyed by point index (disjoint across chunks), counters are
+    summed — both merges are associative and commutative.
+    """
+
+    rows: Dict[int, dict] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "SweepRows") -> "SweepRows":
+        """Union the disjoint row sets and sum the counters."""
+        self.rows.update(other.rows)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        return self
+
+    def ordered(self) -> Tuple[dict, ...]:
+        """Rows back in sweep-point order."""
+        return tuple(self.rows[i] for i in sorted(self.rows))
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """Elaborate/STA a list of design points, with an optional Monte Carlo
+    mis-speculation column (``mc_samples`` uniform additions per point)."""
+
+    points: Tuple[SweepPoint, ...]
+    mc_samples: int = 0
+    seed: int = 2012
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+        if self.mc_samples < 0:
+            raise ValueError(f"mc_samples must be >= 0, got {self.mc_samples}")
+
+    def chunk_specs(self) -> Tuple[ChunkSpec, ...]:
+        """One chunk per sweep point (the point rides in the payload)."""
+        return tuple(
+            ChunkSpec(index=i, size=self.mc_samples, payload=point)
+            for i, point in enumerate(self.points)
+        )
+
+    def new_aggregate(self) -> SweepRows:
+        """A zero aggregate."""
+        return SweepRows()
+
+    def run_chunk(self, spec: ChunkSpec) -> SweepRows:
+        """Elaborate/measure one point through the process cache."""
+        from repro.engine.elab import measure_design
+        from repro.model.error_model import scsa_error_rate
+
+        point: SweepPoint = spec.payload
+        cache = process_cache(self.cache_dir)
+        before = dict(cache.counters())
+        metrics = measure_design(
+            point.architecture,
+            point.width,
+            point.window,
+            dict(point.options),
+            cache=cache,
+        )
+        delta = {
+            name: value - before.get(name, 0)
+            for name, value in cache.counters().items()
+        }
+        row = {
+            "architecture": point.architecture,
+            "width": point.width,
+            "window": point.window,
+            "delay": metrics.delay,
+            "area": metrics.area,
+            "gates": metrics.gates,
+            "t_spec": metrics.t_spec,
+            "t_detect": metrics.t_detect,
+            "t_recover": metrics.t_recover,
+        }
+        if point.window is not None and point.architecture in (
+            "scsa1",
+            "scsa2",
+            "vlcsa1",
+            "vlcsa2",
+        ):
+            row["model_error_rate"] = scsa_error_rate(point.width, point.window)
+            if self.mc_samples:
+                from repro.inputs.generators import uniform_operands
+
+                rng = np.random.default_rng(chunk_seed_sequence(self.seed, spec.index))
+                a = uniform_operands(point.width, self.mc_samples, rng)
+                b = uniform_operands(point.width, self.mc_samples, rng)
+                errors = scsa1_error_count(a, b, point.width, point.window, "lsb")
+                row["mc_error_rate"] = errors / self.mc_samples
+        return SweepRows(rows={spec.index: row}, counters=delta)

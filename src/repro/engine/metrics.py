@@ -1,0 +1,74 @@
+"""Engine observability: counters, per-phase wall timers, throughput.
+
+A single :class:`EngineMetrics` instance accompanies a run; phases are
+timed with a context manager, counters accumulate integers (cache
+hits/misses, chunks, samples), and ``to_dict`` emits the machine-readable
+report the ``repro engine --json`` flag writes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional
+
+
+class EngineMetrics:
+    """Counters and wall-clock timers for one engine run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Add a whole counter mapping (e.g. a cache snapshot) in."""
+        for name, value in counters.items():
+            self.add(name, value)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall time under ``timers[name]`` (re-entrant by sum)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = (
+                self.timers.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    def throughput(self) -> Optional[float]:
+        """Monte Carlo samples per second of simulate-phase wall time."""
+        samples = self.counters.get("samples", 0)
+        elapsed = self.timers.get("simulate", 0.0)
+        if samples and elapsed > 0:
+            return samples / elapsed
+        return None
+
+    def to_dict(self) -> dict:
+        """The machine-readable report body (``repro engine --json``)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers_s": {k: round(v, 6) for k, v in sorted(self.timers.items())},
+            "throughput_samples_per_s": self.throughput(),
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_dict` as pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def format_lines(self) -> List[str]:
+        """Human-readable summary for the CLI footer."""
+        lines = []
+        for name, value in sorted(self.timers.items()):
+            lines.append(f"{name} time: {value:.3f} s")
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name}: {value}")
+        rate = self.throughput()
+        if rate is not None:
+            lines.append(f"throughput: {rate:,.0f} samples/s")
+        return lines

@@ -1,0 +1,212 @@
+"""Job execution: serial fallback and a multiprocessing worker pool.
+
+The parallel runner streams :class:`ChunkSpec` work units to a pool of
+worker processes through a **bounded** task queue (backpressure: the
+feeder blocks instead of materializing every chunk's task at once) and
+folds partial aggregates in completion order.  Because aggregates are
+exact integers and merging is associative and commutative (see
+:mod:`repro.engine.jobs`), the fold order cannot change the result: for a
+fixed job seed the parallel runner is bit-identical to the serial one,
+which the test suite asserts.
+
+Chunks are seeded by index (``SeedSequence(seed, spawn_key=(i,))``), so
+worker assignment is pure scheduling — any worker may run any chunk.
+
+``run_jobs`` executes a *group* of jobs through one shared pool — a whole
+figure's (n, k) points pay the pool start-up cost once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.engine.metrics import EngineMetrics
+
+#: Task-queue bound per worker: enough to keep workers busy, small enough
+#: that a huge job never materializes its whole chunk list in the queue.
+_QUEUE_DEPTH_PER_WORKER = 2
+
+_RESULT_POLL_S = 0.2
+
+#: Target number of batched tasks per worker: chunks are grouped so each
+#: worker sees a handful of tasks, amortizing queue/pickle overhead while
+#: keeping enough granularity for load balancing.
+_TASKS_PER_WORKER = 4
+
+
+class EngineError(RuntimeError):
+    """A chunk failed or the worker pool died; carries worker tracebacks."""
+
+
+@dataclass
+class EngineResult:
+    """What a run returns: the job, its merged aggregate, and metrics."""
+
+    job: Any
+    aggregate: Any
+    metrics: EngineMetrics
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(jobs: Sequence[Any], tasks: "mp.Queue", results: "mp.Queue") -> None:
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        job_index, specs = task
+        try:
+            job = jobs[job_index]
+            aggregate = job.new_aggregate()
+            for spec in specs:
+                aggregate = aggregate.merge(job.run_chunk(spec))
+            results.put((job_index, "ok", aggregate, len(specs)))
+        except BaseException:
+            results.put((job_index, "error", traceback.format_exc(), len(specs)))
+
+
+def _run_group_serial(
+    jobs: Sequence[Any], aggregates: List[Any], metrics: EngineMetrics
+) -> None:
+    for job_index, job in enumerate(jobs):
+        for spec in job.chunk_specs():
+            aggregates[job_index] = aggregates[job_index].merge(job.run_chunk(spec))
+            metrics.add("chunks", 1)
+
+
+def _run_group_parallel(
+    jobs: Sequence[Any], aggregates: List[Any], workers: int, metrics: EngineMetrics
+) -> None:
+    per_job = [job.chunk_specs() for job in jobs]
+    total = sum(len(specs) for specs in per_job)
+    batch = max(1, total // (workers * _TASKS_PER_WORKER))
+    work = [
+        (job_index, tuple(specs[i : i + batch]))
+        for job_index, specs in enumerate(per_job)
+        for i in range(0, len(specs), batch)
+    ]
+    ctx = _mp_context()
+    tasks: "mp.Queue" = ctx.Queue(maxsize=max(2, _QUEUE_DEPTH_PER_WORKER * workers))
+    results: "mp.Queue" = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_main, args=(tuple(jobs), tasks, results), daemon=True
+        )
+        for _ in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+
+    stop = threading.Event()
+
+    def feed() -> None:
+        for item in list(work) + [None] * workers:
+            while not stop.is_set():
+                try:
+                    tasks.put(item, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+            else:
+                return
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    feeder.start()
+
+    failures: List[str] = []
+    outstanding = len(work)
+
+    def absorb(item) -> None:
+        nonlocal outstanding
+        job_index, status, payload, n_chunks = item
+        outstanding -= 1
+        if status == "ok":
+            aggregates[job_index] = aggregates[job_index].merge(payload)
+            metrics.add("chunks", n_chunks)
+        else:
+            failures.append(payload)
+
+    try:
+        while outstanding:
+            try:
+                absorb(results.get(timeout=_RESULT_POLL_S))
+            except queue.Empty:
+                if not any(proc.is_alive() for proc in procs):
+                    # Drain anything that raced with worker exit.
+                    try:
+                        while outstanding:
+                            absorb(results.get_nowait())
+                    except queue.Empty:
+                        pass
+                    if outstanding:
+                        raise EngineError(
+                            f"worker pool exited with {outstanding} chunk(s) unfinished"
+                        )
+    finally:
+        stop.set()
+        if failures or outstanding:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+        feeder.join(timeout=5)
+
+    if failures:
+        raise EngineError(
+            f"{len(failures)} chunk(s) failed; first traceback:\n{failures[0]}"
+        )
+
+
+def run_jobs(
+    jobs: Sequence[Any],
+    workers: int = 0,
+    metrics: Optional[EngineMetrics] = None,
+) -> List[EngineResult]:
+    """Execute a group of jobs through one (shared) runner.
+
+    ``workers=0`` (or 1) uses the in-process serial runner; ``workers>=2``
+    spins up one multiprocessing pool for the whole group.  Per-job
+    results are bit-identical either way for fixed job seeds.  All
+    returned :class:`EngineResult`\\ s share the same metrics instance.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if not jobs:
+        return []
+    metrics = metrics if metrics is not None else EngineMetrics()
+    metrics.add("workers", workers if workers >= 2 else 0)
+    aggregates = [job.new_aggregate() for job in jobs]
+    with metrics.phase("simulate"):
+        if workers >= 2:
+            _run_group_parallel(jobs, aggregates, workers, metrics)
+        else:
+            _run_group_serial(jobs, aggregates, metrics)
+    for aggregate in aggregates:
+        samples = getattr(aggregate, "samples", None)
+        if isinstance(samples, int) and samples:
+            metrics.add("samples", samples)
+        counters = getattr(aggregate, "counters", None)
+        if isinstance(counters, dict):
+            metrics.merge_counters(counters)
+    return [
+        EngineResult(job=job, aggregate=aggregate, metrics=metrics)
+        for job, aggregate in zip(jobs, aggregates)
+    ]
+
+
+def run_job(
+    job: Any,
+    workers: int = 0,
+    metrics: Optional[EngineMetrics] = None,
+) -> EngineResult:
+    """Execute a single job (see :func:`run_jobs`)."""
+    return run_jobs([job], workers=workers, metrics=metrics)[0]

@@ -1,0 +1,150 @@
+"""Elaboration-cache tests: keying, round-trips, corruption tolerance."""
+
+import itertools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    ElaborationCache,
+    cache_key,
+    default_cache_dir,
+)
+
+
+class TestCacheKey:
+    def test_distinct_tuples_never_collide(self):
+        """Every distinct (architecture, n, k, options) gets its own key."""
+        keys = {}
+        for arch, width, window, opts in itertools.product(
+            ["scsa1", "vlcsa1", "vlcsa2", "designware"],
+            [16, 32, 64, 128],
+            [None, 4, 8, 14],
+            [None, {"optimize": True}, {"optimize": False}],
+        ):
+            params = (arch, width, window, tuple((opts or {}).items()))
+            keys[cache_key(arch, width, window, opts)] = params
+        assert len(keys) == 4 * 4 * 4 * 3
+
+    def test_confusable_tuples_distinct(self):
+        # string/int confusion must not merge keys
+        assert cache_key("scsa1", 64, 8) != cache_key("scsa1", 648, None)
+        assert cache_key("scsa1", 64, None) != cache_key("scsa164", 6, 4)
+        # window=None is not window omitted from options
+        assert cache_key("a", 64, None, {"window": 8}) != cache_key("a", 64, 8)
+
+    def test_option_order_irrelevant(self):
+        assert cache_key("a", 64, 8, {"x": 1, "y": 2}) == cache_key(
+            "a", 64, 8, {"y": 2, "x": 1}
+        )
+
+    def test_key_is_hex_digest(self):
+        key = cache_key("scsa1", 64, 14)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+
+class TestMemoryLayer:
+    def test_get_or_build_builds_once(self):
+        cache = ElaborationCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_build("k", lambda: calls.append(1) or "v")
+            assert value == "v"
+        assert len(calls) == 1
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ElaborationCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ElaborationCache(capacity=0)
+
+
+class TestDiskLayer:
+    def test_round_trip_bit_for_bit(self, tmp_path):
+        """A value pushed through the disk layer comes back bit-identical."""
+        writer = ElaborationCache(capacity=4, directory=tmp_path)
+        payload = {
+            "arr": np.arange(37, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15),
+            "floats": np.linspace(0.0, 1.0, 11),
+            "meta": ("scsa1", 64, 14),
+        }
+        key = cache_key("scsa1", 64, 14)
+        writer.put(key, payload)
+
+        reader = ElaborationCache(capacity=4, directory=tmp_path)  # cold memory
+        found, value = reader.get(key)
+        assert found and reader.disk_hits == 1
+        assert value["arr"].tobytes() == payload["arr"].tobytes()
+        assert value["floats"].tobytes() == payload["floats"].tobytes()
+        assert value["meta"] == payload["meta"]
+
+    def test_corrupted_entry_discarded_not_crashed(self, tmp_path):
+        writer = ElaborationCache(capacity=4, directory=tmp_path)
+        key = cache_key("scsa1", 64, 8)
+        writer.put(key, {"delay": 0.318})
+        path = tmp_path / f"{key}.pkl"
+        blob = bytearray(path.read_bytes())
+        blob[40] ^= 0xFF  # flip a payload byte: digest check must fail
+        path.write_bytes(bytes(blob))
+
+        reader = ElaborationCache(capacity=4, directory=tmp_path)
+        found, _ = reader.get(key)
+        assert not found
+        assert reader.disk_discards == 1
+        assert not path.exists()  # repaired by the next write
+        reader.put(key, {"delay": 0.318})
+        assert reader.get(key) == (True, {"delay": 0.318})
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        writer = ElaborationCache(capacity=4, directory=tmp_path)
+        key = cache_key("vlcsa2", 128, 15)
+        writer.put(key, list(range(100)))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:10])  # shorter than the digest
+
+        reader = ElaborationCache(capacity=4, directory=tmp_path)
+        assert reader.get(key) == (False, None)
+        assert reader.disk_discards == 1
+
+    def test_valid_digest_bad_pickle_discarded(self, tmp_path):
+        import hashlib
+
+        key = cache_key("vlsa", 64, 17)
+        garbage = b"not a pickle at all"
+        (tmp_path / f"{key}.pkl").write_bytes(
+            hashlib.sha256(garbage).digest() + garbage
+        )
+        reader = ElaborationCache(capacity=4, directory=tmp_path)
+        assert reader.get(key) == (False, None)
+        assert reader.disk_discards == 1
+
+    def test_counters_snapshot(self, tmp_path):
+        cache = ElaborationCache(capacity=4, directory=tmp_path)
+        cache.get_or_build("k", lambda: 1)
+        cache.get("k")
+        counts = cache.counters()
+        assert counts["cache_misses"] == 1
+        assert counts["cache_hits"] == 1
+        assert counts["cache_disk_hits"] == 0
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_ENGINE_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-engine"
