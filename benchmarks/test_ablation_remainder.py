@@ -8,7 +8,6 @@ reaches-the-MSB carry chains.  Expected stall ≈ 25% * 2^-r + base rate.
 Only MSB placement reproduces Tables 7.2/7.5 (see EXPERIMENTS.md).
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table, percent
 from repro.core.window import plan_windows

@@ -14,7 +14,6 @@ carry-chain profile is uniform-like, so plain VLCSA 1 already fits the FP
 significand datapath; the VLCSA 2 machinery is unnecessary there.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table, percent
 from repro.inputs.floating import fp_significand_trace

@@ -12,7 +12,6 @@ sigma, and shows the analytic solver reproducing Table 7.5 with no
 simulation at all.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table, percent
 from repro.analysis.statistics import wilson_interval

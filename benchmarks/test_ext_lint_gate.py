@@ -1,0 +1,115 @@
+"""Extension: the static-analysis gate over the paper's design grid.
+
+The thesis argues correctness of the speculation/recovery contract
+analytically and samples it with Monte Carlo; this gate *proves* it.  For
+every architecture in the default lint set at n ∈ {16, 32, 64} (the
+widths of Tables 7.3–7.5) the BDD-backed formal rules must certify:
+
+* ``ERR = 0`` implies the speculative sum equals the exact sum (F001);
+* the recovery bus always carries the exact sum (F002);
+* VLCSA 2's two-hypothesis coverage (F003);
+
+and the timing rule (T001) must confirm detection arrives no later than
+the speculative sum on the *optimized* netlists — thesis Fig. 7.4's
+premise.  A mutation pass then checks the checker: single stuck-at
+faults injected into the detector cone must be flagged.  Finally, the
+related-work VLSA design is pinned to its genuine T001 violation — the
+linter independently rediscovering the thesis' argument for VLCSA.
+"""
+
+from repro.analysis.report import format_table
+from repro.engine import LintJob, SweepPoint, run_job
+from repro.engine.elab import LINTABLE_DESIGNS, build_design
+from repro.netlist.lint import mutation_self_test, run_lint
+from repro.netlist.optimize import optimize
+
+from benchmarks.conftest import full_scale, run_once
+
+WIDTHS = (16, 32, 64)
+
+
+def test_lint_gate_grid_is_error_free(benchmark):
+    def compute():
+        points = tuple(
+            SweepPoint(arch, width)
+            for arch in LINTABLE_DESIGNS
+            for width in WIDTHS
+        )
+        job = LintJob(points=points, use_cache=False)
+        return run_job(job, workers=4).aggregate.ordered()
+
+    rows = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["design", "n", "gates", "rules", "errors", "warnings"],
+            [
+                (
+                    row["architecture"],
+                    row["width"],
+                    row["gates"],
+                    len(row["rules_run"]),
+                    row["counts"]["error"],
+                    row["counts"]["warning"],
+                )
+                for row in rows
+            ],
+            title="formal + structural + timing lint gate (optimized netlists)",
+        )
+    )
+    assert len(rows) == len(LINTABLE_DESIGNS) * len(WIDTHS)
+    for row in rows:
+        assert row["counts"]["error"] == 0, (
+            f"{row['architecture']} n={row['width']}: {row['diagnostics']}"
+        )
+    # The speculative family actually exercised the formal rules.
+    for row in rows:
+        if row["architecture"].startswith("vlcsa"):
+            assert "F001" in row["rules_run"]
+            assert "F002" in row["rules_run"]
+        if row["architecture"] == "vlcsa2":
+            assert "F003" in row["rules_run"]
+
+
+def test_lint_mutation_self_test(benchmark):
+    mutants = 0 if full_scale() else 24  # 0 = unlimited (every cone fault)
+
+    def compute():
+        out = []
+        for arch in ("vlcsa1", "vlcsa2"):
+            circuit, _ = optimize(build_design(arch, 32))
+            report = mutation_self_test(
+                circuit, max_mutants=mutants or None
+            )
+            out.append((arch, report))
+        return out
+
+    results = run_once(benchmark, compute)
+
+    print()
+    print(
+        format_table(
+            ["design", "mutants", "killed", "kill %", "missed"],
+            [
+                (arch, r.total, r.killed, f"{100 * r.kill_fraction:.1f}",
+                 len(r.missed))
+                for arch, r in results
+            ],
+            title="mutation self-test of the formal rules (detector cone)",
+        )
+    )
+    for arch, r in results:
+        assert r.ok, f"{arch}: rules missed real detector faults: {r.missed}"
+        assert r.killed > 0
+
+
+def test_lint_rediscovers_vlsa_timing_flaw(benchmark):
+    def compute():
+        circuit, _ = optimize(build_design("vlsa", 64))
+        return run_lint(circuit)
+
+    report = run_once(benchmark, compute)
+    t001 = [d for d in report.diagnostics if d.rule_id == "T001"]
+    assert t001, "optimized VLSA@64 should fail the detection-timing contract"
+    print(f"\n  {t001[0].message}")

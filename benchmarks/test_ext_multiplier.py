@@ -17,7 +17,7 @@ import random
 
 from repro.adders.multi_operand import build_multi_operand_adder
 from repro.adders.multiplier import build_multiplier
-from repro.analysis.report import format_table, percent, ratio
+from repro.analysis.report import format_table, percent
 from repro.model.error_model import scsa_error_rate
 from repro.netlist.area import area as circuit_area
 from repro.netlist.optimize import optimize

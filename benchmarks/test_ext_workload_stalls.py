@@ -7,7 +7,6 @@ instrumented crypto kernels, measuring the stall rates both reliable
 adders would pay on each.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table, percent
 from repro.inputs.crypto import rsa_trace

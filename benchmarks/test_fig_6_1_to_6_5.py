@@ -9,7 +9,6 @@ Paper (32-bit additions, 10^6 samples per class):
   nontrivial mass of chains "as long as the adder size".
 """
 
-import numpy as np
 
 from repro.analysis.report import format_series
 from repro.inputs.generators import gaussian_operands, uniform_operands

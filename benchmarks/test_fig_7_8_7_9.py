@@ -36,9 +36,7 @@ def test_fig_7_8_7_9_vlcsa1_vs_designware(benchmark):
 
     table = []
     for n, dw, (k_low, lo), (k_high, hi) in rows:
-        t_lo = VariableLatencyTiming(lo.t_spec, lo.t_detect, lo.t_recover)
         t_hi = VariableLatencyTiming(hi.t_spec, hi.t_detect, hi.t_recover)
-        ave_lo = average_cycle(t_lo, scsa_error_rate(n, k_low))
         ave_hi = average_cycle(t_hi, scsa_error_rate(n, k_high))
         table.append(
             (

@@ -47,7 +47,6 @@ def moving_average_exact(signal: np.ndarray) -> np.ndarray:
 
 def moving_average_speculative(signal: np.ndarray, adder) -> np.ndarray:
     """Accumulate each TAPS-window through the gate-level SCSA netlist."""
-    outputs = []
     acc = [int(v) for v in signal[: SAMPLES - TAPS + 1]]
     # accumulate tap j into every window position, batched per tap
     for j in range(1, TAPS):

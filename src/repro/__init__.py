@@ -23,8 +23,6 @@ See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md
 for the paper-experiment index.
 """
 
-__version__ = "1.0.0"
-
 # Substrate
 from repro.netlist import (
     Circuit,
@@ -120,6 +118,8 @@ from repro.analysis import (
     measure_vlsa,
     THESIS_WIDTHS,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -9,6 +9,11 @@ Each :class:`Cell` records the figures static timing and area analysis need:
   fanout pin count as the load proxy, i.e. every cell input presents one unit
   of load; this is the classic "fanout-weighted unit delay" model and is the
   granularity at which the thesis' qualitative conclusions live.
+* ``max_fanout`` — the cell's drive limit in pins: the largest load the
+  library characterisation considers usable (beyond it a real flow inserts
+  buffers; :func:`repro.netlist.optimize.buffer_fanout` does the same here
+  and the ``S009`` lint rule flags nets left over the limit).  ``None``
+  means unlimited (tie cells have no timing arc to degrade).
 
 Delay of a cell instance driving ``f`` pins::
 
@@ -24,7 +29,7 @@ they replace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -36,6 +41,7 @@ class Cell:
     area: float
     intrinsic: float
     load_slope: float
+    max_fanout: Optional[int] = None
 
     def delay(self, fanout: int) -> float:
         """Propagation delay in ns when driving ``fanout`` input pins.
@@ -100,24 +106,24 @@ class CellLibrary:
 UMC65_LIKE = CellLibrary(
     "umc65-like",
     [
-        # name        ins  area   intrinsic  load_slope
-        Cell("CONST0", 0, 0.00, 0.000, 0.000),
-        Cell("CONST1", 0, 0.00, 0.000, 0.000),
-        Cell("BUF", 1, 1.08, 0.018, 0.003),
-        Cell("INV", 1, 0.72, 0.010, 0.004),
-        Cell("AND2", 2, 1.80, 0.022, 0.005),
-        Cell("OR2", 2, 1.80, 0.024, 0.005),
-        Cell("NAND2", 2, 1.44, 0.014, 0.005),
-        Cell("NOR2", 2, 1.44, 0.016, 0.006),
-        Cell("XOR2", 2, 2.88, 0.032, 0.007),
-        Cell("XNOR2", 2, 2.88, 0.032, 0.007),
-        Cell("MUX2", 3, 2.88, 0.030, 0.006),
+        # name        ins  area   intrinsic  load_slope  max_fanout
+        Cell("CONST0", 0, 0.00, 0.000, 0.000, None),
+        Cell("CONST1", 0, 0.00, 0.000, 0.000, None),
+        Cell("BUF", 1, 1.08, 0.018, 0.003, 16),
+        Cell("INV", 1, 0.72, 0.010, 0.004, 16),
+        Cell("AND2", 2, 1.80, 0.022, 0.005, 12),
+        Cell("OR2", 2, 1.80, 0.024, 0.005, 12),
+        Cell("NAND2", 2, 1.44, 0.014, 0.005, 12),
+        Cell("NOR2", 2, 1.44, 0.016, 0.006, 12),
+        Cell("XOR2", 2, 2.88, 0.032, 0.007, 10),
+        Cell("XNOR2", 2, 2.88, 0.032, 0.007, 10),
+        Cell("MUX2", 3, 2.88, 0.030, 0.006, 10),
         # Compound cells produced by the technology-mapping optimizer.
         # AOI21: out = ~((a & b) | c);  OAI21: out = ~((a | b) & c)
-        Cell("AOI21", 3, 1.80, 0.020, 0.006),
-        Cell("OAI21", 3, 1.80, 0.020, 0.006),
-        Cell("AOI22", 4, 2.16, 0.024, 0.007),
-        Cell("OAI22", 4, 2.16, 0.024, 0.007),
+        Cell("AOI21", 3, 1.80, 0.020, 0.006, 10),
+        Cell("OAI21", 3, 1.80, 0.020, 0.006, 10),
+        Cell("AOI22", 4, 2.16, 0.024, 0.007, 10),
+        Cell("OAI22", 4, 2.16, 0.024, 0.007, 10),
     ],
 )
 

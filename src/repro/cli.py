@@ -9,6 +9,9 @@ analyses this reproduction adds:
 * ``sweep``   — window-size sweep at one width;
 * ``errors``  — Monte Carlo error/stall rates on a chosen input class;
 * ``tb``      — emit a self-checking Verilog testbench;
+* ``lint``    — static analysis (structural / formal BDD / timing rules)
+  over an architecture × width grid, with SARIF output and a mutation
+  self-test of the rules themselves;
 * ``engine``  — the batch-execution engine: cached, optionally parallel
   Monte Carlo / sweep / magnitude runs with a metrics report.
 
@@ -25,11 +28,8 @@ import json
 import sys
 from typing import Callable, Dict, Optional
 
-DEFAULT_SEED = 2012
-
 import numpy as np
 
-from repro.adders import ADDER_GENERATORS, build_designware_adder
 from repro.analysis.compare import (
     measure_designware,
     measure_kogge_stone,
@@ -40,18 +40,13 @@ from repro.analysis.compare import (
 )
 from repro.analysis.report import format_table, percent
 from repro.analysis.sizing import scsa_window_size_for
-from repro.core import (
-    build_scsa_adder,
-    build_scsa2_adder,
-    build_vlcsa1,
-    build_vlcsa2,
-    build_vlsa,
-)
 from repro.model.error_model import scsa_error_rate
 from repro.netlist.bdd import prove_equivalent
 from repro.netlist.circuit import Circuit
 from repro.netlist.optimize import optimize
 from repro.rtl import to_testbench, to_verilog
+
+DEFAULT_SEED = 2012
 
 
 def _resolve_seed(args: argparse.Namespace, default: int = DEFAULT_SEED) -> int:
@@ -64,30 +59,32 @@ def _resolve_seed(args: argparse.Namespace, default: int = DEFAULT_SEED) -> int:
 
 def _build_design(name: str, width: int, window: Optional[int]) -> Circuit:
     """Elaborate any named design at the given parameters."""
-    needs_window = {
-        "scsa1": build_scsa_adder,
-        "scsa2": build_scsa2_adder,
-        "vlcsa1": build_vlcsa1,
-        "vlcsa2": build_vlcsa2,
-        "vlsa": build_vlsa,
-    }
-    if name in needs_window:
-        k = window if window is not None else scsa_window_size_for(width, 1e-4)
-        return needs_window[name](width, k)
-    if name == "designware":
-        return build_designware_adder(width)
-    if name in ADDER_GENERATORS:
-        return ADDER_GENERATORS[name](width)
-    raise SystemExit(
-        f"unknown design {name!r}; choose from "
-        f"{sorted(ADDER_GENERATORS) + ['designware', 'scsa1', 'scsa2', 'vlcsa1', 'vlcsa2', 'vlsa']}"
-    )
+    from repro.engine.elab import build_design
+
+    try:
+        return build_design(name, width, window)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _lint_or_die(circuit: Circuit) -> None:
+    """``--lint`` support for export commands: report every diagnostic on
+    stderr and abort (before writing anything) when any is an error."""
+    from repro.netlist.lint import format_text, run_lint
+
+    report = run_lint(circuit)
+    if report.diagnostics:
+        print(format_text(report, verbose=True), file=sys.stderr)
+    if report.errors:
+        raise SystemExit(1)
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
     circuit = _build_design(args.design, args.width, args.window)
     if args.optimize:
         circuit, _ = optimize(circuit)
+    if args.lint:
+        _lint_or_die(circuit)
     text = to_verilog(circuit)
     if args.output:
         with open(args.output, "w") as handle:
@@ -100,6 +97,8 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 def _cmd_tb(args: argparse.Namespace) -> int:
     circuit = _build_design(args.design, args.width, args.window)
+    if args.lint:
+        _lint_or_die(circuit)
     gen = np.random.default_rng(_resolve_seed(args))
     vectors = {
         name: [int(gen.integers(0, 1 << len(nets))) for _ in range(args.vectors)]
@@ -525,6 +524,124 @@ def _cmd_engine_magnitude(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over an architecture × width grid via the engine."""
+    from repro.engine import EngineMetrics, LintJob, SweepPoint, run_job
+    from repro.engine.elab import LINTABLE_DESIGNS
+    from repro.netlist.lint import (
+        format_text,
+        report_from_dict,
+        reports_to_sarif,
+        severity_rank,
+    )
+
+    designs = list(args.designs)
+    if args.all:
+        designs = [d for d in LINTABLE_DESIGNS if d not in designs] + designs
+    if not designs:
+        raise SystemExit("no designs given (name some, or pass --all)")
+    points = tuple(
+        SweepPoint(design, width, args.window)
+        for design in designs
+        for width in args.widths
+    )
+    _, cache_dir = _engine_cache(args)
+    try:
+        job = LintJob(
+            points=points,
+            optimize=not args.no_optimize,
+            select=tuple(args.select) if args.select else None,
+            ignore=tuple(args.ignore) if args.ignore else None,
+            cache_dir=cache_dir,
+            use_cache=cache_dir is not None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    metrics = EngineMetrics()
+    try:
+        result = run_job(job, workers=args.workers, metrics=metrics)
+    except ValueError as exc:  # e.g. unknown design name inside a worker
+        raise SystemExit(str(exc))
+    rows = result.aggregate.ordered()
+    reports = [report_from_dict(row) for row in rows]
+
+    self_tests = []
+    if args.self_test:
+        from repro.engine.elab import build_design
+        from repro.netlist.lint import mutation_self_test
+        from repro.netlist.optimize import optimize as optimize_circuit
+
+        for row in rows:
+            if row["architecture"] not in ("vlcsa1", "vlcsa2", "vlsa"):
+                continue
+            circuit = build_design(
+                row["architecture"], row["width"], row["window"]
+            )
+            if not args.no_optimize:
+                circuit, _ = optimize_circuit(circuit)
+            outcome = mutation_self_test(
+                circuit, max_mutants=args.max_mutants, seed=_resolve_seed(args)
+            )
+            self_tests.append(
+                {"architecture": row["architecture"], "width": row["width"],
+                 **outcome.to_dict()}
+            )
+
+    if args.format == "text":
+        lines = []
+        for row, report in zip(rows, reports):
+            label = (
+                f"{row['architecture']} n={row['width']}"
+                + (f" k={row['window']}" if row["window"] is not None else "")
+                + ("" if row["optimized"] else " (unoptimized)")
+            )
+            lines.append(f"== {label} ==")
+            lines.append(format_text(report, verbose=args.verbose))
+        for st in self_tests:
+            status = "ok" if st["ok"] else "MISSED FAULTS"
+            lines.append(
+                f"== self-test {st['architecture']} n={st['width']}: "
+                f"{st['killed']}/{st['total']} mutants killed ({status}) =="
+            )
+        text = "\n".join(lines) + "\n"
+    elif args.format == "json":
+        payload = {
+            "command": "lint",
+            "rows": list(rows),
+            "metrics": metrics.to_dict(),
+        }
+        if self_tests:
+            payload["self_tests"] = self_tests
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:  # sarif
+        text = json.dumps(reports_to_sarif(reports), indent=2) + "\n"
+
+    if args.output and args.output != "-":
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+    failed = False
+    if args.fail_on != "never":
+        threshold = severity_rank(args.fail_on)
+        failed = any(
+            severity_rank(d["severity"]) >= threshold
+            for row in rows
+            for d in row["diagnostics"]
+        )
+    if any(not st["ok"] for st in self_tests):
+        failed = True
+    worst = result.aggregate.worst_severity()
+    print(
+        f"linted {len(rows)} design point(s): "
+        + (f"worst severity {worst}" if worst else "clean"),
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand wired in."""
     parser = argparse.ArgumentParser(
@@ -546,6 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("window", type=int, nargs="?", default=None)
     gen.add_argument("-o", "--output")
     gen.add_argument("--optimize", action="store_true")
+    gen.add_argument("--lint", action="store_true",
+                     help="lint the circuit first; abort (exit 1) on errors")
     gen.set_defaults(fn=_cmd_gen)
 
     tb = sub.add_parser("tb", help="emit a self-checking Verilog testbench")
@@ -555,6 +674,8 @@ def build_parser() -> argparse.ArgumentParser:
     tb.add_argument("-o", "--output")
     tb.add_argument("--vectors", type=int, default=64)
     tb.add_argument("--seed", type=int, default=None)
+    tb.add_argument("--lint", action="store_true",
+                    help="lint the circuit first; abort (exit 1) on errors")
     tb.set_defaults(fn=_cmd_tb)
 
     report = sub.add_parser("report", help="delay/area report")
@@ -615,6 +736,46 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--names", nargs="*", default=None)
     figures.add_argument("--samples", type=int, default=100_000)
     figures.set_defaults(fn=_cmd_figures)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: structural, formal (BDD), timing rules"
+    )
+    lint.add_argument("designs", nargs="*", default=[],
+                      help="architectures to lint (see also --all)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint the default architecture gate set")
+    lint.add_argument("--widths", type=int, nargs="+", default=[16, 32, 64],
+                      metavar="N", help="adder widths (default: 16 32 64)")
+    lint.add_argument("--window", type=int, default=None,
+                      help="window size k (default: Eq. 3.13 sizing @ 1e-4)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text")
+    lint.add_argument("-o", "--output", default=None,
+                      help="write the report to a file ('-' for stdout)")
+    lint.add_argument("--fail-on", choices=["error", "warning", "never"],
+                      default="error",
+                      help="exit 1 when a diagnostic reaches this severity")
+    lint.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                      help="run only these rule ids/names")
+    lint.add_argument("--ignore", nargs="+", default=None, metavar="RULE",
+                      help="skip these rule ids/names")
+    lint.add_argument("--no-optimize", action="store_true",
+                      help="lint the raw netlist instead of the optimized one")
+    lint.add_argument("--verbose", action="store_true",
+                      help="include fix hints in text output")
+    lint.add_argument("--self-test", action="store_true",
+                      help="also mutation-test the formal rules (inject "
+                           "stuck-at faults into the detector cone)")
+    lint.add_argument("--max-mutants", type=int, default=64,
+                      help="mutants per design in --self-test (default 64)")
+    lint.add_argument("--workers", type=int, default=0,
+                      help="worker processes (0/1 = serial, bit-identical)")
+    lint.add_argument("--seed", type=int, default=None)
+    lint.add_argument("--cache-dir", default=None,
+                      help="elaboration cache directory (default: user cache dir)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="skip the on-disk elaboration cache")
+    lint.set_defaults(fn=_cmd_lint)
 
     engine = sub.add_parser(
         "engine", help="batch-execution engine: cached, parallel runs + metrics"

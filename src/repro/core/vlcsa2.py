@@ -35,7 +35,7 @@ stall rate to ~0.01% (thesis Tables 7.1/7.2).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.detection import build_err0, build_err1
 from repro.core.recovery import build_recovery

@@ -11,9 +11,11 @@ they now execute through:
   ``(architecture, n, k, options)``, so ``Circuit`` construction,
   optimization, and STA run once per design per machine;
 * :mod:`repro.engine.jobs` — declarative, deterministically-seeded job
-  specs (Monte Carlo error rates, error magnitudes, STA/area sweeps) whose
-  aggregates are integer counters and count histograms, which merge
-  associatively and commutatively so chunks may finish in any order;
+  specs (Monte Carlo error rates, error magnitudes, STA/area sweeps, and
+  the static-analysis :class:`LintJob` fan-out) whose aggregates are
+  integer counters, count histograms, or index-keyed row dicts, which
+  merge associatively and commutatively so chunks may finish in any
+  order;
 * :mod:`repro.engine.runner` — a multiprocessing worker pool with
   per-chunk seed derivation (``numpy.random.SeedSequence.spawn``
   semantics), backpressure-bounded queues, and a serial fallback that is
@@ -27,11 +29,18 @@ they now execute through:
 """
 
 from repro.engine.cache import ElaborationCache, cache_key, default_cache_dir
-from repro.engine.elab import measure_design, SWEEPABLE_DESIGNS
+from repro.engine.elab import (
+    LINTABLE_DESIGNS,
+    SWEEPABLE_DESIGNS,
+    build_design,
+    measure_design,
+)
 from repro.engine.jobs import (
     DEFAULT_CHUNK,
     ChunkSpec,
     ErrorCounts,
+    LintJob,
+    LintRows,
     MagnitudeStats,
     MonteCarloErrorJob,
     MonteCarloMagnitudeJob,
@@ -52,6 +61,9 @@ __all__ = [
     "EngineMetrics",
     "EngineResult",
     "ErrorCounts",
+    "LINTABLE_DESIGNS",
+    "LintJob",
+    "LintRows",
     "MagnitudeStats",
     "MonteCarloErrorJob",
     "MonteCarloMagnitudeJob",
@@ -59,6 +71,7 @@ __all__ = [
     "SweepPoint",
     "SweepRows",
     "SWEEPABLE_DESIGNS",
+    "build_design",
     "cache_key",
     "chunk_seed_sequence",
     "default_cache_dir",

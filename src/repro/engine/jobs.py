@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.cache import ElaborationCache
+from repro.engine.cache import ElaborationCache, cache_key
 from repro.engine.kernels import scsa1_error_count
 from repro.model.behavioral import (
     err0_flags,
@@ -448,3 +448,145 @@ class SweepJob:
                 errors = scsa1_error_count(a, b, point.width, point.window, "lsb")
                 row["mc_error_rate"] = errors / self.mc_samples
         return SweepRows(rows={spec.index: row}, counters=delta)
+
+
+# ---------------------------------------------------------------------------
+# Static-analysis (lint) fan-out
+# ---------------------------------------------------------------------------
+
+#: Bump when the cached lint-row payload layout changes.
+_LINT_SCHEMA = 1
+
+
+@dataclass
+class LintRows:
+    """Lint aggregate: per-point diagnostic rows plus cache counters.
+
+    Shares :class:`SweepRows`' merge discipline — rows are keyed by point
+    index (disjoint across chunks) and counters are summed, so folds are
+    associative and commutative and the parallel runner stays
+    bit-identical to the serial one.
+    """
+
+    rows: Dict[int, dict] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "LintRows") -> "LintRows":
+        """Union the disjoint row sets and sum the counters."""
+        self.rows.update(other.rows)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        return self
+
+    def ordered(self) -> Tuple[dict, ...]:
+        """Rows back in point order."""
+        return tuple(self.rows[i] for i in sorted(self.rows))
+
+    def worst_severity(self) -> Optional[str]:
+        """Highest severity across every row, or ``None`` when clean."""
+        from repro.netlist.lint import severity_rank
+
+        worst: Optional[str] = None
+        for row in self.rows.values():
+            for diag in row["diagnostics"]:
+                sev = diag["severity"]
+                if worst is None or severity_rank(sev) > severity_rank(worst):
+                    worst = sev
+        return worst
+
+
+@dataclass(frozen=True)
+class LintJob:
+    """Run the netlist static analyzer over a grid of design points.
+
+    One chunk per :class:`SweepPoint`; each chunk elaborates the design
+    (``optimize=True`` reproduces the synthesis flow the thesis' timing
+    contract is stated for), runs the configured rule set, and returns the
+    diagnostics as JSON-ready rows.  Rows are cached through the
+    process-level :class:`ElaborationCache` keyed by the full parameter
+    tuple including the lint configuration, so a CI re-run with a warm
+    cache skips both elaboration *and* the BDD proofs.
+    """
+
+    points: Tuple[SweepPoint, ...]
+    optimize: bool = True
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Optional[Tuple[str, ...]] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a lint job needs at least one point")
+        # Validate the rule selection eagerly so typos fail at submit time
+        # (in the parent process) rather than inside a worker.
+        from repro.netlist.lint import resolve_rules
+
+        resolve_rules(self.select, self.ignore)
+
+    def chunk_specs(self) -> Tuple[ChunkSpec, ...]:
+        """One chunk per design point (the point rides in the payload)."""
+        return tuple(
+            ChunkSpec(index=i, size=1, payload=point)
+            for i, point in enumerate(self.points)
+        )
+
+    def new_aggregate(self) -> LintRows:
+        """A zero aggregate."""
+        return LintRows()
+
+    def _rules(self):
+        from repro.netlist.lint import resolve_rules
+
+        return resolve_rules(self.select, self.ignore)
+
+    def lint_point(self, point: SweepPoint) -> dict:
+        """Elaborate and lint one design point (no caching)."""
+        from repro.engine.elab import build_design
+        from repro.netlist.lint import report_to_dict, run_lint
+
+        circuit = build_design(
+            point.architecture, point.width, point.window, dict(point.options)
+        )
+        if self.optimize:
+            from repro.netlist.optimize import optimize as optimize_circuit
+
+            circuit, _ = optimize_circuit(circuit)
+        report = run_lint(circuit, self._rules())
+        row = report_to_dict(report)
+        row.update(
+            architecture=point.architecture,
+            width=point.width,
+            window=point.window,
+            optimized=self.optimize,
+            gates=circuit.num_gates,
+        )
+        return row
+
+    def run_chunk(self, spec: ChunkSpec) -> LintRows:
+        """Lint one point, through the process elaboration cache."""
+        point: SweepPoint = spec.payload
+        if not self.use_cache:
+            return LintRows(rows={spec.index: self.lint_point(point)})
+        cache = process_cache(self.cache_dir)
+        before = dict(cache.counters())
+        key = cache_key(
+            point.architecture,
+            point.width,
+            point.window,
+            {
+                **dict(point.options),
+                "__lint__": (
+                    _LINT_SCHEMA,
+                    self.optimize,
+                    self.select,
+                    self.ignore,
+                ),
+            },
+        )
+        row = cache.get_or_build(key, lambda: self.lint_point(point))
+        delta = {
+            name: value - before.get(name, 0)
+            for name, value in cache.counters().items()
+        }
+        return LintRows(rows={spec.index: row}, counters=delta)

@@ -26,7 +26,7 @@ engine beats the pre-engine serial Monte Carlo even on one core.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -27,7 +27,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.inputs.generators import twos_complement_encode
-from repro.model.behavioral import mask_top, num_limbs
 
 _U64 = np.uint64
 

@@ -16,7 +16,6 @@ and the section 3.3 comparison quantified
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -4,7 +4,11 @@ This package replaces the thesis' C++-to-Verilog-to-Design-Compiler flow with
 a pure-Python equivalent:
 
 * :mod:`repro.netlist.circuit`  — netlist construction (nets, gates, buses).
-* :mod:`repro.netlist.validate` — structural checks.
+* :mod:`repro.netlist.validate` — structural checks (thin wrapper over lint).
+* :mod:`repro.netlist.lint`     — pass-based static analysis: structural,
+  formal (BDD speculation-coverage proofs), and timing rules with text /
+  JSON / SARIF output and a mutation self-test.
+* :mod:`repro.netlist.rules`    — the lint-rule registry.
 * :mod:`repro.netlist.simulate` — bit-parallel functional simulation.
 * :mod:`repro.netlist.timing`   — static timing analysis (load-dependent).
 * :mod:`repro.netlist.area`     — cell-area accounting.
@@ -15,7 +19,20 @@ Circuits are combinational DAGs; gates are instances of the cells in
 """
 
 from repro.netlist.circuit import Circuit, Gate, NetlistError
-from repro.netlist.validate import check_circuit, unused_nets
+from repro.netlist.validate import check_circuit, live_gate_fraction, unused_nets
+from repro.netlist.lint import (
+    Diagnostic,
+    LintReport,
+    MutationReport,
+    Rule,
+    format_text,
+    mutation_self_test,
+    report_from_dict,
+    report_to_dict,
+    reports_to_sarif,
+    resolve_rules,
+    run_lint,
+)
 from repro.netlist.simulate import simulate, simulate_batch
 from repro.netlist.timing import TimingReport, analyze_timing, critical_delay
 from repro.netlist.area import area, area_report, gate_counts
@@ -23,7 +40,13 @@ from repro.netlist.optimize import optimize, OptimizeStats, buffer_fanout
 from repro.netlist.power import PowerReport, estimate_power
 from repro.netlist.clocked import ClockedDesign, RegisterSpec
 from repro.netlist.export import from_json, to_dot, to_json
-from repro.netlist.faults import Fault, FaultReport, enumerate_faults, fault_coverage
+from repro.netlist.faults import (
+    Fault,
+    FaultReport,
+    apply_fault,
+    enumerate_faults,
+    fault_coverage,
+)
 from repro.netlist.bdd import (
     BDD,
     EquivalenceResult,
@@ -37,7 +60,19 @@ __all__ = [
     "Gate",
     "NetlistError",
     "check_circuit",
+    "live_gate_fraction",
     "unused_nets",
+    "Diagnostic",
+    "LintReport",
+    "MutationReport",
+    "Rule",
+    "format_text",
+    "mutation_self_test",
+    "report_from_dict",
+    "report_to_dict",
+    "reports_to_sarif",
+    "resolve_rules",
+    "run_lint",
     "simulate",
     "simulate_batch",
     "TimingReport",
@@ -63,6 +98,7 @@ __all__ = [
     "to_dot",
     "Fault",
     "FaultReport",
+    "apply_fault",
     "enumerate_faults",
     "fault_coverage",
 ]

@@ -15,7 +15,7 @@ and report coverage.  Two uses in this repository:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.netlist.circuit import Circuit, NetlistError
 from repro.netlist.simulate import _eval_gate
@@ -53,6 +53,42 @@ def enumerate_faults(circuit: Circuit) -> List[Fault]:
         faults.append(Fault(gate.output, 0))
         faults.append(Fault(gate.output, 1))
     return faults
+
+
+def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
+    """A copy of ``circuit`` with ``fault`` made permanent in the netlist.
+
+    The faulted net's readers (gate inputs and primary outputs) are
+    rewired to a constant tie cell; the original driver remains but is
+    dead.  Used by the lint mutation self-test
+    (:func:`repro.netlist.lint.mutation_self_test`) to produce mutant
+    netlists the formal rules must reject.
+    """
+    if fault.stuck_at not in (0, 1):
+        raise NetlistError(f"stuck_at must be 0 or 1, got {fault.stuck_at}")
+    if not 0 <= fault.net < circuit.num_nets:
+        raise NetlistError(f"net {fault.net} does not exist in {circuit.name!r}")
+    if not circuit.is_driven(fault.net):
+        raise NetlistError(
+            f"net {fault.net} has no driver to fault in {circuit.name!r}"
+        )
+    new = Circuit(circuit.name)
+    env: Dict[int, int] = {}
+    for name, nets in circuit.input_buses.items():
+        env.update(zip(nets, new.add_input_bus(name, len(nets))))
+
+    def tie() -> int:
+        return new.const1() if fault.stuck_at else new.const0()
+
+    if fault.net in env:  # a primary-input bit stuck at a constant
+        env[fault.net] = tie()
+    for gate in circuit.gates:
+        out = new.add_gate(gate.kind, [env[n] for n in gate.inputs])
+        # Downstream readers see the stuck value; the driver goes dead.
+        env[gate.output] = tie() if gate.output == fault.net else out
+    for name, nets in circuit.output_buses.items():
+        new.set_output_bus(name, [env[n] for n in nets])
+    return new
 
 
 def _values_with_fault(

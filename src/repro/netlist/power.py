@@ -19,7 +19,7 @@ with the delay/area models (DESIGN.md §1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.cells.library import CellLibrary, default_library
 from repro.netlist.circuit import Circuit, NetlistError

@@ -1,0 +1,74 @@
+"""Lint-rule registry.
+
+Rules register themselves at import time via :func:`register` (used as a
+decorator factory by the family modules); :func:`all_rules` returns them
+in stable id order.  Importing this package pulls in every built-in
+family, so the registry is complete after ``from repro.netlist import
+rules``.
+
+Rule-id convention: ``S0xx`` structural, ``F0xx`` formal (BDD proofs),
+``T0xx`` timing.  ``M001`` is reserved for the mutation self-test's own
+failure diagnostic (see :func:`repro.netlist.lint.mutation_self_test`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.netlist.lint import Finding, LintContext, Rule
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(
+    id: str,
+    name: str,
+    family: str,
+    severity: str,
+    description: str,
+    applies: Optional[Callable[[LintContext], bool]] = None,
+) -> Callable:
+    """Decorator: register the wrapped generator function as a rule."""
+
+    def wrap(check: Callable[[LintContext], Iterator[Finding]]) -> Rule:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id!r}")
+        names = {r.name for r in _REGISTRY.values()}
+        if name in names:
+            raise ValueError(f"duplicate rule name {name!r}")
+        rule = Rule(
+            id=id,
+            name=name,
+            family=family,
+            severity=severity,
+            description=description,
+            check=check,
+            applies=applies if applies is not None else (lambda ctx: True),
+        )
+        _REGISTRY[id] = rule
+        return rule
+
+    return wrap
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, ordered by id (deterministic)."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"no rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# Importing the family modules populates the registry.
+from repro.netlist.rules import structural  # noqa: E402,F401
+from repro.netlist.rules import formal  # noqa: E402,F401
+from repro.netlist.rules import timing  # noqa: E402,F401
+
+__all__ = ["all_rules", "get_rule", "register"]

@@ -1,0 +1,221 @@
+"""Structural lint rules (``S0xx``).
+
+These promote the historical :mod:`repro.netlist.validate` checks into
+first-class rules: everything :func:`~repro.netlist.validate.check_circuit`
+raised on (``S001``–``S006``, error severity), plus advisory checks for
+unused nets, dead logic, and cell drive limits.  ``check_circuit`` itself
+is now a thin wrapper raising on the first error-severity finding here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.netlist.circuit import GATE_ARITY
+from repro.netlist.lint import Finding, LintContext, SEVERITY_ERROR, SEVERITY_INFO, SEVERITY_WARNING
+from repro.netlist.rules import register
+
+#: Below this live-gate fraction the dead-logic rule fires; generated
+#: designs are ``strip_dead``-ed and sit at 1.0, so anything much lower
+#: indicates a generator wiring bug (thesis generators only ever leave a
+#: handful of dangling group signals).
+LIVE_FRACTION_THRESHOLD = 0.90
+
+#: The unused-net note lists at most this many names.
+_MAX_LISTED = 8
+
+
+@register(
+    "S001",
+    "no-outputs",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="The circuit declares no output buses.",
+)
+def check_no_outputs(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.circuit.output_buses:
+        yield Finding(
+            message=f"{ctx.circuit.name!r} declares no outputs",
+            hint="call set_output_bus before exporting or analyzing",
+        )
+
+
+@register(
+    "S002",
+    "unknown-cell",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="A gate instantiates a kind missing from GATE_ARITY or the cell library.",
+)
+def check_unknown_cell(ctx: LintContext) -> Iterator[Finding]:
+    lib = ctx.library
+    for idx, gate in enumerate(ctx.circuit.gates):
+        if gate.kind not in GATE_ARITY:
+            yield Finding(
+                message=f"gate {idx} has unknown kind {gate.kind!r}",
+                gates=(idx,),
+                nets=(ctx.circuit.net_name(gate.output),),
+            )
+        elif gate.kind not in lib:
+            yield Finding(
+                message=(
+                    f"gate {idx} kind {gate.kind!r} missing from "
+                    f"library {lib.name!r}"
+                ),
+                gates=(idx,),
+                nets=(ctx.circuit.net_name(gate.output),),
+                hint="map the netlist onto the target library before STA",
+            )
+
+
+@register(
+    "S003",
+    "arity-mismatch",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="A gate's input count differs from its library cell's pin count.",
+)
+def check_arity(ctx: LintContext) -> Iterator[Finding]:
+    lib = ctx.library
+    for idx, gate in enumerate(ctx.circuit.gates):
+        if gate.kind in lib and len(gate.inputs) != lib[gate.kind].num_inputs:
+            yield Finding(
+                message=f"gate {idx} ({gate.kind}) arity mismatch with library cell",
+                gates=(idx,),
+                nets=(ctx.circuit.net_name(gate.output),),
+            )
+
+
+@register(
+    "S004",
+    "multi-driven-net",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="A net is driven by more than one gate output.",
+)
+def check_multi_driven(ctx: LintContext) -> Iterator[Finding]:
+    seen = set()
+    for idx, gate in enumerate(ctx.circuit.gates):
+        if gate.output in seen:
+            yield Finding(
+                message=(
+                    f"net {ctx.circuit.net_name(gate.output)} driven "
+                    f"more than once"
+                ),
+                gates=(idx,),
+                nets=(ctx.circuit.net_name(gate.output),),
+            )
+        seen.add(gate.output)
+
+
+@register(
+    "S005",
+    "undriven-output",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="A primary-output bit has no driver.",
+)
+def check_undriven_outputs(ctx: LintContext) -> Iterator[Finding]:
+    for name, nets in ctx.circuit.output_buses.items():
+        for net in nets:
+            if not ctx.circuit.is_driven(net):
+                yield Finding(
+                    message=(
+                        f"output {name!r} bit "
+                        f"{ctx.circuit.net_name(net)} is undriven"
+                    ),
+                    nets=(ctx.circuit.net_name(net),),
+                )
+
+
+@register(
+    "S006",
+    "combinational-self-loop",
+    family="structural",
+    severity=SEVERITY_ERROR,
+    description="A gate reads its own output net.",
+)
+def check_self_loop(ctx: LintContext) -> Iterator[Finding]:
+    circuit = ctx.circuit
+    for idx, gate in enumerate(circuit.gates):
+        for net in gate.inputs:
+            if net >= gate.output and circuit.driver_of(net) is gate:
+                yield Finding(
+                    message=f"gate {idx} reads its own output",
+                    gates=(idx,),
+                    nets=(circuit.net_name(gate.output),),
+                )
+
+
+@register(
+    "S007",
+    "unused-nets",
+    family="structural",
+    severity=SEVERITY_INFO,
+    description="Nets that drive no gate input and no primary output.",
+)
+def check_unused_nets(ctx: LintContext) -> Iterator[Finding]:
+    from repro.netlist.validate import unused_nets
+
+    dangling = unused_nets(ctx.circuit)
+    if not dangling:
+        return
+    names = tuple(ctx.circuit.net_name(net) for net in dangling)
+    yield Finding(
+        message=f"{len(dangling)} net(s) drive nothing",
+        nets=names[:_MAX_LISTED],
+        hint=(
+            "a handful is normal in generated structures (e.g. the last "
+            "window's group propagate); large counts indicate a generator bug"
+        ),
+    )
+
+
+@register(
+    "S008",
+    "dead-logic",
+    family="structural",
+    severity=SEVERITY_WARNING,
+    description=(
+        "A large fraction of gates sits outside the transitive fanin of the "
+        "primary outputs."
+    ),
+)
+def check_dead_logic(ctx: LintContext) -> Iterator[Finding]:
+    from repro.netlist.validate import live_gate_fraction
+
+    fraction = live_gate_fraction(ctx.circuit)
+    if fraction < LIVE_FRACTION_THRESHOLD:
+        yield Finding(
+            message=(
+                f"only {fraction:.1%} of gates reach a primary output "
+                f"(threshold {LIVE_FRACTION_THRESHOLD:.0%})"
+            ),
+            hint="run strip_dead (or the optimize pipeline) before export",
+        )
+
+
+@register(
+    "S009",
+    "fanout-overload",
+    family="structural",
+    severity=SEVERITY_WARNING,
+    description="A gate output drives more pins than its cell's drive limit.",
+)
+def check_fanout_overload(ctx: LintContext) -> Iterator[Finding]:
+    fanout = ctx.fanout_counts()
+    lib = ctx.library
+    for idx, gate in enumerate(ctx.circuit.gates):
+        if gate.kind not in lib:
+            continue  # S002's finding; no drive data to check against
+        limit = lib[gate.kind].max_fanout
+        if limit is not None and fanout[gate.output] > limit:
+            yield Finding(
+                message=(
+                    f"{gate.kind} at gate {idx} drives "
+                    f"{fanout[gate.output]} pins (drive limit {limit})"
+                ),
+                gates=(idx,),
+                nets=(ctx.circuit.net_name(gate.output),),
+                hint="run buffer_fanout (part of the optimize pipeline)",
+            )

@@ -1,0 +1,58 @@
+"""Timing lint rules (``T0xx``).
+
+The variable-latency contract (thesis Fig. 7.4, section 6.7) only pays
+off when the single-cycle clock is set by the *speculative* path:
+``T_clk > max(tau_spec, tau_ERR)`` degenerates to detection-bound
+operation when the detector arrives later than the sum.  ``T001`` checks
+that relation with the load-dependent STA of
+:mod:`repro.netlist.timing`.
+
+Note the relation is a property of the *mapped* netlist: raw generated
+VLCSA 1 at n >= 32 genuinely violates it until the optimize pipeline
+(De Morgan remapping plus fanout buffering) pulls the ERR tree back
+under the sum path — which is the behaviour the ``repro lint`` grid
+checks by linting optimized netlists, mirroring the thesis' synthesis
+flow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.netlist.lint import Finding, LintContext, SEVERITY_ERROR
+from repro.netlist.rules import register
+
+#: Slack tolerance in ns, absorbing float accumulation in the STA sums.
+_EPSILON = 1e-9
+
+
+@register(
+    "T001",
+    "detection-slower-than-speculation",
+    family="timing",
+    severity=SEVERITY_ERROR,
+    description=(
+        "The detection path arrives later than the speculative sum path, "
+        "making the one-cycle delay detection-bound (thesis Fig. 7.4)."
+    ),
+    applies=lambda ctx: (
+        "sum" in ctx.circuit.output_buses and "err" in ctx.circuit.output_buses
+    ),
+)
+def check_detection_arrival(ctx: LintContext) -> Iterator[Finding]:
+    report = ctx.timing()
+    t_spec = report.bus_delay("sum")
+    t_detect = report.bus_delay("err")
+    if t_detect > t_spec + _EPSILON:
+        yield Finding(
+            message=(
+                f"detection path ({t_detect:.3f} ns) exceeds the "
+                f"speculative sum path ({t_spec:.3f} ns) by "
+                f"{t_detect - t_spec:.3f} ns"
+            ),
+            nets=(ctx.circuit.net_name(ctx.circuit.output_buses["err"][0]),),
+            hint=(
+                "run the optimize pipeline (NAND/NOR remap + fanout "
+                "buffering) or widen the speculation window"
+            ),
+        )

@@ -1,53 +1,43 @@
 """Structural validation of netlists.
 
-Construction via :class:`repro.netlist.circuit.Circuit` already enforces
-topological order (no combinational loops, no use-before-drive), so these
-checks guard the remaining invariants: every declared output is driven,
-arities match the cell library, and nothing is floating.
+.. deprecated::
+    :func:`check_circuit` is now a thin wrapper over the error-severity
+    *structural* rules of the lint framework (``S001``–``S006`` in
+    :mod:`repro.netlist.rules.structural`) and is kept for callers that
+    want the historical raise-on-first-problem behaviour.  New code
+    should call :func:`repro.netlist.lint.run_lint`, which reports every
+    finding (with locations and fix hints) instead of only the first,
+    and adds the formal and timing rule families.
+
+:func:`unused_nets` and :func:`live_gate_fraction` remain the primitive
+queries; the ``S007``/``S008`` rules are built on them.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cells.library import CellLibrary, default_library
-from repro.netlist.circuit import Circuit, GATE_ARITY, NetlistError
+from repro.cells.library import CellLibrary
+from repro.netlist.circuit import Circuit, NetlistError
 
 
 def check_circuit(circuit: Circuit, library: Optional[CellLibrary] = None) -> None:
-    """Raise :class:`NetlistError` if the circuit is structurally invalid."""
-    lib = library if library is not None else default_library()
+    """Raise :class:`NetlistError` if the circuit is structurally invalid.
 
-    if not circuit.output_buses:
-        raise NetlistError(f"{circuit.name!r} declares no outputs")
+    Thin wrapper over the error-severity structural lint rules: runs them
+    in rule-id order and raises with the first diagnostic's message, which
+    preserves the pre-lint behaviour (and messages) of this function.
+    """
+    from repro.netlist.lint import SEVERITY_ERROR, resolve_rules, run_lint
 
-    seen_drivers = set()
-    for idx, gate in enumerate(circuit.gates):
-        if gate.kind not in GATE_ARITY:
-            raise NetlistError(f"gate {idx} has unknown kind {gate.kind!r}")
-        if gate.kind not in lib:
-            raise NetlistError(
-                f"gate {idx} kind {gate.kind!r} missing from library {lib.name!r}"
-            )
-        if len(gate.inputs) != lib[gate.kind].num_inputs:
-            raise NetlistError(
-                f"gate {idx} ({gate.kind}) arity mismatch with library cell"
-            )
-        if gate.output in seen_drivers:
-            raise NetlistError(
-                f"net {circuit.net_name(gate.output)} driven more than once"
-            )
-        seen_drivers.add(gate.output)
-        for net in gate.inputs:
-            if net >= gate.output and circuit.driver_of(net) is gate:
-                raise NetlistError(f"gate {idx} reads its own output")
-
-    for name, nets in circuit.output_buses.items():
-        for net in nets:
-            if not circuit.is_driven(net):
-                raise NetlistError(
-                    f"output {name!r} bit {circuit.net_name(net)} is undriven"
-                )
+    rules = [
+        rule
+        for rule in resolve_rules(families=("structural",))
+        if rule.severity == SEVERITY_ERROR
+    ]
+    report = run_lint(circuit, rules, library)
+    if report.errors:
+        raise NetlistError(report.errors[0].message)
 
 
 def unused_nets(circuit: Circuit) -> List[int]:

@@ -1,6 +1,5 @@
 """Tests for the DesignWare virtual-synthesis substitute."""
 
-import pytest
 
 from repro.adders.designware import (
     DESIGNWARE_CANDIDATES,

@@ -75,7 +75,6 @@ def test_invalid_width_rejected(name):
     b=st.integers(min_value=0, max_value=(1 << 48) - 1),
 )
 def test_kogge_stone_hypothesis_48bit(a, b):
-    from repro.adders import build_kogge_stone_adder
 
     c = _KS48
     assert simulate(c, {"a": a, "b": b})["sum"] == a + b

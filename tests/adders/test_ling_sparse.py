@@ -1,6 +1,5 @@
 """Tests for the Ling and sparse Kogge-Stone adders."""
 
-import random
 
 import pytest
 

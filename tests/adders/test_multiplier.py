@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.adders.multiplier import build_multiplier
 from repro.netlist.simulate import simulate, simulate_batch

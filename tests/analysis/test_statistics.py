@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.statistics import (
-    RateEstimate,
     rates_compatible,
     samples_for_rate,
     wilson_interval,

@@ -71,7 +71,9 @@ signed_small = st.integers(min_value=-(1 << 16), max_value=(1 << 16) - 1)
 def test_theorems_on_twos_complement_operands(av, bv, k):
     n = min(len(av), len(bv))
     width = 24
-    enc = lambda vs: pack_ints([v % (1 << width) for v in vs[:n]], width)
+    def enc(vs):
+        return pack_ints([v % (1 << width) for v in vs[:n]], width)
+
     a, b = enc(av), enc(bv)
     profile = window_profile(a, b, width, k, "msb")
     np.testing.assert_array_equal(err0_flags(profile), scsa1_error_flags(profile))

@@ -56,7 +56,6 @@ class TestProtocol:
         assert results == [a + b for a, b in pairs]
 
     def test_stall_rate_matches_behavioral_model(self, pipe_20_5):
-        import numpy as np
 
         from repro.model.behavioral import err0_flags, pack_ints, window_profile
 

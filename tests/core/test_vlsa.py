@@ -1,6 +1,5 @@
 """Tests for the VLSA baseline (thesis ref [17], Ch. 7.4)."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Elaboration-cache tests: keying, round-trips, corruption tolerance."""
 
 import itertools
-import pickle
 
 import numpy as np
 import pytest

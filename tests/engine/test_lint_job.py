@@ -1,0 +1,76 @@
+"""Tests for the engine's static-analysis fan-out (LintJob)."""
+
+import pytest
+
+from repro.engine import LintJob, LintRows, SweepPoint, run_job
+
+
+def _points():
+    return (
+        SweepPoint("vlcsa1", 16, 4),
+        SweepPoint("kogge_stone", 16, None),
+        SweepPoint("vlcsa2", 16, 4),
+    )
+
+
+def test_job_validates_eagerly():
+    with pytest.raises(ValueError, match="at least one point"):
+        LintJob(points=())
+    with pytest.raises(ValueError, match="unknown rule"):
+        LintJob(points=_points(), select=("S999",))
+
+
+def test_rows_come_back_in_point_order():
+    job = LintJob(points=_points(), use_cache=False)
+    rows = run_job(job, workers=1).aggregate.ordered()
+    assert [r["architecture"] for r in rows] == ["vlcsa1", "kogge_stone", "vlcsa2"]
+    assert all(r["width"] == 16 for r in rows)
+    assert all(r["optimized"] for r in rows)
+    assert all(r["diagnostics"] == [] for r in rows)
+
+
+def test_parallel_matches_serial(tmp_path):
+    job = LintJob(points=_points(), cache_dir=str(tmp_path))
+    serial = run_job(job, workers=1).aggregate
+    parallel = run_job(job, workers=2).aggregate
+    assert serial.rows == parallel.rows
+
+
+def test_cache_hit_on_second_run(tmp_path):
+    job = LintJob(points=_points(), cache_dir=str(tmp_path))
+    first = run_job(job, workers=1).aggregate
+    assert first.counters.get("cache_misses", 0) >= len(_points())
+    second = run_job(job, workers=1).aggregate
+    assert second.rows == first.rows
+    assert second.counters.get("cache_misses", 0) == 0
+
+
+def test_lint_config_participates_in_cache_key(tmp_path):
+    point = (SweepPoint("vlcsa1", 32, 13),)
+    raw = run_job(
+        LintJob(points=point, optimize=False, cache_dir=str(tmp_path)), workers=1
+    ).aggregate.ordered()[0]
+    opt = run_job(
+        LintJob(points=point, optimize=True, cache_dir=str(tmp_path)), workers=1
+    ).aggregate.ordered()[0]
+    assert any(d["rule_id"] == "T001" for d in raw["diagnostics"])
+    assert opt["diagnostics"] == []
+
+
+def test_select_restricts_rules(tmp_path):
+    job = LintJob(points=(SweepPoint("vlcsa1", 16, 4),), select=("S007",),
+                  use_cache=False)
+    row = run_job(job, workers=1).aggregate.ordered()[0]
+    assert row["rules_run"] == ["S007"]
+
+
+def test_rows_merge_and_worst_severity():
+    a = LintRows(rows={0: {"diagnostics": [{"severity": "warning"}]}},
+                 counters={"cache_hits": 1})
+    b = LintRows(rows={1: {"diagnostics": [{"severity": "error"}]}},
+                 counters={"cache_hits": 2})
+    merged = a.merge(b)
+    assert sorted(merged.rows) == [0, 1]
+    assert merged.counters == {"cache_hits": 3}
+    assert merged.worst_severity() == "error"
+    assert LintRows().worst_severity() is None

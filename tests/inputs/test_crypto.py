@@ -1,6 +1,5 @@
 """Tests for the instrumented cryptographic kernels (repro.inputs.crypto)."""
 
-import random
 
 import numpy as np
 import pytest

@@ -84,7 +84,6 @@ class TestExactModel:
         errors = 0
         for a in range(1 << n):
             for b in range(1 << n):
-                spec_carry = 0
                 wrong = False
                 true_carry = 0
                 for lo, hi in plan.bounds:

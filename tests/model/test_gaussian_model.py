@@ -5,7 +5,6 @@ inputs; this extension provides one and these tests pin it against Monte
 Carlo across the operating range.
 """
 
-import numpy as np
 import pytest
 
 from repro.inputs.generators import gaussian_operands

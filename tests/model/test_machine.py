@@ -54,8 +54,8 @@ class TestProtocol:
             pass
 
         c = Circuit("liar")
-        a = c.add_input_bus("a", 4)
-        b = c.add_input_bus("b", 4)
+        c.add_input_bus("a", 4)
+        c.add_input_bus("b", 4)
         zero = c.const0()
         c.set_output_bus("sum", [zero] * 5)
         c.set_output_bus("sum_rec", [zero] * 5)
@@ -69,7 +69,7 @@ class TestPortContract:
     def test_missing_ports_rejected(self):
         c = Circuit("bad")
         a = c.add_input_bus("a", 4)
-        b = c.add_input_bus("b", 4)
+        c.add_input_bus("b", 4)
         c.set_output_bus("sum", a)
         with pytest.raises(NetlistError, match="lacks"):
             VariableLatencyMachine(c)
@@ -99,7 +99,6 @@ class TestAgainstStatisticalSim:
     def test_machine_matches_behavioral_stall_prediction(self):
         """Gate-level stall count == behavioural ERR0 count on the same
         stream (the conformance property)."""
-        import numpy as np
 
         from repro.model.behavioral import err0_flags, pack_ints, window_profile
 

@@ -1,0 +1,318 @@
+"""Tests for the static-analysis framework (repro.netlist.lint)."""
+
+import json
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.faults import Fault, apply_fault
+from repro.netlist.lint import (
+    SEVERITIES,
+    Diagnostic,
+    format_text,
+    mutation_self_test,
+    report_from_dict,
+    report_to_dict,
+    reports_to_sarif,
+    resolve_rules,
+    run_lint,
+    severity_rank,
+)
+from repro.netlist.simulate import simulate
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_ids_unique_and_sorted():
+    rules = resolve_rules()
+    ids = [r.id for r in rules]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    names = [r.name for r in rules]
+    assert len(names) == len(set(names))
+    assert {r.family for r in rules} == {"structural", "formal", "timing"}
+    assert all(r.severity in SEVERITIES for r in rules)
+
+
+def test_resolve_rules_select_ignore_and_families():
+    only = resolve_rules(select=["S004", "err-coverage"])
+    assert {r.id for r in only} == {"S004", "F001"}
+    dropped = resolve_rules(ignore=["F005"])
+    assert "F005" not in {r.id for r in dropped}
+    formal = resolve_rules(families=("formal",))
+    assert formal and all(r.family == "formal" for r in formal)
+
+
+def test_resolve_rules_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_rules(select=["S999"])
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_rules(ignore=["not-a-rule"])
+
+
+def test_severity_rank_orders_and_rejects():
+    assert severity_rank("info") < severity_rank("warning") < severity_rank("error")
+    with pytest.raises(ValueError, match="unknown severity"):
+        severity_rank("fatal")
+
+
+# ---------------------------------------------------------------------------
+# Structural rules: edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_empty_circuit_reports_no_outputs_only():
+    report = run_lint(Circuit("empty"))
+    assert [d.rule_id for d in report.diagnostics] == ["S001"]
+    assert report.errors[0].severity == "error"
+
+
+def test_gate_free_circuit_is_clean():
+    c = Circuit("wire")
+    a = c.add_input("a")
+    c.set_output("y", a)
+    report = run_lint(c)
+    assert report.diagnostics == []
+    assert report.worst_severity() is None
+
+
+def test_unused_input_flagged_as_info():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.add_input("b", )  # never read
+    c.set_output("y", c.not_(a))
+    report = run_lint(c)
+    assert [d.rule_id for d in report.diagnostics] == ["S007"]
+    assert report.diagnostics[0].severity == "info"
+    assert "b" in report.diagnostics[0].nets
+
+
+def test_fully_dead_cone_trips_dead_logic():
+    c = Circuit("dead")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    for _ in range(10):  # a cone of gates none of which reach an output
+        b = c.and2(a, b)
+    c.set_output("y", c.buf(a))
+    report = run_lint(c, resolve_rules(select=["S008"]))
+    assert [d.rule_id for d in report.diagnostics] == ["S008"]
+    assert report.diagnostics[0].severity == "warning"
+
+
+def test_undriven_output_and_multi_driven_net():
+    from repro.netlist.circuit import Gate
+
+    c = Circuit("bad")
+    a = c.add_input("a")
+    y = c.not_(a)
+    c.set_output("y", y)
+    # Forge a second driver of y behind the builder API's back.
+    c.gates.append(Gate(kind="INV", inputs=(a,), output=y))
+    report = run_lint(c, resolve_rules(select=["S004"]))
+    assert [d.rule_id for d in report.diagnostics] == ["S004"]
+
+
+def test_fanout_overload_found_and_fixed_by_buffering():
+    from repro.netlist.optimize import buffer_fanout
+
+    c = Circuit("fan")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    root = c.and2(a, b)
+    c.set_output_bus("y", [c.not_(root) for _ in range(20)])
+    before = run_lint(c, resolve_rules(select=["S009"]))
+    assert [d.rule_id for d in before.diagnostics] == ["S009"]
+    buffered = buffer_fanout(c, max_fanout=8)
+    after = run_lint(buffered, resolve_rules(select=["S009"]))
+    assert after.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# Deterministic ordering and serialization
+# ---------------------------------------------------------------------------
+
+
+def _messy_circuit():
+    c = Circuit("messy")
+    a = c.add_input("a")
+    c.add_input("u1")
+    c.add_input("u2")
+    for _ in range(12):
+        c.not_(a)  # dead inverters
+    c.set_output("y", c.buf(a))
+    return c
+
+
+def test_diagnostics_deterministically_ordered():
+    first = run_lint(_messy_circuit())
+    second = run_lint(_messy_circuit())
+    assert [d.to_dict() for d in first.diagnostics] == [
+        d.to_dict() for d in second.diagnostics
+    ]
+    keys = [d.sort_key() for d in first.diagnostics]
+    assert keys == sorted(keys)
+
+
+def test_report_dict_round_trip():
+    report = run_lint(_messy_circuit())
+    payload = json.loads(json.dumps(report_to_dict(report)))
+    back = report_from_dict(payload)
+    assert back.circuit == report.circuit
+    assert back.rules_run == report.rules_run
+    assert [d.to_dict() for d in back.diagnostics] == [
+        d.to_dict() for d in report.diagnostics
+    ]
+
+
+def test_diagnostic_round_trip_with_counterexample():
+    diag = Diagnostic(
+        rule_id="F001",
+        rule_name="err-coverage",
+        severity="error",
+        circuit="c",
+        message="m",
+        nets=("err",),
+        counterexample={"a": 3, "b": 5},
+        hint="h",
+    )
+    assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+
+def test_format_text_mentions_rule_and_counts():
+    report = run_lint(_messy_circuit())
+    text = format_text(report, verbose=True)
+    assert "messy:" in text
+    assert "S007" in text and "S008" in text
+
+
+def test_sarif_document_shape():
+    reports = [run_lint(_messy_circuit())]
+    doc = reports_to_sarif(reports)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {r.id for r in resolve_rules()} <= rule_ids
+    levels = {res["level"] for res in run["results"]}
+    assert levels <= {"note", "warning", "error"}
+    for res in run["results"]:
+        assert res["locations"][0]["logicalLocations"]
+
+
+# ---------------------------------------------------------------------------
+# Formal rules on the paper's designs
+# ---------------------------------------------------------------------------
+
+
+def test_vlcsa1_formally_clean():
+    from repro.core import build_vlcsa1
+
+    report = run_lint(build_vlcsa1(16, 4), resolve_rules(families=("formal",)))
+    assert report.diagnostics == []
+    assert {"F001", "F002", "F004"} <= set(report.rules_run)
+
+
+def test_broken_detector_caught_with_counterexample():
+    from repro.core import build_vlcsa1
+
+    clean = build_vlcsa1(16, 4)
+    err_net = clean.output_buses["err"][0]
+    mutant = apply_fault(clean, Fault(err_net, 0))  # detector silenced
+    report = run_lint(mutant, resolve_rules(select=["F001"]))
+    assert report.errors, "silenced detector must fail err-coverage"
+    cex = report.errors[0].counterexample
+    assert cex is not None
+    # The counterexample really is a mis-speculation the detector misses.
+    out = simulate(mutant, {"a": cex["a"], "b": cex["b"]})
+    assert out["err"] == 0
+    assert out["sum"] != cex["a"] + cex["b"]
+
+
+def test_recovery_bus_corruption_caught():
+    from repro.core import build_vlcsa1
+
+    clean = build_vlcsa1(16, 4)
+    rec0 = clean.output_buses["sum_rec"][0]
+    mutant = apply_fault(clean, Fault(rec0, 1))
+    report = run_lint(mutant, resolve_rules(select=["F002"]))
+    assert report.errors and report.errors[0].counterexample is not None
+
+
+def test_vlcsa2_hypothesis_coverage_runs():
+    from repro.core import build_vlcsa2
+
+    report = run_lint(build_vlcsa2(16, 4), resolve_rules(select=["F003"]))
+    assert report.diagnostics == []
+    assert report.rules_run == ("F003",)
+
+
+# ---------------------------------------------------------------------------
+# Timing rule
+# ---------------------------------------------------------------------------
+
+
+def test_t001_raw_vlcsa1_32_fails_then_optimize_fixes():
+    from repro.core import build_vlcsa1
+    from repro.netlist.optimize import optimize
+
+    raw = build_vlcsa1(32, 13)
+    rules = resolve_rules(select=["T001"])
+    assert run_lint(raw, rules).errors, "raw 32-bit detection should be late"
+    opt, _ = optimize(raw)
+    assert run_lint(opt, rules).diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# apply_fault
+# ---------------------------------------------------------------------------
+
+
+def test_apply_fault_forces_net_value():
+    c = Circuit("t")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    y = c.and2(a, b)
+    c.set_output("y", y)
+    mutant = apply_fault(c, Fault(y, 1))
+    assert simulate(mutant, {"a": 0, "b": 0})["y"] == 1
+    # Untouched circuit still works.
+    assert simulate(c, {"a": 0, "b": 0})["y"] == 0
+
+
+def test_apply_fault_rejects_bad_arguments():
+    from repro.netlist.circuit import NetlistError
+
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("y", c.not_(a))
+    with pytest.raises(NetlistError, match="stuck_at"):
+        apply_fault(c, Fault(0, 2))
+    with pytest.raises(NetlistError, match="does not exist"):
+        apply_fault(c, Fault(99, 0))
+
+
+# ---------------------------------------------------------------------------
+# Mutation self-test
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_self_test_kills_detector_faults():
+    from repro.core import build_vlcsa1
+
+    outcome = mutation_self_test(build_vlcsa1(16, 4), max_mutants=16)
+    assert outcome.total == 16
+    assert outcome.killed > 0
+    assert outcome.missed == []
+    assert outcome.ok
+    payload = outcome.to_dict()
+    assert payload["ok"] and payload["killed"] == outcome.killed
+
+
+def test_mutation_self_test_skips_designs_without_detector():
+    from repro.adders import build_kogge_stone_adder
+
+    outcome = mutation_self_test(build_kogge_stone_adder(16))
+    assert outcome.total == 0
+    assert outcome.ok

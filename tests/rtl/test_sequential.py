@@ -52,7 +52,7 @@ class TestContract:
     def test_missing_ports_rejected(self):
         c = Circuit("plain")
         a = c.add_input_bus("a", 4)
-        b = c.add_input_bus("b", 4)
+        c.add_input_bus("b", 4)
         c.set_output_bus("sum", a)
         with pytest.raises(NetlistError, match="lacks"):
             to_sequential_wrapper(c)

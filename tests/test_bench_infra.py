@@ -1,6 +1,5 @@
 """Tests for the benchmark infrastructure (benchmarks/conftest.py)."""
 
-import importlib
 
 import benchmarks.conftest as bc
 

@@ -135,3 +135,97 @@ def test_figures_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "fig3_5.json" in out
     assert (tmp_path / "fig3_5.json").exists()
+
+
+def test_lint_clean_design(capsys):
+    assert main(["lint", "vlcsa1", "--widths", "16", "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "vlcsa1 n=16" in captured.out
+    assert "0 error(s)" in captured.out
+    assert "clean" in captured.err
+
+
+def test_lint_fails_on_unoptimized_timing(capsys):
+    assert main(
+        ["lint", "vlcsa1", "--widths", "32", "--no-cache", "--no-optimize"]
+    ) == 1
+    assert "T001" in capsys.readouterr().out
+
+
+def test_lint_fail_on_never_downgrades_exit(capsys):
+    assert main(
+        ["lint", "vlcsa1", "--widths", "32", "--no-cache", "--no-optimize",
+         "--fail-on", "never"]
+    ) == 0
+
+
+def test_lint_json_format(capsys):
+    import json
+
+    assert main(
+        ["lint", "vlcsa2", "--widths", "16", "--no-cache", "--format", "json",
+         "--fail-on", "error"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (row,) = payload["rows"]
+    assert row["architecture"] == "vlcsa2"
+    assert "F003" in row["rules_run"]
+
+
+def test_lint_sarif_written_to_file(tmp_path):
+    import json
+
+    out = tmp_path / "lint.sarif"
+    assert main(
+        ["lint", "vlcsa1", "--widths", "16", "--no-cache",
+         "--format", "sarif", "-o", str(out)]
+    ) == 0
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["tool"]["driver"]["name"]
+
+
+def test_lint_select_and_unknown_rule(capsys):
+    assert main(
+        ["lint", "vlcsa1", "--widths", "16", "--no-cache", "--select", "S001"]
+    ) == 0
+    with pytest.raises(SystemExit, match="unknown rule"):
+        main(["lint", "vlcsa1", "--widths", "16", "--no-cache",
+              "--select", "S999"])
+
+
+def test_lint_requires_designs():
+    with pytest.raises(SystemExit, match="no designs"):
+        main(["lint", "--no-cache"])
+
+
+def test_lint_self_test(capsys):
+    assert main(
+        ["lint", "vlcsa1", "--widths", "16", "--no-cache",
+         "--self-test", "--max-mutants", "8"]
+    ) == 0
+    assert "8/8 mutants killed (ok)" in capsys.readouterr().out
+
+
+def test_gen_lint_gate_blocks_bad_netlist(tmp_path, capsys):
+    out = tmp_path / "a.v"
+    with pytest.raises(SystemExit):
+        main(["gen", "vlcsa1", "32", "--lint", "-o", str(out)])
+    assert not out.exists()
+    assert "T001" in capsys.readouterr().err
+
+
+def test_gen_lint_gate_passes_optimized(tmp_path):
+    out = tmp_path / "a.v"
+    assert main(
+        ["gen", "vlcsa1", "32", "--optimize", "--lint", "-o", str(out)]
+    ) == 0
+    assert out.exists()
+
+
+def test_tb_lint_gate(tmp_path, capsys):
+    out = tmp_path / "tb.v"
+    assert main(
+        ["tb", "kogge_stone", "16", "--lint", "-o", str(out), "--vectors", "3"]
+    ) == 0
+    assert out.exists()
