@@ -1,0 +1,119 @@
+"""Performance: compiled gate-level simulation vs the interpreter.
+
+The compiled backend (:mod:`repro.netlist.compile`) levelizes the
+netlist once, generates a straight-line Python kernel, and moves the
+batch transposes to vectorized numpy bit-plane packing; concurrent fault
+simulation packs 64 stuck-at faults per forward pass and recomputes only
+each fault group's fan-out cone.  This benchmark times both backends on
+the same inputs, asserts they agree bit for bit, and enforces the PR's
+speedup floors (>=10x batch simulation, >=20x fault coverage at n=64).
+
+The floors are asserted at full scale only (``REPRO_FULL_SCALE=1``);
+at the reduced CI scale the compile overhead is a visible fraction of
+the budget and the run only checks correctness plus a loose floor.
+"""
+
+import random
+import time
+
+from repro.analysis.report import format_table
+from repro.core import build_vlcsa1
+from repro.netlist.faults import fault_coverage, fault_coverage_reference
+from repro.netlist.simulate import simulate_batch, simulate_batch_reference
+
+from benchmarks.conftest import full_scale, run_once
+
+WIDTH, K = 64, 8
+
+
+def _vectors(circuit, count, seed):
+    gen = random.Random(seed)
+    return {
+        name: [gen.getrandbits(len(nets)) for _ in range(count)]
+        for name, nets in circuit.input_buses.items()
+    }
+
+
+def _best_of(fn, repeat=3):
+    best, result = None, None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_perf_simulate_batch(benchmark):
+    n_vectors = 1024 if full_scale() else 256
+
+    def compute():
+        circuit = build_vlcsa1(WIDTH, K)
+        batch = _vectors(circuit, n_vectors, 17)
+        t_ref, out_ref = _best_of(
+            lambda: simulate_batch_reference(circuit, batch)
+        )
+        t_cmp, out_cmp = _best_of(
+            lambda: simulate_batch(circuit, batch, backend="compiled")
+        )
+        assert out_cmp == out_ref, "compiled backend diverged from reference"
+        return {"reference_s": t_ref, "compiled_s": t_cmp,
+                "speedup": t_ref / t_cmp}
+
+    r = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["backend", "time", "speedup"],
+            [
+                ("reference interpreter", f"{r['reference_s'] * 1e3:.2f} ms", "1.0x"),
+                ("compiled", f"{r['compiled_s'] * 1e3:.2f} ms",
+                 f"{r['speedup']:.1f}x"),
+            ],
+            title=f"simulate_batch, VLCSA 1 n={WIDTH} k={K}, "
+            f"{n_vectors} vectors (best of 3)",
+        )
+    )
+    floor = 10.0 if full_scale() else 4.0
+    assert r["speedup"] >= floor, (
+        f"compiled simulate_batch speedup {r['speedup']:.1f}x "
+        f"below the {floor:.0f}x floor"
+    )
+
+
+def test_perf_fault_coverage(benchmark):
+    n_vectors = 1024 if full_scale() else 128
+
+    def compute():
+        circuit = build_vlcsa1(WIDTH, K)
+        batch = _vectors(circuit, n_vectors, 29)
+        t_ref, slow = _best_of(
+            lambda: fault_coverage_reference(circuit, batch)
+        )
+        t_cmp, fast = _best_of(lambda: fault_coverage(circuit, batch))
+        assert (fast.total, fast.detected) == (slow.total, slow.detected)
+        assert fast.undetected == slow.undetected
+        return {"reference_s": t_ref, "compiled_s": t_cmp,
+                "speedup": t_ref / t_cmp, "coverage": fast.coverage,
+                "faults": fast.total}
+
+    r = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["backend", "time", "speedup"],
+            [
+                ("per-fault interpreter", f"{r['reference_s']:.3f} s", "1.0x"),
+                ("concurrent bit-plane", f"{r['compiled_s']:.3f} s",
+                 f"{r['speedup']:.1f}x"),
+            ],
+            title=f"fault_coverage, VLCSA 1 n={WIDTH} k={K}, "
+            f"{n_vectors} vectors, {r['faults']} faults, "
+            f"coverage {r['coverage']:.4f}",
+        )
+    )
+    floor = 20.0 if full_scale() else 6.0
+    assert r["speedup"] >= floor, (
+        f"concurrent fault coverage speedup {r['speedup']:.1f}x "
+        f"below the {floor:.0f}x floor"
+    )

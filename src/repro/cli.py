@@ -13,7 +13,10 @@ analyses this reproduction adds:
   over an architecture × width grid, with SARIF output and a mutation
   self-test of the rules themselves;
 * ``engine``  — the batch-execution engine: cached, optionally parallel
-  Monte Carlo / sweep / magnitude runs with a metrics report.
+  Monte Carlo / sweep / magnitude runs with a metrics report;
+* ``sim``     — gate-level simulation benchmark: compiled vs reference
+  backends over a design × width grid, with bit-for-bit cross-checking
+  and optional concurrent fault coverage.
 
 ``sweep`` and ``errors`` execute through :mod:`repro.engine`, so they gain
 ``--workers`` (multiprocessing) for free.  A global ``--seed`` before the
@@ -524,6 +527,158 @@ def _cmd_engine_magnitude(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    """Gate-level simulation benchmark: compiled vs reference backends.
+
+    Runs a design × width grid of random batches through the chosen
+    backend(s); in ``both`` mode the outputs (and, with ``--faults``, the
+    fault reports) are compared bit for bit and a mismatch exits 1.  The
+    JSON report is the checked-in ``BENCH_netlist_sim.json`` format.
+    """
+    import random
+    import time
+
+    from repro.engine import EngineMetrics
+    from repro.netlist.compile import compile_circuit
+    from repro.netlist.faults import fault_coverage, fault_coverage_reference
+    from repro.netlist.simulate import simulate_batch, simulate_batch_reference
+
+    seed = _resolve_seed(args)
+    backends = (
+        ["compiled", "reference"] if args.backend == "both" else [args.backend]
+    )
+    repeat = max(1, args.repeat)
+    metrics = EngineMetrics()
+    report_rows = []
+    table_rows = []
+    mismatches = []
+    for design in args.designs:
+        for width in args.widths:
+            circuit = _build_design(design, width, args.window)
+            rng = random.Random(seed ^ (width << 20))
+            inputs = {
+                name: [rng.getrandbits(len(nets)) for _ in range(args.vectors)]
+                for name, nets in circuit.input_buses.items()
+            }
+            if "compiled" in backends:
+                with metrics.phase("compile"):
+                    compile_circuit(circuit)
+            outs = {}
+            times = {}
+            for backend in backends:
+                if backend == "reference":
+                    def run(c=circuit, v=inputs):
+                        return simulate_batch_reference(c, v)
+                else:
+                    def run(c=circuit, v=inputs):
+                        return simulate_batch(c, v, backend="compiled")
+                best = None
+                for _ in range(repeat):
+                    start = time.perf_counter()
+                    with metrics.phase("simulate"):
+                        outs[backend] = run()
+                    elapsed = time.perf_counter() - start
+                    best = elapsed if best is None else min(best, elapsed)
+                    metrics.add("samples", args.vectors)
+                times[backend] = best
+            row = {
+                "architecture": design,
+                "width": width,
+                "vectors": args.vectors,
+                "gates": circuit.num_gates,
+            }
+            for backend in backends:
+                row[f"{backend}_s"] = times[backend]
+                row[f"{backend}_samples_per_s"] = (
+                    args.vectors / times[backend] if times[backend] > 0 else None
+                )
+            if len(backends) == 2:
+                row["speedup"] = (
+                    times["reference"] / times["compiled"]
+                    if times["compiled"] > 0
+                    else None
+                )
+                if outs["compiled"] != outs["reference"]:
+                    mismatches.append(f"{design} n={width}: batch outputs differ")
+            if args.faults:
+                fault_times = {}
+                reports = {}
+                for backend in backends:
+                    cov = (
+                        fault_coverage_reference
+                        if backend == "reference"
+                        else fault_coverage
+                    )
+                    start = time.perf_counter()
+                    with metrics.phase("faults"):
+                        reports[backend] = cov(circuit, inputs)
+                    fault_times[backend] = time.perf_counter() - start
+                    row[f"fault_{backend}_s"] = fault_times[backend]
+                report = reports[backends[0]]
+                row["faults_total"] = report.total
+                row["faults_detected"] = report.detected
+                row["fault_coverage"] = report.coverage
+                if len(backends) == 2:
+                    row["fault_speedup"] = (
+                        fault_times["reference"] / fault_times["compiled"]
+                        if fault_times["compiled"] > 0
+                        else None
+                    )
+                    ref = reports["reference"]
+                    com = reports["compiled"]
+                    if (com.detected, com.undetected) != (
+                        ref.detected,
+                        ref.undetected,
+                    ):
+                        mismatches.append(
+                            f"{design} n={width}: fault reports differ"
+                        )
+            report_rows.append(row)
+            cols = [design, width, circuit.num_gates]
+            for backend in backends:
+                cols.append(f"{times[backend] * 1e3:.2f}")
+            cols.append(
+                f"{row['speedup']:.1f}x" if len(backends) == 2 else "-"
+            )
+            if args.faults:
+                cols.append(f"{row['fault_coverage']:.4f}")
+                cols.append(
+                    f"{row['fault_speedup']:.1f}x" if len(backends) == 2 else "-"
+                )
+            table_rows.append(tuple(cols))
+    headers = ["design", "n", "gates"]
+    headers += [f"{b} ms" for b in backends] + ["speedup"]
+    if args.faults:
+        headers += ["coverage", "fault speedup"]
+    print(
+        format_table(
+            headers,
+            table_rows,
+            title=f"gate-level simulation, {args.vectors} vectors/point "
+            f"(best of {repeat})",
+        )
+    )
+    _print_metrics(metrics)
+    for line in mismatches:
+        print(f"MISMATCH: {line}", file=sys.stderr)
+    _emit_json(
+        args.json,
+        {
+            "command": "sim",
+            "designs": list(args.designs),
+            "widths": list(args.widths),
+            "vectors": args.vectors,
+            "backend": args.backend,
+            "repeat": repeat,
+            "seed": seed,
+            "ok": not mismatches,
+            "rows": report_rows,
+            "metrics": metrics.to_dict(),
+        },
+    )
+    return 1 if mismatches else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis over an architecture × width grid via the engine."""
     from repro.engine import EngineMetrics, LintJob, SweepPoint, run_job
@@ -829,6 +984,30 @@ def build_parser() -> argparse.ArgumentParser:
     e_mag.add_argument("--chunk", type=int, default=None)
     _engine_common(e_mag)
     e_mag.set_defaults(fn=_cmd_engine_magnitude)
+
+    sim = sub.add_parser(
+        "sim", help="gate-level simulation benchmark (compiled vs reference)"
+    )
+    sim.add_argument("designs", nargs="+",
+                     help="architectures to simulate (e.g. vlcsa1 designware)")
+    sim.add_argument("--widths", type=int, nargs="+", default=[16, 32, 64],
+                     metavar="N", help="adder widths (default: 16 32 64)")
+    sim.add_argument("--window", type=int, default=None,
+                     help="window size k (default: Eq. 3.13 sizing @ 1e-4)")
+    sim.add_argument("--vectors", type=int, default=1024,
+                     help="random vectors per design point (default 1024)")
+    sim.add_argument("--backend", choices=["compiled", "reference", "both"],
+                     default="compiled",
+                     help="backend(s) to run; 'both' also cross-checks "
+                          "outputs bit for bit and exits 1 on divergence")
+    sim.add_argument("--faults", action="store_true",
+                     help="also run stuck-at fault coverage per point")
+    sim.add_argument("--repeat", type=int, default=3,
+                     help="timing repetitions per point, best kept (default 3)")
+    sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument("--json", default=None, metavar="PATH",
+                     help="write a JSON report ('-' for stdout)")
+    sim.set_defaults(fn=_cmd_sim)
 
     return parser
 

@@ -59,15 +59,17 @@ def _set_range(mask: np.ndarray, lo: int, hi: int) -> None:
 @lru_cache(maxsize=256)
 def _swar_masks(
     width: int, window_size: int, remainder: str
-) -> Tuple[Tuple[Tuple[bytes, bytes, bytes], ...], Tuple[int, int]]:
-    """Constant masks for the two-pass all-ones test (treat as read-only).
+) -> Tuple[Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...], Tuple[int, int]]:
+    """Constant masks for the two-pass all-ones test.
 
-    Returns ``(passes, top)`` where each pass is the raw bytes of three
+    Returns ``(passes, top)`` where each pass is three ready-to-use
     ``(limbs,)`` uint64 masks — window bits M, low bits L, high-boundary
     bits H — over same-parity windows whose high end is below ``width``,
     and ``top = (lo, size)`` of the most significant window (whose carry
     boundary is the adder's carry-out, tested by direct field extraction).
-    Masks are stored as bytes so the lru_cache holds immutable objects.
+    The arrays are marked read-only so the lru_cache can hand out the
+    same objects on every call without a defensive copy or a per-call
+    ``np.frombuffer`` rehydration.
     """
     plan = plan_windows(width, window_size, remainder)
     limbs = num_limbs(width)
@@ -89,7 +91,9 @@ def _swar_masks(
             _set_range(m, lo, hi)
             _set_bit(l, lo)
             _set_bit(h, hi)
-        passes.append((m.tobytes(), l.tobytes(), h.tobytes()))
+        for mask in (m, l, h):
+            mask.setflags(write=False)
+        passes.append((m, l, h))
     return tuple(passes), (top_lo, top_hi - top_lo)
 
 
@@ -133,10 +137,8 @@ def scsa1_error_flags_swar(
         p = av ^ bv
         w = p & (p ^ (av + bv))  # p & carry-in mask
         flags = np.zeros(av.shape[0], dtype=bool)
-        for m_raw, l_raw, h_raw in passes:
-            m = np.frombuffer(m_raw, dtype=_U64)[0]
-            l = np.frombuffer(l_raw, dtype=_U64)[0]
-            h = np.frombuffer(h_raw, dtype=_U64)[0]
+        for m_arr, l_arr, h_arr in passes:
+            m, l, h = m_arr[0], l_arr[0], h_arr[0]
             flags |= (((w & m) + l) & h) != 0
         top = (w >> _U64(top_lo)) & _U64((1 << top_size) - 1)
         flags |= top == _U64((1 << top_size) - 1)
@@ -144,10 +146,7 @@ def scsa1_error_flags_swar(
     c, _ = carry_into_bits(a, b, width)
     w = (a ^ b) & c
     flags = np.zeros(a.shape[0], dtype=bool)
-    for m_raw, l_raw, h_raw in passes:
-        m = np.frombuffer(m_raw, dtype=_U64, count=limbs)
-        l = np.frombuffer(l_raw, dtype=_U64, count=limbs)
-        h = np.frombuffer(h_raw, dtype=_U64, count=limbs)
+    for m, l, h in passes:
         u = _add_row_const(w & m, l)
         flags |= np.any(u & h, axis=1)
     top = extract_field(w, top_lo, top_size)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.netlist.circuit import Circuit, NetlistError
-from repro.netlist.simulate import simulate_batch
+from repro.netlist.compile import compile_circuit
 
 
 @dataclass
@@ -68,6 +68,8 @@ class VariableLatencyMachine:
             )
         self.circuit = circuit
         self.width = len(inputs["a"])
+        # Compile once at construction; every run() reuses the kernel.
+        self._sim = compile_circuit(circuit)
 
     def run(self, operands: Iterable[Tuple[int, int]]) -> MachineTrace:
         """Push an operand stream through the 1/2-cycle protocol."""
@@ -75,8 +77,7 @@ class VariableLatencyMachine:
         trace = MachineTrace()
         if not pairs:
             return trace
-        batch = simulate_batch(
-            self.circuit,
+        batch = self._sim.run_batch(
             {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]},
         )
         for spec, rec, err in zip(batch["sum"], batch["sum_rec"], batch["err"]):

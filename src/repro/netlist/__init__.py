@@ -10,6 +10,9 @@ a pure-Python equivalent:
   JSON / SARIF output and a mutation self-test.
 * :mod:`repro.netlist.rules`    — the lint-rule registry.
 * :mod:`repro.netlist.simulate` — bit-parallel functional simulation.
+* :mod:`repro.netlist.compile`  — compiled simulation backend: levelized,
+  codegen'd straight-line kernels with vectorized batch transposes,
+  cached per netlist content hash.
 * :mod:`repro.netlist.timing`   — static timing analysis (load-dependent).
 * :mod:`repro.netlist.area`     — cell-area accounting.
 * :mod:`repro.netlist.optimize` — peephole "synthesis" passes.
@@ -33,7 +36,19 @@ from repro.netlist.lint import (
     resolve_rules,
     run_lint,
 )
-from repro.netlist.simulate import simulate, simulate_batch
+from repro.netlist.simulate import (
+    GATE_EVAL,
+    simulate,
+    simulate_batch,
+    simulate_batch_reference,
+)
+from repro.netlist.compile import (
+    CompiledKernel,
+    CompiledSim,
+    circuit_fingerprint,
+    compile_circuit,
+    levelize,
+)
 from repro.netlist.timing import TimingReport, analyze_timing, critical_delay
 from repro.netlist.area import area, area_report, gate_counts
 from repro.netlist.optimize import optimize, OptimizeStats, buffer_fanout
@@ -46,6 +61,7 @@ from repro.netlist.faults import (
     apply_fault,
     enumerate_faults,
     fault_coverage,
+    fault_coverage_reference,
 )
 from repro.netlist.bdd import (
     BDD,
@@ -73,8 +89,15 @@ __all__ = [
     "reports_to_sarif",
     "resolve_rules",
     "run_lint",
+    "GATE_EVAL",
     "simulate",
     "simulate_batch",
+    "simulate_batch_reference",
+    "CompiledKernel",
+    "CompiledSim",
+    "circuit_fingerprint",
+    "compile_circuit",
+    "levelize",
     "TimingReport",
     "analyze_timing",
     "critical_delay",
@@ -101,4 +124,5 @@ __all__ = [
     "apply_fault",
     "enumerate_faults",
     "fault_coverage",
+    "fault_coverage_reference",
 ]

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.netlist.circuit import Circuit, NetlistError
-from repro.netlist.simulate import simulate_batch
+from repro.netlist.compile import compile_circuit
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,8 @@ class ClockedDesign:
                 raise NetlistError(f"duplicate register bank {reg.q_bus!r}")
             q_names.add(reg.q_bus)
         self._free_inputs = [name for name in in_buses if name not in q_names]
+        # One compilation serves every cycle of the stepped simulation.
+        self._sim = compile_circuit(circuit)
         self._state: Dict[str, int] = {}
         self.reset()
 
@@ -88,8 +90,7 @@ class ClockedDesign:
             raise NetlistError(f"unknown input buses {sorted(given)}")
         batch = {name: [value] for name, value in feed.items()}
         outputs = {
-            name: vals[0]
-            for name, vals in simulate_batch(self.circuit, batch).items()
+            name: vals[0] for name, vals in self._sim.run_batch(batch).items()
         }
         width_mask = {
             reg.q_bus: (1 << len(self.circuit.input_buses[reg.q_bus])) - 1

@@ -2,23 +2,51 @@
 
 Classic EDA capability the "reliable" theme invites: enumerate single
 stuck-at-0/1 faults on gate outputs, simulate the faulty circuits against
-a vector set (bit-parallel, so one pass per fault covers every vector),
-and report coverage.  Two uses in this repository:
+a vector set, and report coverage.  Two uses in this repository:
 
 * grading the self-checking testbench vectors
   (``repro.rtl.to_testbench``) as a manufacturing test set;
 * asking a question the thesis doesn't: how many hardware faults in the
   *speculative datapath* does VLCSA's own error detector flag for free?
   (``benchmarks/test_ext_fault_coverage.py``.)
+
+:func:`fault_coverage` runs **concurrent** fault simulation on top of the
+compiled backend (:mod:`repro.netlist.compile`): the fault-free circuit
+is evaluated once through the compiled kernel (bit-parallel over all
+vectors), then faults are packed 64 per pass — one fault per bit-plane of
+a uint64 — over arrays indexed by vector.  Each pass restarts evaluation
+at the faulted nets and recomputes only the union of their fanout cones;
+because every gate function is bitwise, the 64 fault planes evaluate
+independently in one numpy pass.  A fault is detected when any observed
+bit-plane differs from the broadcast fault-free value under any vector.
+
+:func:`fault_coverage_reference` retains the original one-pass-per-fault
+interpreter as the executable specification (differential tests assert
+both agree fault-for-fault).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.netlist.circuit import Circuit, NetlistError
-from repro.netlist.simulate import _eval_gate
+from repro.netlist.simulate import GATE_EVAL
+
+#: Faults packed per concurrent pass (one per uint64 bit-plane).
+_PLANES = 64
+
+#: First detection-chunk size; chunks double from here.  Faults detected
+#: in one chunk are dropped before the next, so the full fault list sees
+#: only a small vector slice and the hard residue alone (typically one
+#: group instead of dozens) walks the rest of the vector set.
+_CHUNK_VECTORS = 64
+
+_U64 = np.uint64
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+_ALL_ONES_INT = 0xFFFF_FFFF_FFFF_FFFF
 
 
 @dataclass(frozen=True)
@@ -91,21 +119,150 @@ def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
     return new
 
 
-def _values_with_fault(
+def values_with_fault(
     circuit: Circuit,
-    input_masks: Dict[int, int],
+    input_masks: Mapping[int, int],
     ones: int,
     fault: Optional[Fault],
 ) -> List[int]:
+    """Interpreted single-fault forward pass (reference semantics).
+
+    Evaluates every gate through :data:`repro.netlist.simulate.GATE_EVAL`,
+    overriding the faulted gate output (if any) with its stuck value.
+    Kept as the per-fault specification the concurrent simulator is
+    differentially tested against.
+    """
     values: List[int] = [0] * circuit.num_nets
     for net, mask in input_masks.items():
         values[net] = mask
     for gate in circuit.gates:
-        out = _eval_gate(gate.kind, [values[n] for n in gate.inputs], ones)
+        out = GATE_EVAL[gate.kind]([values[n] for n in gate.inputs], ones)
         if fault is not None and gate.output == fault.net:
             out = ones if fault.stuck_at else 0
         values[gate.output] = out
     return values
+
+
+def _check_vectors(
+    circuit: Circuit, vectors: Mapping[str, Sequence[int]]
+) -> int:
+    """Shared vector-set validation; returns the (positive) vector count."""
+    in_buses = circuit.input_buses
+    if set(vectors) != set(in_buses):
+        raise NetlistError(
+            f"input buses mismatch: expected {sorted(in_buses)}, got {sorted(vectors)}"
+        )
+    lengths = {len(v) for v in vectors.values()}
+    if len(lengths) != 1:
+        raise NetlistError("all vector streams must have equal length")
+    (num_vectors,) = lengths
+    if num_vectors == 0:
+        raise NetlistError("need at least one vector")
+    return num_vectors
+
+
+def _observed_nets(
+    circuit: Circuit, observe: Optional[Sequence[str]]
+) -> List[int]:
+    """Resolve observation-point bus names to their net lists."""
+    names = list(observe) if observe is not None else list(circuit.output_buses)
+    nets: List[int] = []
+    for name in names:
+        if name not in circuit.output_buses:
+            raise NetlistError(f"no output bus {name!r} to observe")
+        nets.extend(circuit.output_buses[name])
+    return nets
+
+
+def _expand_planes(mask: int, num_vectors: int) -> np.ndarray:
+    """Broadcast a bit-parallel net mask into fault-plane form.
+
+    Element ``v`` of the result is all-ones when the net is 1 under
+    vector ``v`` and zero otherwise — i.e. the fault-free value
+    replicated across all 64 fault planes.
+    """
+    data = mask.to_bytes((num_vectors + 7) // 8, "little")
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), count=num_vectors, bitorder="little"
+    )
+    return bits.astype(_U64) * _ALL_ONES
+
+
+def _detect_group(
+    circuit: Circuit,
+    readers: Sequence[Sequence[int]],
+    golden: Sequence[int],
+    planes: Dict[int, np.ndarray],
+    group: Sequence[Fault],
+    observed: Sequence[int],
+    num_vectors: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+) -> int:
+    """One concurrent pass over up to 64 faults; returns a detection mask.
+
+    Bit ``i`` of the result is set when ``group[i]`` was detected at some
+    observed net under some vector of the ``[lo, hi)`` slice.  ``planes``
+    caches the full-length expanded fault-free arrays across groups and
+    slices; the slice views taken from them are free.
+    """
+    if hi is None:
+        hi = num_vectors
+    inject: Dict[int, Tuple[int, int]] = {}
+    for bit, fault in enumerate(group):
+        or_mask, and_mask = inject.get(fault.net, (0, _ALL_ONES_INT))
+        if fault.stuck_at:
+            or_mask |= 1 << bit
+        else:
+            and_mask &= _ALL_ONES_INT ^ (1 << bit)
+        inject[fault.net] = (or_mask, and_mask)
+
+    # Fanout cone: every gate transitively reading a faulted net.
+    cone = set()
+    frontier = list(inject)
+    seen_nets = set(frontier)
+    while frontier:
+        net = frontier.pop()
+        for index in readers[net]:
+            if index in cone:
+                continue
+            cone.add(index)
+            out = circuit.gates[index].output
+            if out not in seen_nets:
+                seen_nets.add(out)
+                frontier.append(out)
+
+    def plane(net: int) -> np.ndarray:
+        cached = planes.get(net)
+        if cached is None:
+            planes[net] = cached = _expand_planes(golden[net], num_vectors)
+        return cached[lo:hi]
+
+    faulty: Dict[int, np.ndarray] = {}
+    for net, (or_mask, and_mask) in inject.items():
+        faulty[net] = (plane(net) & _U64(and_mask)) | _U64(or_mask)
+
+    # Gate indices are topological, so sorted order is evaluation order —
+    # the pass restarts at the faults' levels and touches only the cone.
+    for index in sorted(cone):
+        gate = circuit.gates[index]
+        operands = [
+            faulty[n] if n in faulty else plane(n) for n in gate.inputs
+        ]
+        value = GATE_EVAL[gate.kind](operands, _ALL_ONES)
+        injected = inject.get(gate.output)
+        if injected is not None:
+            value = (value & _U64(injected[1])) | _U64(injected[0])
+        faulty[gate.output] = value
+
+    detected = 0
+    for net in observed:
+        value = faulty.get(net)
+        if value is None:
+            continue
+        diff = value ^ plane(net)
+        detected |= int(np.bitwise_or.reduce(diff))
+    return detected
 
 
 def fault_coverage(
@@ -119,29 +276,88 @@ def fault_coverage(
     ``observe`` restricts the observation points to the named output buses
     (default: every output bus).  A fault counts as detected when any
     observed bit differs from the fault-free value under any vector.
-    """
-    in_buses = circuit.input_buses
-    if set(vectors) != set(in_buses):
-        raise NetlistError(
-            f"input buses mismatch: expected {sorted(in_buses)}, got {sorted(vectors)}"
-        )
-    lengths = {len(v) for v in vectors.values()}
-    if len(lengths) != 1:
-        raise NetlistError("all vector streams must have equal length")
-    (num_vectors,) = lengths
-    if num_vectors == 0:
-        raise NetlistError("need at least one vector")
-    ones = (1 << num_vectors) - 1
 
-    observed_names = list(observe) if observe is not None else list(circuit.output_buses)
-    observed_nets: List[int] = []
-    for name in observed_names:
-        if name not in circuit.output_buses:
-            raise NetlistError(f"no output bus {name!r} to observe")
-        observed_nets.extend(circuit.output_buses[name])
+    Concurrent implementation: one compiled fault-free pass, then 64
+    faults per numpy pass over each fault group's union fanout cone.
+    Bit-identical to :func:`fault_coverage_reference` (asserted by the
+    differential test suite).
+    """
+    from repro.netlist.compile import compile_circuit
+
+    num_vectors = _check_vectors(circuit, vectors)
+    observed = _observed_nets(circuit, observe)
+
+    sim = compile_circuit(circuit)
+    input_masks, ones, _ = sim.pack_inputs(vectors)
+    golden = sim.eval_masks(input_masks, ones)
+    net_level = sim.kernel.net_level
+    readers = sim.kernel.readers
+
+    fault_list = list(faults) if faults is not None else enumerate_faults(circuit)
+    detected_status = [False] * len(fault_list)
+    active: List[int] = []
+    for i, fault in enumerate(fault_list):
+        # quick prune: a fault whose stuck value equals the fault-free
+        # value under every vector cannot propagate
+        if golden[fault.net] == (ones if fault.stuck_at else 0):
+            continue
+        # a fault site with no gate driver (primary input) is never
+        # injected — matching the reference per-fault pass
+        if circuit.driver_of(fault.net) is None:
+            continue
+        active.append(i)
+
+    # Group faults by level so cones inside one pass overlap maximally.
+    active.sort(key=lambda i: (net_level[fault_list[i].net], fault_list[i].net))
+    planes: Dict[int, np.ndarray] = {}
+    # Vector chunks with fault dropping: most faults fall to the first few
+    # vectors, so after the first chunk only the hard residue (usually one
+    # group instead of dozens) is resimulated on the remaining vectors.
+    remaining = active
+    lo, chunk = 0, _CHUNK_VECTORS
+    while lo < num_vectors and remaining:
+        hi = min(lo + chunk, num_vectors)
+        survivors: List[int] = []
+        for start in range(0, len(remaining), _PLANES):
+            indices = remaining[start : start + _PLANES]
+            group = [fault_list[i] for i in indices]
+            mask = _detect_group(
+                circuit, readers, golden, planes, group, observed,
+                num_vectors, lo, hi,
+            )
+            for bit, i in enumerate(indices):
+                if (mask >> bit) & 1:
+                    detected_status[i] = True
+                else:
+                    survivors.append(i)
+        remaining = survivors
+        lo, chunk = hi, chunk * 2
+
+    detected = sum(detected_status)
+    undetected = [f for f, hit in zip(fault_list, detected_status) if not hit]
+    return FaultReport(
+        total=len(fault_list), detected=detected, undetected=undetected
+    )
+
+
+def fault_coverage_reference(
+    circuit: Circuit,
+    vectors: Mapping[str, Sequence[int]],
+    observe: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[Fault]] = None,
+) -> FaultReport:
+    """Reference fault coverage: one interpreted pass per fault.
+
+    The original implementation, retained as the specification for the
+    concurrent simulator and as the "before" side of the netlist-sim
+    benchmark.
+    """
+    num_vectors = _check_vectors(circuit, vectors)
+    ones = (1 << num_vectors) - 1
+    observed = _observed_nets(circuit, observe)
 
     input_masks: Dict[int, int] = {}
-    for name, nets in in_buses.items():
+    for name, nets in circuit.input_buses.items():
         width = len(nets)
         masks = [0] * width
         for v, value in enumerate(vectors[name]):
@@ -153,20 +369,18 @@ def fault_coverage(
         for bit, net in enumerate(nets):
             input_masks[net] = masks[bit]
 
-    golden = _values_with_fault(circuit, input_masks, ones, None)
-    golden_obs = [golden[n] for n in observed_nets]
+    golden = values_with_fault(circuit, input_masks, ones, None)
+    golden_obs = [golden[n] for n in observed]
 
     fault_list = list(faults) if faults is not None else enumerate_faults(circuit)
     detected = 0
     undetected: List[Fault] = []
     for fault in fault_list:
-        # quick prune: a fault whose stuck value equals the fault-free
-        # value under every vector cannot propagate
-        if (golden[fault.net] == (ones if fault.stuck_at else 0)):
+        if golden[fault.net] == (ones if fault.stuck_at else 0):
             undetected.append(fault)
             continue
-        faulty = _values_with_fault(circuit, input_masks, ones, fault)
-        if any(faulty[n] != g for n, g in zip(observed_nets, golden_obs)):
+        faulty = values_with_fault(circuit, input_masks, ones, fault)
+        if any(faulty[n] != g for n, g in zip(observed, golden_obs)):
             detected += 1
         else:
             undetected.append(fault)

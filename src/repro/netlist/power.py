@@ -8,7 +8,8 @@ repository can answer the obvious follow-up question:
     P_dyn ∝ f_clk * V² * Σ_nets  activity(net) * C_load(net)
 
 * ``activity`` — toggles per applied input vector, measured by simulating
-  a representative vector stream (bit-parallel, so one pass suffices);
+  a representative vector stream through the compiled backend
+  (:mod:`repro.netlist.compile`; bit-parallel, so one pass suffices);
 * ``C_load`` — fanout pins plus the driving cell's own output load, in
   arbitrary femtofarad-like units proportional to cell area.
 
@@ -23,7 +24,6 @@ from typing import List, Mapping, Optional, Sequence
 
 from repro.cells.library import CellLibrary, default_library
 from repro.netlist.circuit import Circuit, NetlistError
-from repro.netlist.simulate import _eval_gate
 
 #: Load units per driven input pin (femtofarad-like).
 _PIN_LOAD = 1.0
@@ -65,36 +65,15 @@ def estimate_power(
     counted between consecutive vectors (zero-delay model: each net
     toggles at most once per vector, glitches are not modelled).
     """
+    from repro.netlist.compile import compile_circuit
+
     lib = library if library is not None else default_library()
-    in_buses = circuit.input_buses
-    if set(inputs) != set(in_buses):
-        raise NetlistError(
-            f"input buses mismatch: expected {sorted(in_buses)}, got {sorted(inputs)}"
-        )
-    lengths = {len(v) for v in inputs.values()}
-    if len(lengths) != 1:
-        raise NetlistError("all input streams must have equal length")
-    (num_vectors,) = lengths
+    sim = compile_circuit(circuit)
+    input_masks, ones, num_vectors = sim.pack_inputs(inputs)
     if num_vectors < 2:
         raise NetlistError("activity estimation needs at least two vectors")
-    ones = (1 << num_vectors) - 1
     transition_mask = ones >> 1  # bits 0..W-2: transitions v -> v+1
-
-    values: List[int] = [0] * circuit.num_nets
-    for name, nets in in_buses.items():
-        width = len(nets)
-        masks = [0] * width
-        for v, value in enumerate(inputs[name]):
-            if not 0 <= value < (1 << width):
-                raise NetlistError(f"value {value} does not fit bus {name!r}")
-            for bit in range(width):
-                if (value >> bit) & 1:
-                    masks[bit] |= 1 << v
-        for bit, net in enumerate(nets):
-            values[net] = masks[bit]
-    for gate in circuit.gates:
-        operands = [values[n] for n in gate.inputs]
-        values[gate.output] = _eval_gate(gate.kind, operands, ones)
+    values = sim.eval_masks(input_masks, ones)
 
     fanout = circuit.fanout_counts()
     loads: List[float] = [fanout[n] * _PIN_LOAD for n in range(circuit.num_nets)]

@@ -6,59 +6,75 @@ ordered) gate list therefore evaluates ``W`` vectors at once; ``W`` is
 unbounded because Python integers are arbitrary precision.  This is the
 classic "parallel pattern" trick gate-level simulators use, and it makes
 gate-level Monte Carlo validation of the behavioural models cheap.
+
+Two backends implement these semantics:
+
+* the **compiled** backend (:mod:`repro.netlist.compile`) — the default —
+  levelizes the circuit once, generates straight-line Python code for the
+  whole gate list, caches the result under a content hash of the netlist,
+  and moves the batch transposes into vectorized numpy; and
+* the **reference** interpreter (:func:`simulate_batch_reference`) — the
+  original per-gate dispatch loop, retained as the executable
+  specification the compiled backend is differentially tested against.
+
+:func:`simulate_batch` is a thin wrapper that routes to the compiled
+backend; pass ``backend="reference"`` to force the interpreter.
+
+The per-gate semantics live in the public :data:`GATE_EVAL` table so that
+other evaluators over bitmask operands (fault simulation, the compiled
+backend's fault-plane evaluation, power estimation) share one definition
+of every cell's function.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.netlist.circuit import Circuit, NetlistError
 
+#: Gate semantics over bitmask operands: ``kind -> fn(ins, ones)`` where
+#: ``ins`` are the operand masks (in :data:`repro.netlist.circuit.GATE_ARITY`
+#: pin order) and ``ones`` is the all-ones mask of the active bit width.
+#: The functions use only ``& | ^`` so they evaluate Python big-ints and
+#: numpy uint64 arrays (with ``ones = ~np.uint64(0)``) identically.
+GATE_EVAL: Dict[str, Callable[[Sequence[int], int], int]] = {
+    "AND2": lambda ins, ones: ins[0] & ins[1],
+    "OR2": lambda ins, ones: ins[0] | ins[1],
+    "XOR2": lambda ins, ones: ins[0] ^ ins[1],
+    "INV": lambda ins, ones: ins[0] ^ ones,
+    "NAND2": lambda ins, ones: (ins[0] & ins[1]) ^ ones,
+    "NOR2": lambda ins, ones: (ins[0] | ins[1]) ^ ones,
+    "XNOR2": lambda ins, ones: (ins[0] ^ ins[1]) ^ ones,
+    "MUX2": lambda ins, ones: ins[1] ^ (ins[0] & (ins[1] ^ ins[2])),
+    "BUF": lambda ins, ones: ins[0],
+    "AOI21": lambda ins, ones: ((ins[0] & ins[1]) | ins[2]) ^ ones,
+    "OAI21": lambda ins, ones: ((ins[0] | ins[1]) & ins[2]) ^ ones,
+    "AOI22": lambda ins, ones: ((ins[0] & ins[1]) | (ins[2] & ins[3])) ^ ones,
+    "OAI22": lambda ins, ones: ((ins[0] | ins[1]) & (ins[2] | ins[3])) ^ ones,
+    "CONST0": lambda ins, ones: 0,
+    "CONST1": lambda ins, ones: ones,
+}
+
 
 def _eval_gate(kind: str, ins: Sequence[int], ones: int) -> int:
-    """Evaluate one gate over bitmask operands (``ones`` = all-ones mask)."""
-    if kind == "AND2":
-        return ins[0] & ins[1]
-    if kind == "OR2":
-        return ins[0] | ins[1]
-    if kind == "XOR2":
-        return ins[0] ^ ins[1]
-    if kind == "INV":
-        return ins[0] ^ ones
-    if kind == "NAND2":
-        return (ins[0] & ins[1]) ^ ones
-    if kind == "NOR2":
-        return (ins[0] | ins[1]) ^ ones
-    if kind == "XNOR2":
-        return (ins[0] ^ ins[1]) ^ ones
-    if kind == "MUX2":
-        sel, d0, d1 = ins
-        return (sel & d1) | ((sel ^ ones) & d0)
-    if kind == "BUF":
-        return ins[0]
-    if kind == "AOI21":
-        return ((ins[0] & ins[1]) | ins[2]) ^ ones
-    if kind == "OAI21":
-        return ((ins[0] | ins[1]) & ins[2]) ^ ones
-    if kind == "AOI22":
-        return ((ins[0] & ins[1]) | (ins[2] & ins[3])) ^ ones
-    if kind == "OAI22":
-        return ((ins[0] | ins[1]) & (ins[2] | ins[3])) ^ ones
-    if kind == "CONST0":
-        return 0
-    if kind == "CONST1":
-        return ones
-    raise NetlistError(f"cannot simulate gate kind {kind!r}")
+    """Evaluate one gate over bitmask operands (``ones`` = all-ones mask).
+
+    Retained dispatch helper over :data:`GATE_EVAL`; new code should index
+    the table directly.
+    """
+    fn = GATE_EVAL.get(kind)
+    if fn is None:
+        raise NetlistError(f"cannot simulate gate kind {kind!r}")
+    return fn(ins, ones)
 
 
-def simulate_batch(
+def check_batch_inputs(
     circuit: Circuit, inputs: Mapping[str, Sequence[int]]
-) -> Dict[str, List[int]]:
-    """Simulate ``circuit`` over a batch of input vectors.
+) -> int:
+    """Validate a batch-input mapping against ``circuit``'s input buses.
 
-    ``inputs`` maps each input-bus name to a sequence of bus values (one per
-    vector, all sequences the same length).  Returns the output-bus values in
-    the same layout.  Input values must fit in the bus width.
+    Checks bus-name agreement and equal batch lengths (per-value range
+    checks happen during transposition); returns the batch length.
     """
     in_buses = circuit.input_buses
     if set(inputs) != set(in_buses):
@@ -70,6 +86,20 @@ def simulate_batch(
     if len(lengths) != 1:
         raise NetlistError(f"all input batches must have equal length, got {lengths}")
     (num_vectors,) = lengths
+    return num_vectors
+
+
+def simulate_batch_reference(
+    circuit: Circuit, inputs: Mapping[str, Sequence[int]]
+) -> Dict[str, List[int]]:
+    """Reference interpreter for :func:`simulate_batch`.
+
+    The original per-gate dispatch loop over Python big-ints.  Slower than
+    the compiled backend but entirely transparent; kept as the executable
+    specification the compiled backend's differential tests compare
+    against.
+    """
+    num_vectors = check_batch_inputs(circuit, inputs)
     if num_vectors == 0:
         return {name: [] for name in circuit.output_buses}
     ones = (1 << num_vectors) - 1
@@ -77,7 +107,7 @@ def simulate_batch(
     values: List[int] = [0] * circuit.num_nets
 
     # Transpose each input bus into per-net bitmasks.
-    for name, nets in in_buses.items():
+    for name, nets in circuit.input_buses.items():
         width = len(nets)
         limit = 1 << width
         masks = [0] * width
@@ -110,6 +140,34 @@ def simulate_batch(
                 mask ^= low
         results[name] = out
     return results
+
+
+def simulate_batch(
+    circuit: Circuit,
+    inputs: Mapping[str, Sequence[int]],
+    backend: str = "compiled",
+) -> Dict[str, List[int]]:
+    """Simulate ``circuit`` over a batch of input vectors.
+
+    ``inputs`` maps each input-bus name to a sequence of bus values (one per
+    vector, all sequences the same length).  Returns the output-bus values in
+    the same layout.  Input values must fit in the bus width.
+
+    ``backend`` selects ``"compiled"`` (default: codegen'd straight-line
+    kernel, cached per netlist content hash — see
+    :mod:`repro.netlist.compile`) or ``"reference"`` (the retained
+    interpreter).  Both are bit-identical.
+    """
+    if backend == "reference":
+        return simulate_batch_reference(circuit, inputs)
+    if backend != "compiled":
+        raise NetlistError(
+            f"unknown simulation backend {backend!r}; "
+            f"choose 'compiled' or 'reference'"
+        )
+    from repro.netlist.compile import compile_circuit
+
+    return compile_circuit(circuit).run_batch(inputs)
 
 
 def simulate(circuit: Circuit, inputs: Mapping[str, int]) -> Dict[str, int]:

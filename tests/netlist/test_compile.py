@@ -1,0 +1,185 @@
+"""Differential tests for the compiled simulation backend.
+
+The reference interpreter (:func:`simulate_batch_reference`) is the
+specification; the compiled backend must be bit-identical to it on
+randomized circuits covering every gate kind, on every design of the
+adder grid, and on edge batch sizes around the 64-vector limb boundary.
+Fault simulation is checked the same way: the concurrent bit-plane
+implementation against one interpreted resimulation per fault.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import ElaborationCache
+from repro.engine.elab import LINTABLE_DESIGNS, build_design
+from repro.netlist.circuit import GATE_ARITY, Circuit, NetlistError
+from repro.netlist.compile import (
+    CompiledSim,
+    circuit_fingerprint,
+    compile_circuit,
+    levelize,
+)
+from repro.netlist.faults import fault_coverage, fault_coverage_reference
+from repro.netlist.simulate import simulate_batch, simulate_batch_reference
+
+ALL_KINDS = sorted(GATE_ARITY)
+
+
+@st.composite
+def circuits(draw, max_gates=40):
+    """A random combinational circuit using every available gate kind."""
+    c = Circuit("rand")
+    nets = []
+    for i in range(draw(st.integers(1, 3))):
+        width = draw(st.integers(1, 8))
+        nets.extend(c.add_input_bus(f"in{i}", width))
+    for _ in range(draw(st.integers(1, max_gates))):
+        kind = draw(st.sampled_from(ALL_KINDS))
+        picks = st.integers(0, len(nets) - 1)
+        ins = [nets[draw(picks)] for _ in range(GATE_ARITY[kind])]
+        nets.append(c.add_gate(kind, ins))
+    for i in range(draw(st.integers(1, 2))):
+        width = draw(st.integers(1, 6))
+        picks = st.integers(0, len(nets) - 1)
+        c.set_output_bus(f"out{i}", [nets[draw(picks)] for _ in range(width)])
+    return c
+
+
+def _random_batch(circuit, num_vectors, rng):
+    return {
+        name: [rng.getrandbits(len(nets)) for _ in range(num_vectors)]
+        for name, nets in circuit.input_buses.items()
+    }
+
+
+@settings(max_examples=80, deadline=None)
+@given(circuit=circuits(), num_vectors=st.integers(0, 70), seed=st.integers(0, 2**32))
+def test_compiled_matches_reference_on_random_circuits(circuit, num_vectors, seed):
+    """Property: compiled output == interpreted output, any circuit/batch."""
+    batch = _random_batch(circuit, num_vectors, random.Random(seed))
+    assert simulate_batch(circuit, batch, backend="compiled") == \
+        simulate_batch_reference(circuit, batch)
+
+
+@pytest.mark.parametrize("num_vectors", [0, 1, 63, 64, 65])
+def test_batch_size_edges(num_vectors):
+    """Edge batch sizes around the 64-vector uint64 limb boundary."""
+    circuit = build_design("vlcsa1", 16, 4)
+    batch = _random_batch(circuit, num_vectors, random.Random(7))
+    assert simulate_batch(circuit, batch) == \
+        simulate_batch_reference(circuit, batch)
+
+
+@pytest.mark.parametrize("design", sorted(LINTABLE_DESIGNS) + ["vlsa"])
+@pytest.mark.parametrize("width", [16, 32, 64])
+def test_adder_grid_bit_identity(design, width):
+    """Acceptance: compiled backend bit-identical on the full adder grid."""
+    circuit = build_design(design, width, None)
+    batch = _random_batch(circuit, 64, random.Random(width * 1000 + 1))
+    assert simulate_batch(circuit, batch) == \
+        simulate_batch_reference(circuit, batch)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=circuits(max_gates=15), num_vectors=st.integers(1, 70),
+       seed=st.integers(0, 2**32))
+def test_fault_coverage_matches_reference_on_random_circuits(
+    circuit, num_vectors, seed
+):
+    """Concurrent bit-plane fault sim == one interpreted pass per fault."""
+    batch = _random_batch(circuit, num_vectors, random.Random(seed))
+    fast = fault_coverage(circuit, batch)
+    slow = fault_coverage_reference(circuit, batch)
+    assert (fast.total, fast.detected) == (slow.total, slow.detected)
+    assert fast.undetected == slow.undetected
+
+
+@pytest.mark.parametrize("observe", [None, ["sum"], ["err"], ["sum_rec"]])
+def test_fault_coverage_matches_reference_on_adder(observe):
+    """Fault equivalence on a real design, per observation point."""
+    circuit = build_design("vlcsa1", 16, 4)
+    batch = _random_batch(circuit, 48, random.Random(3))
+    fast = fault_coverage(circuit, batch, observe=observe)
+    slow = fault_coverage_reference(circuit, batch, observe=observe)
+    assert (fast.total, fast.detected) == (slow.total, slow.detected)
+    assert fast.undetected == slow.undetected
+
+
+def test_fault_coverage_chunked_vector_dropping():
+    """Vector sets spanning several detection chunks stay bit-identical
+    (faults detected early are dropped before the later, larger chunks)."""
+    circuit = build_design("vlcsa1", 16, 4)
+    batch = _random_batch(circuit, 300, random.Random(11))
+    fast = fault_coverage(circuit, batch)
+    slow = fault_coverage_reference(circuit, batch)
+    assert (fast.total, fast.detected) == (slow.total, slow.detected)
+    assert fast.undetected == slow.undetected
+
+
+def test_levelize_orders_gates_after_their_inputs():
+    circuit = build_design("vlcsa2", 24, 6)
+    gate_level, net_level, readers = levelize(circuit)
+    for index, gate in enumerate(circuit.gates):
+        for net in gate.inputs:
+            assert net_level[net] < net_level[gate.output]
+            assert index in readers[net]
+        assert gate_level[index] == net_level[gate.output]
+
+
+def test_instance_memo_reuses_compilation():
+    circuit = build_design("scsa1", 16, 4)
+    assert compile_circuit(circuit) is compile_circuit(circuit)
+
+
+def test_identical_circuits_share_one_kernel():
+    """Rebuilt-but-identical designs hit the content-hash cache."""
+    cache = ElaborationCache(capacity=8)
+    c1 = build_design("vlcsa1", 16, 4)
+    c2 = build_design("vlcsa1", 16, 4)
+    assert circuit_fingerprint(c1) == circuit_fingerprint(c2)
+    s1 = compile_circuit(c1, cache=cache)
+    s2 = compile_circuit(c2, cache=cache)
+    assert s1 is not s2
+    assert s1.kernel is s2.kernel
+
+
+def test_mutated_circuit_recompiles():
+    """Appending structure invalidates the instance memo and the key."""
+    circuit = build_design("designware", 16, None)
+    before = compile_circuit(circuit)
+    key = circuit_fingerprint(circuit)
+    a0 = circuit.input_buses["a"][0]
+    circuit.set_output("extra", circuit.not_(a0))
+    assert circuit_fingerprint(circuit) != key
+    after = compile_circuit(circuit)
+    assert after is not before
+    assert isinstance(after, CompiledSim)
+    out = simulate_batch(circuit, _random_batch(circuit, 20, random.Random(1)))
+    assert out == simulate_batch_reference(
+        circuit, _random_batch(circuit, 20, random.Random(1))
+    )
+    assert "extra" in out
+
+
+def test_unknown_backend_rejected():
+    circuit = build_design("designware", 8, None)
+    with pytest.raises(NetlistError, match="backend"):
+        simulate_batch(circuit, _random_batch(circuit, 2, random.Random(0)),
+                       backend="verilator")
+
+
+def test_compiled_input_validation_matches_reference():
+    """The compiled path keeps the interpreter's error contract."""
+    circuit = build_design("designware", 8, None)
+    with pytest.raises(NetlistError, match="mismatch"):
+        simulate_batch(circuit, {"a": [1]})
+    with pytest.raises(NetlistError, match="equal length"):
+        simulate_batch(circuit, {"a": [1, 2], "b": [3]})
+    with pytest.raises(NetlistError, match="does not fit"):
+        simulate_batch(circuit, {"a": [1 << 8], "b": [0]})
+    with pytest.raises(NetlistError, match="does not fit"):
+        simulate_batch(circuit, {"a": [-1] * 20, "b": [0] * 20})

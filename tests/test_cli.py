@@ -229,3 +229,39 @@ def test_tb_lint_gate(tmp_path, capsys):
         ["tb", "kogge_stone", "16", "--lint", "-o", str(out), "--vectors", "3"]
     ) == 0
     assert out.exists()
+
+
+def test_sim_compiled_backend(capsys):
+    assert main(
+        ["sim", "vlcsa1", "--widths", "16", "--vectors", "32", "--repeat", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "gate-level simulation" in out
+    assert "vlcsa1" in out
+
+
+def test_sim_both_backends_cross_check_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "bench.json"
+    assert main(
+        ["sim", "vlcsa1", "designware", "--widths", "16", "--vectors", "64",
+         "--backend", "both", "--faults", "--repeat", "1",
+         "--json", str(out)]
+    ) == 0
+    doc = json.loads(out.read_text())
+    assert doc["command"] == "sim"
+    assert doc["ok"] is True
+    assert len(doc["rows"]) == 2
+    for row in doc["rows"]:
+        assert row["speedup"] > 0
+        assert row["fault_speedup"] > 0
+        assert 0.0 < row["fault_coverage"] <= 1.0
+    assert doc["metrics"]["counters"]["samples"] > 0
+    table = capsys.readouterr().out
+    assert "speedup" in table
+
+
+def test_sim_unknown_design_fails():
+    with pytest.raises(SystemExit):
+        main(["sim", "nosuch", "--widths", "16", "--vectors", "8"])
