@@ -16,7 +16,14 @@ analyses this reproduction adds:
   Monte Carlo / sweep / magnitude runs with a metrics report;
 * ``sim``     — gate-level simulation benchmark: compiled vs reference
   backends over a design × width grid, with bit-for-bit cross-checking
-  and optional concurrent fault coverage.
+  and optional concurrent fault coverage;
+* ``stats``   — per-operation latency-cycle histograms of the
+  variable-latency adders, checked against the Eq. 5.2 timing model;
+* ``bench``   — benchmark-report tooling; ``bench compare`` gates a new
+  report against a baseline and fails on throughput/speedup regressions.
+
+Commands that do real work take ``--trace PATH`` to record hierarchical
+spans (:mod:`repro.obs`) and export a Chrome trace-event JSON.
 
 ``sweep`` and ``errors`` execute through :mod:`repro.engine`, so they gain
 ``--workers`` (multiprocessing) for free.  A global ``--seed`` before the
@@ -297,9 +304,14 @@ def _engine_cache(args: argparse.Namespace):
     return process_cache(directory), directory
 
 
-def _emit_json(path: Optional[str], payload: dict) -> None:
+def _emit_json(
+    path: Optional[str], payload: dict, seed: Optional[int] = None
+) -> None:
     if not path:
         return
+    from repro.obs.provenance import with_provenance
+
+    payload = with_provenance(payload, seed=seed, argv=sys.argv[1:])
     text = json.dumps(payload, indent=2, sort_keys=True, default=float)
     if path == "-":
         print(text)
@@ -403,6 +415,7 @@ def _cmd_engine_errors(args: argparse.Namespace) -> int:
             "rows": report_rows,
             "metrics": metrics.to_dict(),
         },
+        seed=seed,
     )
     return 0
 
@@ -466,6 +479,7 @@ def _cmd_engine_sweep(args: argparse.Namespace) -> int:
             "rows": list(rows),
             "metrics": metrics.to_dict(),
         },
+        seed=_resolve_seed(args),
     )
     return 0
 
@@ -523,6 +537,7 @@ def _cmd_engine_magnitude(args: argparse.Namespace) -> int:
             "max_abs_error": stats.max_abs_error,
             "metrics": metrics.to_dict(),
         },
+        seed=_resolve_seed(args),
     )
     return 0
 
@@ -675,6 +690,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             "rows": report_rows,
             "metrics": metrics.to_dict(),
         },
+        seed=seed,
     )
     return 1 if mismatches else 0
 
@@ -760,6 +776,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
         text = "\n".join(lines) + "\n"
     elif args.format == "json":
+        from repro.obs.provenance import with_provenance
+
         payload = {
             "command": "lint",
             "rows": list(rows),
@@ -767,6 +785,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         }
         if self_tests:
             payload["self_tests"] = self_tests
+        payload = with_provenance(
+            payload, seed=_resolve_seed(args), argv=sys.argv[1:]
+        )
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     else:  # sarif
         text = json.dumps(reports_to_sarif(reports), indent=2) + "\n"
@@ -797,6 +818,151 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Latency-cycle histograms of the variable-latency adders.
+
+    One seeded Monte Carlo run produces the ERR0/ERR1 stall counts; each
+    design's per-operation latency (1 cycle on VALID, ``recovery_cycles``
+    on STALL — thesis Fig. 5.3) is rendered as a histogram and its mean
+    is checked against the Eq. 5.2 expectation from
+    :mod:`repro.model.latency` at the measured stall rate.
+    """
+    from repro.engine import (
+        EngineMetrics,
+        MonteCarloErrorJob,
+        measure_design,
+        run_job,
+    )
+    from repro.model.latency import VariableLatencyAdderSim, VariableLatencyTiming
+
+    width = args.width
+    k = args.window if args.window is not None else scsa_window_size_for(width, 1e-4)
+    seed = _resolve_seed(args)
+    job = MonteCarloErrorJob(
+        width=width,
+        window=k,
+        samples=args.samples,
+        distribution=args.inputs,
+        seed=seed,
+        counters=("scsa1", "vlcsa1_nominal", "vlcsa2", "vlcsa2_stall"),
+    )
+    metrics = EngineMetrics()
+    agg = run_job(job, workers=args.workers, metrics=metrics).aggregate
+
+    cache, cache_dir = _engine_cache(args)
+    with metrics.phase("elaborate"):
+        designs = {
+            name: measure_design(name, width, k, cache=cache)
+            for name in ("vlcsa1", "vlcsa2")
+        }
+    if cache is not None:
+        metrics.merge_counters(cache.counters())
+
+    # Per-design stall counts: VLCSA 1 stalls whenever the single-window
+    # speculation misses; VLCSA 2 stalls only when both detectors fire.
+    stall_counts = {"vlcsa1": agg.scsa1_errors, "vlcsa2": agg.vlcsa2_stalls}
+    print(
+        format_table(
+            ["metric", "rate"],
+            [
+                ("ERR0 fires (VLCSA1 nominal)", percent(agg.rate("vlcsa1_nominal"), 4)),
+                ("VLCSA 1 stall (= SCSA 1 error)", percent(agg.rate("scsa1_errors"), 4)),
+                ("VLCSA 2 stall (ERR0 & ERR1)", percent(agg.rate("vlcsa2_stalls"), 4)),
+                ("VLCSA 2 both hypotheses wrong", percent(agg.rate("vlcsa2_errors"), 4)),
+            ],
+            title=f"n={width}, k={k}, {args.inputs} inputs, {agg.samples} samples",
+        )
+    )
+
+    report_rows = []
+    checks_ok = True
+    for design in ("vlcsa1", "vlcsa2"):
+        m = designs[design]
+        timing = VariableLatencyTiming(m.t_spec, m.t_detect, m.t_recover)
+        stalls = stall_counts[design]
+        hist_name = f"{design}.latency_cycles"
+        metrics.add(f"{design}_stalls", stalls)
+        metrics.record(hist_name, 1, agg.samples - stalls)
+        metrics.record(hist_name, timing.recovery_cycles, stalls)
+        hist = metrics.histograms[hist_name]
+        stall_rate = stalls / agg.samples
+        expected = (
+            VariableLatencyAdderSim(timing)
+            .run_predicted(stall_rate, agg.samples)
+            .cycles_per_add
+        )
+        measured = hist.mean
+        delta = abs(measured - expected)
+        checks_ok = checks_ok and delta < 1e-3
+        print()
+        for line in hist.format_lines(f"{design} latency cycles"):
+            print(line)
+        print(
+            f"{design}: measured {measured:.6f} cycles/add, Eq. 5.2 expects "
+            f"{expected:.6f} at P_err={stall_rate:.3e} (|delta| = {delta:.2e})"
+        )
+        report_rows.append(
+            {
+                "architecture": design,
+                "width": width,
+                "window": k,
+                "stall_rate": stall_rate,
+                "recovery_cycles": timing.recovery_cycles,
+                "mean_cycles_per_add": measured,
+                "expected_cycles_per_add": expected,
+                "latency_cycles": hist.to_dict(),
+            }
+        )
+    _print_metrics(metrics)
+    _emit_json(
+        args.json,
+        {
+            "command": "stats",
+            "width": width,
+            "window": k,
+            "inputs": args.inputs,
+            "samples": agg.samples,
+            "seed": seed,
+            "workers": args.workers,
+            "cache_dir": cache_dir,
+            "rows": report_rows,
+            "metrics": metrics.to_dict(),
+        },
+        seed=seed,
+    )
+    return 0 if checks_ok else 1
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Fail (exit 1) when NEW regressed beyond tolerance relative to OLD."""
+    from repro.obs.bench import (
+        DEFAULT_METRICS,
+        compare_reports,
+        format_comparison,
+        load_report,
+    )
+
+    metrics = tuple(args.metrics) if args.metrics else DEFAULT_METRICS
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+        result = compare_reports(
+            old, new, tolerance=args.tolerance, metrics=metrics
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in format_comparison(result, args.tolerance):
+        print(line)
+    if not result.deltas:
+        print(
+            "error: no comparable metrics between the two reports",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand wired in."""
     parser = argparse.ArgumentParser(
@@ -811,6 +977,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"seed for any sampling subcommand (default {DEFAULT_SEED})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_trace(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="record hierarchical spans and write a Chrome trace-event "
+                 "JSON (open in chrome://tracing or Perfetto); also prints "
+                 "a text flamegraph to stderr",
+        )
 
     gen = sub.add_parser("gen", help="generate Verilog for a design")
     gen.add_argument("design")
@@ -847,6 +1021,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--mc-samples", type=int, default=0)
     sweep.add_argument("--workers", type=int, default=0)
     sweep.add_argument("--seed", type=int, default=None)
+    _add_trace(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     errors = sub.add_parser("errors", help="Monte Carlo error/stall rates")
@@ -856,6 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
     errors.add_argument("--samples", type=int, default=200_000)
     errors.add_argument("--seed", type=int, default=None)
     errors.add_argument("--workers", type=int, default=0)
+    _add_trace(errors)
     errors.set_defaults(fn=_cmd_errors)
 
     equiv = sub.add_parser("equiv", help="formal equivalence check (BDD)")
@@ -930,6 +1106,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="elaboration cache directory (default: user cache dir)")
     lint.add_argument("--no-cache", action="store_true",
                       help="skip the on-disk elaboration cache")
+    _add_trace(lint)
     lint.set_defaults(fn=_cmd_lint)
 
     engine = sub.add_parser(
@@ -947,6 +1124,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="elaboration cache directory (default: user cache dir)")
         p.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk elaboration cache")
+        _add_trace(p)
 
     e_err = esub.add_parser(
         "errors", help="Monte Carlo error/stall rates (Fig. 7.1 style)"
@@ -1007,15 +1185,75 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=None)
     sim.add_argument("--json", default=None, metavar="PATH",
                      help="write a JSON report ('-' for stdout)")
+    _add_trace(sim)
     sim.set_defaults(fn=_cmd_sim)
+
+    stats = sub.add_parser(
+        "stats",
+        help="latency-cycle histograms vs the Eq. 5.2 timing model",
+    )
+    stats.add_argument("width", type=int)
+    stats.add_argument("--window", type=int, default=None,
+                       help="window size k (default: Eq. 3.13 sizing @ 1e-4)")
+    stats.add_argument("--inputs", choices=["uniform", "gaussian"],
+                       default="uniform")
+    stats.add_argument("--samples", type=int, default=100_000)
+    _engine_common(stats)
+    stats.set_defaults(fn=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-report tooling (regression telemetry)"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    b_cmp = bsub.add_parser(
+        "compare",
+        help="compare two bench reports; exit 1 on a throughput/speedup "
+             "regression beyond tolerance",
+    )
+    b_cmp.add_argument("old", help="baseline report (e.g. BENCH_netlist_sim.json)")
+    b_cmp.add_argument("new", help="candidate report to gate")
+    b_cmp.add_argument("--tolerance", type=float, default=0.1,
+                       help="allowed fractional drop, e.g. 0.1 = 10%% "
+                            "(default 0.1)")
+    b_cmp.add_argument("--metrics", nargs="+", default=None, metavar="NAME",
+                       help="restrict comparison to these row metrics "
+                            "(default: compiled_samples_per_s speedup "
+                            "fault_speedup)")
+    b_cmp.set_defaults(fn=_cmd_bench_compare)
 
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    ``--trace PATH`` (on the commands that support it) turns the
+    :mod:`repro.obs` span recorder on around the command, writes the
+    Chrome trace-event JSON afterwards, and prints a text flamegraph to
+    stderr.  Tracing is strictly opt-in: without the flag the obs layer
+    stays disabled and the instrumented paths pay a single branch.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.fn(args)
+
+    from repro.obs import spans as _obs
+    from repro.obs.export import flamegraph_lines, write_chrome_trace
+
+    _obs.reset()
+    _obs.enable()
+    try:
+        with _obs.span(f"repro.{args.command}"):
+            status = args.fn(args)
+        events = write_chrome_trace(trace_path)
+        print(f"wrote {trace_path}: {events} trace event(s)", file=sys.stderr)
+        for line in flamegraph_lines(_obs.global_collector().spans):
+            print(f"  {line}", file=sys.stderr)
+    finally:
+        _obs.disable()
+        _obs.reset()
+    return status
 
 
 if __name__ == "__main__":

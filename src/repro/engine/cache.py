@@ -19,6 +19,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -146,7 +147,26 @@ class ElaborationCache:
         return len(self._memory)
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """``(found, value)``; promotes disk entries into the memory LRU."""
+        """``(found, value)``; promotes disk entries into the memory LRU.
+
+        With observability enabled, each lookup's latency is recorded in
+        the ``engine.cache.lookup_us`` histogram (memory hits sit orders
+        of magnitude below disk hits — the histogram's bimodality is the
+        cheapest check that the LRU layer is actually doing its job).
+        """
+        from repro.obs import spans as _obs
+
+        if not _obs.is_enabled():
+            return self._get(key)
+        start = time.perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            _obs.record(
+                "engine.cache.lookup_us", (time.perf_counter() - start) * 1e6
+            )
+
+    def _get(self, key: str) -> Tuple[bool, Any]:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.hits += 1

@@ -144,7 +144,12 @@ def measure_design(
             f"unknown design {architecture!r}; choose from {SWEEPABLE_DESIGNS}"
         )
 
-    if cache is None:
-        return builder()
-    key = cache_key(architecture, width, window, opts)
-    return cache.get_or_build(key, builder)
+    from repro.obs import spans as _obs
+
+    with _obs.span(
+        "elaborate", architecture=architecture, width=width, window=window
+    ):
+        if cache is None:
+            return builder()
+        key = cache_key(architecture, width, window, opts)
+        return cache.get_or_build(key, builder)

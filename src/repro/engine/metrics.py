@@ -4,42 +4,109 @@ A single :class:`EngineMetrics` instance accompanies a run; phases are
 timed with a context manager, counters accumulate integers (cache
 hits/misses, chunks, samples), and ``to_dict`` emits the machine-readable
 report the ``repro engine --json`` flag writes.
+
+Since the :mod:`repro.obs` subsystem landed, ``EngineMetrics`` is a thin
+facade over an :class:`repro.obs.Collector`: the same counter/timer
+dictionaries and JSON keys as before (call sites and report consumers
+are unchanged), plus histograms, a full ``merge`` (timers included — the
+old runner merged only counters and silently dropped worker timer data),
+and per-worker detail absorbed from the multiprocessing pool.  When
+tracing is enabled, ``phase()`` additionally opens an obs span so engine
+phases land in the Chrome trace.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional
 
+from repro.obs import spans as _obs
+from repro.obs.collector import Collector
+from repro.obs.hist import Histogram
+
 
 class EngineMetrics:
-    """Counters and wall-clock timers for one engine run."""
+    """Counters, wall-clock timers, and histograms for one engine run."""
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, float] = {}
+        self._collector = Collector()
+        #: Per-rank ``{"counters": ..., "timers_s": ...}`` snapshots from
+        #: pool workers, filled by :meth:`absorb_worker` in rank order.
+        self.worker_details: Dict[int, dict] = {}
+
+    # The underlying dicts are exposed directly so existing call sites
+    # (``metrics.counters["samples"]``, ``metrics.timers.get(...)``) keep
+    # working unchanged.
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self._collector.counters
+
+    @property
+    def timers(self) -> Dict[str, float]:
+        return self._collector.timers
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return self._collector.histograms
+
+    @property
+    def collector(self) -> Collector:
+        """The underlying obs collector (for export/merging)."""
+        return self._collector
 
     def add(self, name: str, value: int = 1) -> None:
         """Increment counter ``name`` by ``value``."""
-        self.counters[name] = self.counters.get(name, 0) + int(value)
+        self._collector.add(name, value)
+
+    def record(self, name: str, value: float, count: int = 1) -> None:
+        """Record ``count`` samples of ``value`` into histogram ``name``."""
+        self._collector.record(name, value, count)
 
     def merge_counters(self, counters: Mapping[str, int]) -> None:
         """Add a whole counter mapping (e.g. a cache snapshot) in."""
-        for name, value in counters.items():
-            self.add(name, value)
+        self._collector.merge_counters(counters)
+
+    def merge_timers(self, timers: Mapping[str, float]) -> None:
+        """Sum a whole timer mapping in (worker phase times fold here)."""
+        self._collector.merge_timers(timers)
+
+    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
+        """Fold another instance in completely — counters, timers,
+        histograms, and worker details — not counters alone."""
+        self._collector.merge(other._collector)
+        self.worker_details.update(other.worker_details)
+        return self
+
+    def absorb_worker(self, rank: int, collector: Collector) -> None:
+        """Fold one pool worker's collector in and keep its per-rank
+        counter/timer split for the report.
+
+        Timers and histograms merge into the run totals (that's the data
+        the old counter-only merge dropped); worker counters stay in the
+        per-rank detail because the parent already counts chunks as it
+        absorbs results, and folding them again would double-count.
+        """
+        self.worker_details[rank] = collector.to_dict()
+        self._collector.merge_timers(collector.timers)
+        for name, hist in collector.histograms.items():
+            mine = self._collector.histograms.get(name)
+            if mine is None:
+                self._collector.histograms[name] = Histogram().merge(hist)
+            else:
+                mine.merge(hist)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Accumulate wall time under ``timers[name]`` (re-entrant by sum)."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timers[name] = (
-                self.timers.get(name, 0.0) + time.perf_counter() - start
-            )
+        """Accumulate wall time under ``timers[name]`` (re-entrant by sum).
+
+        With tracing enabled the phase also opens an obs span, so engine
+        phases appear in ``--trace`` output.
+        """
+        with _obs.span(name):
+            with self._collector.timer(name):
+                yield
 
     def throughput(self) -> Optional[float]:
         """Monte Carlo samples per second of simulate-phase wall time."""
@@ -50,12 +117,20 @@ class EngineMetrics:
         return None
 
     def to_dict(self) -> dict:
-        """The machine-readable report body (``repro engine --json``)."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "timers_s": {k: round(v, 6) for k, v in sorted(self.timers.items())},
-            "throughput_samples_per_s": self.throughput(),
-        }
+        """The machine-readable report body (``repro engine --json``).
+
+        The pre-obs keys (``counters``/``timers_s``/
+        ``throughput_samples_per_s``) are stable; ``histograms`` and
+        ``workers`` appear only when there is data for them.
+        """
+        payload = self._collector.to_dict()
+        payload["throughput_samples_per_s"] = self.throughput()
+        if self.worker_details:
+            payload["workers"] = {
+                str(rank): detail
+                for rank, detail in sorted(self.worker_details.items())
+            }
+        return payload
 
     def to_json(self) -> str:
         """:meth:`to_dict` as pretty-printed JSON."""
@@ -71,4 +146,10 @@ class EngineMetrics:
         rate = self.throughput()
         if rate is not None:
             lines.append(f"throughput: {rate:,.0f} samples/s")
+        for name, hist in sorted(self.histograms.items()):
+            if hist.count:
+                mean = hist.mean
+                lines.append(
+                    f"{name}: n={hist.count} mean={mean:.3f} max={hist.max:g}"
+                )
         return lines

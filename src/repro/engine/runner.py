@@ -21,11 +21,14 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import threading
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.metrics import EngineMetrics
+from repro.obs import spans as _obs
+from repro.obs.collector import Collector
 
 #: Task-queue bound per worker: enough to keep workers busy, small enough
 #: that a huge job never materializes its whole chunk list in the queue.
@@ -57,17 +60,45 @@ def _mp_context():
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_main(jobs: Sequence[Any], tasks: "mp.Queue", results: "mp.Queue") -> None:
+#: How long the parent waits for worker collector snapshots after the last
+#: chunk result arrived (workers send them on receiving the sentinel).
+_SNAPSHOT_DEADLINE_S = 10.0
+
+
+def _worker_main(
+    jobs: Sequence[Any],
+    tasks: "mp.Queue",
+    results: "mp.Queue",
+    rank: int = 0,
+    trace: bool = False,
+) -> None:
+    # Under fork the child inherits the parent's obs collector contents;
+    # reset so the snapshot shipped back holds only this worker's data.
+    _obs.reset()
+    if trace:
+        _obs.enable()
+    local = Collector()
     while True:
         task = tasks.get()
         if task is None:
+            # Sentinel: ship this worker's collector (and its trace spans)
+            # back before exiting, so the parent can merge per-rank detail.
+            obs_snapshot = _obs.global_collector() if trace else None
+            try:
+                results.put(("__worker__", rank, local, obs_snapshot))
+            except Exception:
+                pass  # parent is tearing down; metrics are best-effort
             return
         job_index, specs = task
         try:
             job = jobs[job_index]
             aggregate = job.new_aggregate()
-            for spec in specs:
-                aggregate = aggregate.merge(job.run_chunk(spec))
+            with _obs.span("worker.task", rank=rank, chunks=len(specs)):
+                with local.timer("chunks"):
+                    for spec in specs:
+                        aggregate = aggregate.merge(job.run_chunk(spec))
+            local.add("chunks", len(specs))
+            local.add("tasks", 1)
             results.put((job_index, "ok", aggregate, len(specs)))
         except BaseException:
             results.put((job_index, "error", traceback.format_exc(), len(specs)))
@@ -96,11 +127,14 @@ def _run_group_parallel(
     ctx = _mp_context()
     tasks: "mp.Queue" = ctx.Queue(maxsize=max(2, _QUEUE_DEPTH_PER_WORKER * workers))
     results: "mp.Queue" = ctx.Queue()
+    trace = _obs.is_enabled()  # passed explicitly so spawn workers see it too
     procs = [
         ctx.Process(
-            target=_worker_main, args=(tuple(jobs), tasks, results), daemon=True
+            target=_worker_main,
+            args=(tuple(jobs), tasks, results, rank, trace),
+            daemon=True,
         )
-        for _ in range(workers)
+        for rank in range(workers)
     ]
     for proc in procs:
         proc.start()
@@ -123,9 +157,16 @@ def _run_group_parallel(
 
     failures: List[str] = []
     outstanding = len(work)
+    snapshots: Dict[int, Tuple[Collector, Optional[Collector]]] = {}
 
     def absorb(item) -> None:
         nonlocal outstanding
+        if item[0] == "__worker__":
+            # End-of-work collector snapshot, not a chunk result: it does
+            # not count against `outstanding`.
+            _, rank, local, obs_snapshot = item
+            snapshots[rank] = (local, obs_snapshot)
+            return
         job_index, status, payload, n_chunks = item
         outstanding -= 1
         if status == "ok":
@@ -150,6 +191,22 @@ def _run_group_parallel(
                         raise EngineError(
                             f"worker pool exited with {outstanding} chunk(s) unfinished"
                         )
+        if not failures:
+            # All chunks are in; workers are now consuming sentinels and
+            # shipping their collectors.  Wait briefly — best-effort: a
+            # worker killed mid-shutdown just means its detail is absent.
+            deadline = time.monotonic() + _SNAPSHOT_DEADLINE_S
+            while len(snapshots) < workers and time.monotonic() < deadline:
+                try:
+                    absorb(results.get(timeout=_RESULT_POLL_S))
+                except queue.Empty:
+                    if not any(proc.is_alive() for proc in procs):
+                        try:
+                            while True:
+                                absorb(results.get_nowait())
+                        except queue.Empty:
+                            pass
+                        break
     finally:
         stop.set()
         if failures or outstanding:
@@ -159,6 +216,13 @@ def _run_group_parallel(
         for proc in procs:
             proc.join(timeout=5)
         feeder.join(timeout=5)
+
+    # Merge in sorted rank order so the report layout is deterministic.
+    for rank in sorted(snapshots):
+        local, obs_snapshot = snapshots[rank]
+        metrics.absorb_worker(rank, local)
+        if obs_snapshot is not None:
+            _obs.global_collector().merge(obs_snapshot)
 
     if failures:
         raise EngineError(

@@ -73,24 +73,32 @@ class VariableLatencyMachine:
 
     def run(self, operands: Iterable[Tuple[int, int]]) -> MachineTrace:
         """Push an operand stream through the 1/2-cycle protocol."""
+        from repro.obs import spans as _obs
+
         pairs = list(operands)
         trace = MachineTrace()
         if not pairs:
             return trace
-        batch = self._sim.run_batch(
-            {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]},
-        )
-        for spec, rec, err in zip(batch["sum"], batch["sum_rec"], batch["err"]):
-            if err:
-                # STALL: one extra cycle, recovery result accepted.
-                trace.results.append(rec)
-                trace.cycles.append(2)
-                trace.stalled.append(True)
-            else:
-                # VALID: speculative result accepted in one cycle.
-                trace.results.append(spec)
-                trace.cycles.append(1)
-                trace.stalled.append(False)
+        with _obs.span(
+            "machine.run", circuit=self.circuit.name, operations=len(pairs)
+        ):
+            batch = self._sim.run_batch(
+                {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]},
+            )
+            for spec, rec, err in zip(batch["sum"], batch["sum_rec"], batch["err"]):
+                if err:
+                    # STALL: one extra cycle, recovery result accepted.
+                    trace.results.append(rec)
+                    trace.cycles.append(2)
+                    trace.stalled.append(True)
+                else:
+                    # VALID: speculative result accepted in one cycle.
+                    trace.results.append(spec)
+                    trace.cycles.append(1)
+                    trace.stalled.append(False)
+            stalls = sum(trace.stalled)
+            _obs.record("machine.latency_cycles", 1, len(pairs) - stalls)
+            _obs.record("machine.latency_cycles", 2, stalls)
         return trace
 
     def add(self, a: int, b: int) -> Tuple[int, int]:

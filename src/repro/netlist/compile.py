@@ -174,6 +174,15 @@ class CompiledKernel:
 
 def _build_kernel(circuit: Circuit, key: str) -> CompiledKernel:
     """Generate, compile, and package the kernel for one circuit."""
+    from repro.obs import spans as _obs
+
+    with _obs.span(
+        "compile.codegen", circuit=circuit.name, gates=circuit.num_gates
+    ):
+        return _build_kernel_inner(circuit, key)
+
+
+def _build_kernel_inner(circuit: Circuit, key: str) -> CompiledKernel:
     source = _generate_source(circuit)
     namespace: Dict[str, object] = {}
     exec(compile(source, f"<compiled {circuit.name}>", "exec"), namespace)
@@ -353,14 +362,33 @@ class CompiledSim:
     ) -> Dict[str, List[int]]:
         """Simulate a batch; same contract as
         :func:`repro.netlist.simulate.simulate_batch`."""
-        masks, ones, num_vectors = self.pack_inputs(inputs)
-        if num_vectors == 0:
-            return {name: [] for name in self._out_buses}
-        values = self.eval_masks(masks, ones)
-        return {
-            name: unpack_values([values[n] for n in nets], num_vectors)
-            for name, nets in self._out_buses.items()
-        }
+        from repro.obs import spans as _obs
+
+        if not _obs.is_enabled():
+            masks, ones, num_vectors = self.pack_inputs(inputs)
+            if num_vectors == 0:
+                return {name: [] for name in self._out_buses}
+            values = self.eval_masks(masks, ones)
+            return {
+                name: unpack_values([values[n] for n in nets], num_vectors)
+                for name, nets in self._out_buses.items()
+            }
+        # Traced path: per-stage spans plus the batch-size histogram.  Kept
+        # separate so the default path pays one branch, nothing more.
+        with _obs.span("sim.batch", circuit=self.circuit.name) as batch_span:
+            with _obs.span("sim.pack"):
+                masks, ones, num_vectors = self.pack_inputs(inputs)
+            batch_span.set(vectors=num_vectors)
+            _obs.record("sim.batch_vectors", num_vectors)
+            if num_vectors == 0:
+                return {name: [] for name in self._out_buses}
+            with _obs.span("sim.exec", gates=self.kernel.num_gates):
+                values = self.eval_masks(masks, ones)
+            with _obs.span("sim.unpack"):
+                return {
+                    name: unpack_values([values[n] for n in nets], num_vectors)
+                    for name, nets in self._out_buses.items()
+                }
 
 
 #: Process-wide kernel cache (memory LRU keyed by netlist content hash).

@@ -282,7 +282,20 @@ def fault_coverage(
     Bit-identical to :func:`fault_coverage_reference` (asserted by the
     differential test suite).
     """
+    from repro.obs import spans as _obs
+
+    with _obs.span("faults.coverage", circuit=circuit.name):
+        return _fault_coverage_inner(circuit, vectors, observe, faults)
+
+
+def _fault_coverage_inner(
+    circuit: Circuit,
+    vectors: Mapping[str, Sequence[int]],
+    observe: Optional[Sequence[str]],
+    faults: Optional[Sequence[Fault]],
+) -> FaultReport:
     from repro.netlist.compile import compile_circuit
+    from repro.obs import spans as _obs
 
     num_vectors = _check_vectors(circuit, vectors)
     observed = _observed_nets(circuit, observe)
@@ -317,6 +330,7 @@ def fault_coverage(
     lo, chunk = 0, _CHUNK_VECTORS
     while lo < num_vectors and remaining:
         hi = min(lo + chunk, num_vectors)
+        _obs.record("faults.chunk_vectors", hi - lo)
         survivors: List[int] = []
         for start in range(0, len(remaining), _PLANES):
             indices = remaining[start : start + _PLANES]

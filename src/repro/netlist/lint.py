@@ -344,14 +344,18 @@ def run_lint(
     runs — and runs fanned out over worker processes — agree byte for
     byte.
     """
+    from repro.obs import spans as _obs
+
     chosen = tuple(rules) if rules is not None else resolve_rules()
     ctx = LintContext(circuit, library)
     diagnostics: List[Diagnostic] = []
     ran: List[str] = []
-    for rule in chosen:
-        if rule.applies(ctx):
-            ran.append(rule.id)
-            diagnostics.extend(rule.run(ctx))
+    with _obs.span("lint.run", circuit=circuit.name):
+        for rule in chosen:
+            if rule.applies(ctx):
+                ran.append(rule.id)
+                with _obs.span(f"lint.{rule.id}"):
+                    diagnostics.extend(rule.run(ctx))
     diagnostics.sort(key=Diagnostic.sort_key)
     return LintReport(
         circuit=circuit.name, diagnostics=diagnostics, rules_run=tuple(ran)

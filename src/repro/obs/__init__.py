@@ -1,0 +1,55 @@
+"""repro.obs — zero-dependency observability spine.
+
+The thesis' headline claims are *distributions* (per-operation cycle
+counts of the variable-latency adders), and the engine, lint, and
+compiled-sim layers each grew their own hot paths.  This package is the
+one substrate they all report through:
+
+* **spans** (:mod:`repro.obs.spans`) — hierarchical wall-clock spans on a
+  contextvar stack (nestable, thread- and process-safe ids), recorded
+  only while tracing is enabled so the disabled path costs one branch;
+* **histograms** (:mod:`repro.obs.hist`) — fixed power-of-two bucket
+  edges, exact count/total, mergeable across worker processes;
+* **collector** (:mod:`repro.obs.collector`) — the per-process container
+  (counters, timers, histograms, spans) with a deterministic merge, the
+  unit the multiprocessing runner ships back from each worker;
+* **export** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (loadable in ``chrome://tracing`` / Perfetto) and a text flamegraph;
+* **provenance** (:mod:`repro.obs.provenance`) — the versioned report
+  header (schema version, seed, argv, git rev, platform) every ``--json``
+  report carries;
+* **bench** (:mod:`repro.obs.bench`) — perf-regression telemetry:
+  ``repro bench compare OLD.json NEW.json`` fails on throughput/speedup
+  regressions beyond a tolerance.
+
+Tracing is **disabled by default**; ``enable()`` flips one module-level
+flag and every instrumentation site in the engine, compiled simulator,
+fault simulator, linter, and machine protocol starts recording.
+"""
+
+from repro.obs.collector import Collector, SpanRecord
+from repro.obs.hist import Histogram
+from repro.obs.spans import (
+    add,
+    disable,
+    enable,
+    global_collector,
+    is_enabled,
+    record,
+    reset,
+    span,
+)
+
+__all__ = [
+    "Collector",
+    "Histogram",
+    "SpanRecord",
+    "add",
+    "disable",
+    "enable",
+    "global_collector",
+    "is_enabled",
+    "record",
+    "reset",
+    "span",
+]

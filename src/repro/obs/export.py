@@ -1,0 +1,99 @@
+"""Trace export: Chrome trace-event JSON and a text flamegraph.
+
+``write_chrome_trace`` emits the ``traceEvents`` array format that
+``chrome://tracing`` and Perfetto load directly: one complete (``"X"``)
+event per finished span with ``name``/``ph``/``ts``/``dur``/``pid``/
+``tid``, sorted by timestamp so the file is monotonic.  Worker-process
+spans keep their own pid and therefore render as separate tracks.
+
+``flamegraph_lines`` folds the same spans by call path (the ancestor
+name chain each span recorded) into an indented, bar-annotated summary —
+a flamegraph you can read in a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.collector import Collector, SpanRecord
+
+
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> List[dict]:
+    """Spans as Chrome complete events, sorted by (ts, pid, tid)."""
+    events = [
+        {
+            "name": s.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(s.ts_us, 3),
+            "dur": round(s.dur_us, 3),
+            "pid": s.pid,
+            "tid": s.tid,
+            "args": dict(s.args),
+        }
+        for s in spans
+    ]
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return events
+
+
+def to_chrome_trace(collector: Collector) -> dict:
+    """The full trace document for one collector."""
+    return {
+        "traceEvents": chrome_trace_events(collector.spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(sorted(collector.counters.items()))},
+    }
+
+
+def write_chrome_trace(path: str, collector: Optional[Collector] = None) -> int:
+    """Write the Chrome trace JSON; returns the number of events."""
+    if collector is None:
+        from repro.obs.spans import global_collector
+
+        collector = global_collector()
+    doc = to_chrome_trace(collector)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, default=str)
+        handle.write("\n")
+    return len(doc["traceEvents"])
+
+
+def fold_spans(
+    spans: Sequence[SpanRecord],
+) -> Dict[Tuple[str, ...], Tuple[float, int]]:
+    """Aggregate spans by call path: path -> (total_us, count)."""
+    folded: Dict[Tuple[str, ...], Tuple[float, int]] = {}
+    for s in spans:
+        total, count = folded.get(s.path, (0.0, 0))
+        folded[s.path] = (total + s.dur_us, count + 1)
+    return folded
+
+
+def flamegraph_lines(
+    spans: Sequence[SpanRecord], bar_width: int = 30
+) -> List[str]:
+    """Indented per-path time summary (a terminal flamegraph).
+
+    Sorting by the path tuple itself yields depth-first order (children
+    follow their parent), so indentation reads as nesting.  Bars are
+    proportional to each path's share of the root total.
+    """
+    folded = fold_spans(spans)
+    if not folded:
+        return ["(no spans recorded)"]
+    root_total = sum(t for path, (t, _) in folded.items() if len(path) == 1)
+    if root_total <= 0:
+        root_total = max(t for t, _ in folded.values()) or 1.0
+    lines = []
+    for path in sorted(folded):
+        total_us, count = folded[path]
+        frac = total_us / root_total
+        bar = "#" * max(1, round(bar_width * min(frac, 1.0)))
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{indent}{path[-1]:<{max(1, 36 - len(indent))}} "
+            f"{total_us / 1e3:10.3f} ms {frac:7.2%} x{count:<6} {bar}"
+        )
+    return lines

@@ -1,0 +1,149 @@
+"""Mergeable histograms with fixed power-of-two bucket edges.
+
+Bucket ``e`` covers the half-open interval ``[2**e, 2**(e+1))``; zero (and
+anything non-positive) lands in a dedicated underflow bucket.  Fixed edges
+make merging a plain per-bucket sum — associative and commutative — so the
+multiprocessing runner can fold worker histograms in any order and the
+result is deterministic.  Alongside the buckets the histogram keeps the
+exact ``count``/``total``/``min``/``max``, so the mean is exact even
+though the buckets are coarse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Histogram:
+    """Power-of-two-bucket histogram of non-negative samples."""
+
+    __slots__ = ("buckets", "zero", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}  # exponent -> sample count
+        self.zero = 0  # samples <= 0 (underflow bucket)
+        self.count = 0
+        self.total = 0.0  # exact sum of recorded values
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    @staticmethod
+    def bucket_of(value: float) -> Optional[int]:
+        """Bucket exponent for ``value`` (None = the underflow bucket)."""
+        if value <= 0:
+            return None
+        # frexp: value = m * 2**e with m in [0.5, 1) => 2**(e-1) <= value
+        return math.frexp(value)[1] - 1
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` samples of ``value`` (count <= 0 is a no-op)."""
+        if count <= 0:
+            return
+        v = float(value)
+        self.count += count
+        self.total += v * count
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        exponent = self.bucket_of(v)
+        if exponent is None:
+            self.zero += count
+        else:
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + count
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in (exact, order-independent)."""
+        for exponent, count in other.buckets.items():
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + count
+        self.zero += other.zero
+        self.count += other.count
+        self.total += other.total
+        for name in ("min", "max"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if theirs is not None:
+                pick = min if name == "min" else max
+                setattr(self, name, theirs if mine is None else pick(mine, theirs))
+        return self
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Exact mean of the recorded values (None on an empty histogram)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper edge of the bucket holding the q-quantile (q in [0, 1]).
+
+        Returns ``None`` on an empty histogram (never raises on zero
+        samples).  The answer is an upper bound of the true quantile,
+        clamped to the observed maximum; the underflow bucket reports 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = self.zero
+        if cumulative >= target and self.zero:
+            return 0.0
+        for exponent in sorted(self.buckets):
+            cumulative += self.buckets[exponent]
+            if cumulative >= target:
+                upper = float(2 ** (exponent + 1))
+                return min(upper, self.max) if self.max is not None else upper
+        return self.max
+
+    def items(self) -> Iterator[Tuple[float, float, int]]:
+        """Occupied buckets as ``(low_edge, high_edge, count)``, ascending
+        (the underflow bucket reports edges ``(0, 0)``)."""
+        if self.zero:
+            yield (0.0, 0.0, self.zero)
+        for exponent in sorted(self.buckets):
+            yield (float(2**exponent), float(2 ** (exponent + 1)), self.buckets[exponent])
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (bucket keys as string exponents)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "zero": self.zero,
+            "buckets": {str(e): c for e, c in sorted(self.buckets.items())},
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Histogram":
+        """Inverse of :meth:`to_dict` (``mean`` is derived, not read)."""
+        hist = Histogram()
+        hist.count = int(payload["count"])
+        hist.total = float(payload["total"])
+        hist.min = payload.get("min")
+        hist.max = payload.get("max")
+        hist.zero = int(payload.get("zero", 0))
+        hist.buckets = {int(e): int(c) for e, c in payload.get("buckets", {}).items()}
+        return hist
+
+    def format_lines(self, title: str = "", bar_width: int = 40) -> List[str]:
+        """Human-readable bucket bars for the CLI renderers."""
+        lines: List[str] = []
+        head = title or "histogram"
+        if self.count == 0:
+            return [f"{head}: (no samples)"]
+        mean = self.mean
+        p50, p99 = self.percentile(0.50), self.percentile(0.99)
+        lines.append(
+            f"{head}: count={self.count} mean={mean:.6g} "
+            f"p50<={p50:.6g} p99<={p99:.6g} max={self.max:.6g}"
+        )
+        for low, high, count in self.items():
+            frac = count / self.count
+            bar = "#" * max(1, round(bar_width * frac)) if count else ""
+            label = "[0]" if high == 0.0 else f"[{low:g}, {high:g})"
+            lines.append(f"  {label:>16} {bar:<{bar_width}} {count} ({frac:.2%})")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean})"

@@ -1,0 +1,117 @@
+"""Chrome trace-event export well-formedness and the text flamegraph."""
+
+import json
+
+import pytest
+
+from repro.obs import spans as obs
+from repro.obs.collector import Collector, SpanRecord
+from repro.obs.export import (
+    chrome_trace_events,
+    flamegraph_lines,
+    fold_spans,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _span(name, ts, dur, pid=100, tid=1, path=None, span_id=1, parent_id=0):
+    return SpanRecord(
+        name=name,
+        ts_us=ts,
+        dur_us=dur,
+        pid=pid,
+        tid=tid,
+        span_id=span_id,
+        parent_id=parent_id,
+        path=path or (name,),
+    )
+
+
+@pytest.fixture
+def traced():
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs.global_collector()
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+class TestChromeTraceEvents:
+    def test_complete_event_fields(self):
+        events = chrome_trace_events([_span("work", 10.0, 5.0)])
+        (event,) = events
+        # the Chrome trace-event schema for complete events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["ts"] == 10.0
+        assert event["dur"] == 5.0
+        assert event["pid"] == 100
+        assert event["tid"] == 1
+        assert event["cat"] == "repro"
+
+    def test_events_sorted_monotonic_ts(self):
+        spans = [
+            _span("c", 30.0, 1.0),
+            _span("a", 10.0, 1.0),
+            _span("b", 20.0, 1.0),
+        ]
+        events = chrome_trace_events(spans)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_document_shape(self):
+        col = Collector()
+        col.spans.append(_span("x", 0.0, 1.0))
+        col.add("hits", 2)
+        doc = to_chrome_trace(col)
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["counters"] == {"hits": 2}
+
+    def test_write_round_trips_as_json(self, tmp_path, traced):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path))
+        assert count == 2
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        for event in events:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_write_explicit_collector(self, tmp_path):
+        col = Collector()
+        col.spans.append(_span("solo", 1.0, 2.0))
+        path = tmp_path / "t.json"
+        assert write_chrome_trace(str(path), col) == 1
+
+
+class TestFlamegraph:
+    def test_fold_aggregates_by_path(self):
+        spans = [
+            _span("a", 0.0, 10.0),
+            _span("a", 20.0, 20.0),
+            _span("b", 0.0, 5.0, path=("a", "b")),
+        ]
+        folded = fold_spans(spans)
+        assert folded[("a",)] == (30.0, 2)
+        assert folded[("a", "b")] == (5.0, 1)
+
+    def test_lines_indent_children_under_parents(self):
+        spans = [
+            _span("a", 0.0, 10.0),
+            _span("b", 1.0, 5.0, path=("a", "b")),
+        ]
+        lines = flamegraph_lines(spans)
+        assert lines[0].lstrip().startswith("a")
+        assert lines[1].startswith("  b")
+
+    def test_empty_spans(self):
+        assert flamegraph_lines([]) == ["(no spans recorded)"]

@@ -1,0 +1,145 @@
+"""Unit tests for the power-of-two-bucket histogram (repro.obs.hist)."""
+
+import pytest
+
+from repro.obs.hist import Histogram
+
+
+class TestBuckets:
+    def test_bucket_edges_are_powers_of_two(self):
+        # bucket e covers [2**e, 2**(e+1))
+        assert Histogram.bucket_of(1) == 0
+        assert Histogram.bucket_of(1.5) == 0
+        assert Histogram.bucket_of(2) == 1
+        assert Histogram.bucket_of(3.999) == 1
+        assert Histogram.bucket_of(4) == 2
+        assert Histogram.bucket_of(0.5) == -1
+        assert Histogram.bucket_of(1024) == 10
+
+    def test_nonpositive_goes_to_underflow(self):
+        assert Histogram.bucket_of(0) is None
+        assert Histogram.bucket_of(-3) is None
+        h = Histogram()
+        h.record(0)
+        h.record(-1)
+        assert h.zero == 2
+        assert h.count == 2
+
+    def test_record_with_count(self):
+        h = Histogram()
+        h.record(3, count=10)
+        h.record(5, count=0)  # no-op
+        h.record(5, count=-2)  # no-op
+        assert h.count == 10
+        assert h.total == 30.0
+        assert h.buckets == {1: 10}
+
+    def test_items_ascending_with_underflow_first(self):
+        h = Histogram()
+        h.record(0, 2)
+        h.record(10, 3)
+        h.record(1, 1)
+        items = list(h.items())
+        assert items[0] == (0.0, 0.0, 2)
+        assert items[1] == (1.0, 2.0, 1)
+        assert items[2] == (8.0, 16.0, 3)
+
+
+class TestExactStats:
+    def test_mean_is_exact_despite_coarse_buckets(self):
+        h = Histogram()
+        h.record(1, 99_380)
+        h.record(2, 620)
+        assert h.mean == pytest.approx(1.0062, abs=1e-12)
+
+    def test_min_max_tracked(self):
+        h = Histogram()
+        for v in (7.0, 0.25, 100.0):
+            h.record(v)
+        assert h.min == 0.25
+        assert h.max == 100.0
+
+
+class TestZeroSamples:
+    """Satellite (b): zero-sample guards return None, never raise."""
+
+    def test_empty_mean_is_none(self):
+        assert Histogram().mean is None
+
+    def test_empty_percentile_is_none(self):
+        h = Histogram()
+        assert h.percentile(0.5) is None
+        assert h.percentile(0.0) is None
+        assert h.percentile(1.0) is None
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-0.1)
+
+    def test_empty_format_lines(self):
+        assert Histogram().format_lines("empty") == ["empty: (no samples)"]
+
+
+class TestPercentile:
+    def test_percentile_upper_bound_clamped_to_max(self):
+        h = Histogram()
+        h.record(1, 99)
+        h.record(3, 1)
+        # p50 falls in the [1, 2) bucket -> upper edge 2
+        assert h.percentile(0.5) == 2.0
+        # p100 falls in [2, 4) whose upper edge 4 clamps to the observed max
+        assert h.percentile(1.0) == 3
+
+    def test_percentile_underflow_bucket_reports_zero(self):
+        h = Histogram()
+        h.record(0, 10)
+        h.record(5, 1)
+        assert h.percentile(0.5) == 0.0
+
+
+class TestMerge:
+    def test_merge_is_exact_and_commutative(self):
+        a, b = Histogram(), Histogram()
+        a.record(1, 5)
+        a.record(100, 2)
+        b.record(1, 3)
+        b.record(0, 1)
+        b.record(7, 4)
+        ab = Histogram().merge(a).merge(b)
+        ba = Histogram().merge(b).merge(a)
+        for h in (ab, ba):
+            assert h.count == 15
+            assert h.total == a.total + b.total
+            assert h.min == 0.0
+            assert h.max == 100.0
+        assert ab.buckets == ba.buckets
+        assert ab.zero == ba.zero == 1
+
+    def test_merge_empty_is_identity(self):
+        h = Histogram()
+        h.record(2, 3)
+        before = h.to_dict()
+        h.merge(Histogram())
+        assert h.to_dict() == before
+
+
+class TestSerialization:
+    def test_to_from_dict_round_trip(self):
+        h = Histogram()
+        h.record(0, 2)
+        h.record(1.5, 7)
+        h.record(9, 1)
+        back = Histogram.from_dict(h.to_dict())
+        assert back.to_dict() == h.to_dict()
+        assert back.mean == h.mean
+        assert back.percentile(0.9) == h.percentile(0.9)
+
+    def test_format_lines_render_bars(self):
+        h = Histogram()
+        h.record(1, 90)
+        h.record(2, 10)
+        lines = h.format_lines("latency")
+        assert lines[0].startswith("latency: count=100")
+        assert any("#" in line for line in lines[1:])

@@ -1,0 +1,136 @@
+"""EngineMetrics facade: full merge semantics and zero-division guards."""
+
+import json
+
+import pytest
+
+from repro.engine.metrics import EngineMetrics
+from repro.obs.collector import Collector
+
+
+class TestFacadeCompatibility:
+    """The pre-obs surface the rest of the engine (and its tests) uses."""
+
+    def test_counters_and_timers_are_live_dicts(self):
+        m = EngineMetrics()
+        m.add("chunks", 2)
+        m.counters["manual"] = 5
+        assert m.counters == {"chunks": 2, "manual": 5}
+        with m.phase("simulate"):
+            pass
+        assert m.timers["simulate"] >= 0
+
+    def test_to_dict_keeps_legacy_keys(self):
+        m = EngineMetrics()
+        m.add("samples", 10)
+        with m.phase("simulate"):
+            pass
+        blob = json.loads(m.to_json())
+        assert set(blob) >= {"counters", "timers_s", "throughput_samples_per_s"}
+        # histograms/workers appear only when there is data for them
+        assert "histograms" not in blob
+        assert "workers" not in blob
+
+    def test_phase_is_reentrant_by_sum(self):
+        m = EngineMetrics()
+        with m.phase("p"):
+            pass
+        first = m.timers["p"]
+        with m.phase("p"):
+            pass
+        assert m.timers["p"] > first
+
+
+class TestThroughputGuards:
+    """Satellite (b): zero samples / zero elapsed return None, never raise."""
+
+    def test_empty_metrics(self):
+        assert EngineMetrics().throughput() is None
+
+    def test_samples_without_timer(self):
+        m = EngineMetrics()
+        m.add("samples", 100)
+        assert m.throughput() is None
+
+    def test_timer_without_samples(self):
+        m = EngineMetrics()
+        m.timers["simulate"] = 1.0
+        assert m.throughput() is None
+
+    def test_zero_elapsed(self):
+        m = EngineMetrics()
+        m.add("samples", 100)
+        m.timers["simulate"] = 0.0
+        assert m.throughput() is None
+
+    def test_normal_case(self):
+        m = EngineMetrics()
+        m.add("samples", 100)
+        m.timers["simulate"] = 2.0
+        assert m.throughput() == pytest.approx(50.0)
+
+    def test_to_dict_never_raises_on_empty(self):
+        blob = EngineMetrics().to_dict()
+        assert blob["throughput_samples_per_s"] is None
+
+
+class TestMerge:
+    """Satellite (a): merging must carry timers (and histograms), not just
+    counters — the bug the old worker merge had."""
+
+    def test_merge_timers(self):
+        m = EngineMetrics()
+        m.timers["simulate"] = 1.0
+        m.merge_timers({"simulate": 0.5, "compile": 0.25})
+        assert m.timers == {"simulate": 1.5, "compile": 0.25}
+
+    def test_full_merge_carries_everything(self):
+        a, b = EngineMetrics(), EngineMetrics()
+        a.add("chunks", 1)
+        a.timers["simulate"] = 1.0
+        a.record("h", 1, 10)
+        b.add("chunks", 2)
+        b.timers["simulate"] = 2.0
+        b.timers["compile"] = 0.5
+        b.record("h", 2, 5)
+        b.worker_details[1] = {"counters": {}, "timers_s": {}}
+        a.merge(b)
+        assert a.counters["chunks"] == 3
+        assert a.timers["simulate"] == pytest.approx(3.0)
+        assert a.timers["compile"] == pytest.approx(0.5)
+        assert a.histograms["h"].count == 15
+        assert a.histograms["h"].total == pytest.approx(20.0)
+        assert 1 in a.worker_details
+
+    def test_absorb_worker_merges_timers_not_counters(self):
+        """The parent counts chunks as it absorbs results; worker counters
+        stay in the per-rank detail so nothing double-counts."""
+        m = EngineMetrics()
+        m.add("chunks", 8)  # parent-side count of absorbed chunks
+        worker = Collector()
+        worker.add("chunks", 8)
+        worker.add_time("chunks", 1.5)
+        worker.record("h", 4, 2)
+        m.absorb_worker(0, worker)
+        assert m.counters["chunks"] == 8  # not 16
+        assert m.timers["chunks"] == pytest.approx(1.5)
+        assert m.histograms["h"].count == 2
+        assert m.worker_details[0]["counters"]["chunks"] == 8
+
+    def test_to_dict_workers_section(self):
+        m = EngineMetrics()
+        worker = Collector()
+        worker.add("chunks", 3)
+        worker.add_time("chunks", 0.25)
+        m.absorb_worker(1, worker)
+        blob = m.to_dict()
+        assert blob["workers"]["1"]["counters"]["chunks"] == 3
+        assert blob["workers"]["1"]["timers_s"]["chunks"] == pytest.approx(0.25)
+
+    def test_record_surfaces_in_report_and_lines(self):
+        m = EngineMetrics()
+        m.record("latency", 1, 90)
+        m.record("latency", 2, 10)
+        blob = m.to_dict()
+        assert blob["histograms"]["latency"]["count"] == 100
+        assert any("latency" in line for line in m.format_lines())

@@ -1,0 +1,165 @@
+"""Span nesting, the global switch, and cross-process collection."""
+
+import concurrent.futures
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.obs import spans as obs
+from repro.obs.collector import Collector
+
+
+@pytest.fixture
+def traced():
+    """Enable recording on a clean collector; always restore disabled."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs.global_collector()
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+class TestDisabledDefault:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_disabled_span_records_nothing(self):
+        obs.reset()
+        with obs.span("phantom", detail=1) as s:
+            s.set(more=2)
+        obs.add("phantom_counter")
+        obs.record("phantom_hist", 1.0)
+        col = obs.global_collector()
+        assert col.spans == []
+        assert col.counters == {}
+        assert col.histograms == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        # the disabled path hands back one shared object — no allocation
+        assert obs.span("a") is obs.span("b")
+
+
+class TestNesting:
+    def test_parent_child_links_and_paths(self, traced):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner2"):
+                pass
+        spans = {s.name: s for s in traced.spans}
+        assert spans["outer"].parent_id == 0
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner2"].parent_id == spans["outer"].span_id
+        assert spans["inner"].path == ("outer", "inner")
+        assert spans["outer"].path == ("outer",)
+
+    def test_span_ids_unique(self, traced):
+        for _ in range(5):
+            with obs.span("x"):
+                pass
+        ids = [s.span_id for s in traced.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_durations_nest(self, traced):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = {s.name: s for s in traced.spans}
+        assert spans["inner"].dur_us <= spans["outer"].dur_us
+        assert spans["inner"].ts_us >= spans["outer"].ts_us
+
+    def test_attrs_via_kwargs_and_set(self, traced):
+        with obs.span("job", width=64) as s:
+            s.set(vectors=1024)
+        (span,) = traced.spans
+        assert span.args == {"width": 64, "vectors": 1024}
+
+    def test_exception_still_records_and_pops(self, traced):
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise RuntimeError("boom")
+        assert [s.name for s in traced.spans] == ["inner", "outer"]
+        assert obs.current_span() is None
+
+    def test_counters_and_histograms_record_when_enabled(self, traced):
+        obs.add("events", 3)
+        obs.record("sizes", 8, count=2)
+        assert traced.counters == {"events": 3}
+        assert traced.histograms["sizes"].count == 2
+
+
+class TestThreads:
+    def test_each_thread_gets_its_own_stack(self, traced):
+        """Sibling threads must not see each other's open spans as parents."""
+        barrier = threading.Barrier(2)
+
+        def work(tag):
+            with obs.span(tag):
+                barrier.wait(timeout=10)
+                with obs.span(f"{tag}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in traced.spans}
+        for i in range(2):
+            child, parent = spans[f"t{i}.child"], spans[f"t{i}"]
+            assert child.parent_id == parent.span_id
+            assert child.path == (f"t{i}", f"t{i}.child")
+            assert child.tid == parent.tid
+
+
+def _pool_worker(tag):
+    """Top-level (picklable) worker: records a nested span pair and ships
+    its collector back, the same protocol the engine runner uses."""
+    obs.reset()
+    obs.enable()
+    try:
+        with obs.span("worker", tag=tag):
+            with obs.span("step"):
+                pass
+        return obs.global_collector()
+    finally:
+        obs.disable()
+
+
+class TestProcesses:
+    def test_span_nesting_under_process_pool_workers(self):
+        """Satellite (d): spans collected in pool workers merge into one
+        collector with correct nesting and per-process pids."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        merged = Collector()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=2, mp_context=ctx
+        ) as pool:
+            for collector in pool.map(_pool_worker, ["a", "b"]):
+                merged.merge(collector)
+        assert len(merged.spans) == 4
+        by_pid = {}
+        for s in merged.spans:
+            by_pid.setdefault(s.pid, []).append(s)
+        assert os.getpid() not in by_pid
+        for pid, spans in by_pid.items():
+            named = {s.name: s for s in spans}
+            assert named["step"].parent_id == named["worker"].span_id
+            assert named["step"].path == ("worker", "step")
+
+    def test_reset_clears_forked_parent_spans(self, traced):
+        """A worker's reset() must drop spans inherited through fork."""
+        with obs.span("parent-side"):
+            pass
+        assert traced.spans
+        obs.reset()
+        assert traced.spans == []

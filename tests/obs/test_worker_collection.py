@@ -1,0 +1,79 @@
+"""Per-worker metric collection through the multiprocessing runner."""
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import EngineMetrics, MonteCarloErrorJob, run_job
+from repro.obs import spans as obs
+
+
+def _job(samples=60_000):
+    return MonteCarloErrorJob(
+        width=32,
+        window=6,
+        samples=samples,
+        chunk_size=2**14,
+        counters=("scsa1",),
+    )
+
+
+class TestWorkerMetrics:
+    def test_workers_ship_timer_split_back(self):
+        """Satellite (a) end to end: the parallel run must report worker
+        busy time ('chunks' timer), which the counter-only merge lost."""
+        metrics = EngineMetrics()
+        run_job(_job(), workers=2, metrics=metrics)
+        assert metrics.timers["simulate"] > 0
+        assert metrics.timers["chunks"] > 0  # merged worker busy time
+        assert metrics.counters["chunks"] == 4
+        assert metrics.counters["samples"] == 60_000
+        details = metrics.worker_details
+        assert set(details) <= {0, 1} and details
+        total_chunks = sum(
+            d["counters"].get("chunks", 0) for d in details.values()
+        )
+        assert total_chunks == 4
+        merged_busy = sum(
+            d["timers_s"].get("chunks", 0.0) for d in details.values()
+        )
+        assert metrics.timers["chunks"] == pytest.approx(merged_busy, abs=1e-3)
+
+    def test_parallel_still_bit_identical_to_serial(self):
+        serial = run_job(_job(), workers=0).aggregate
+        parallel = run_job(_job(), workers=2).aggregate
+        assert serial.samples == parallel.samples
+        assert serial.scsa1_errors == parallel.scsa1_errors
+
+    def test_json_report_includes_workers_section(self):
+        import json
+
+        metrics = EngineMetrics()
+        run_job(_job(), workers=2, metrics=metrics)
+        blob = json.loads(metrics.to_json())
+        assert "workers" in blob
+        for detail in blob["workers"].values():
+            assert set(detail) >= {"counters", "timers_s"}
+
+    def test_serial_run_has_no_workers_section(self):
+        metrics = EngineMetrics()
+        run_job(_job(), workers=0, metrics=metrics)
+        assert metrics.worker_details == {}
+        assert "workers" not in metrics.to_dict()
+
+    def test_worker_spans_reach_parent_collector_when_traced(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        obs.reset()
+        obs.enable()
+        try:
+            run_job(_job(), workers=2)
+            spans = obs.global_collector().spans
+            worker_spans = [s for s in spans if s.name == "worker.task"]
+            assert worker_spans
+            import os
+
+            assert all(s.pid != os.getpid() for s in worker_spans)
+        finally:
+            obs.disable()
+            obs.reset()
