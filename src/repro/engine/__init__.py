@@ -39,6 +39,9 @@ from repro.engine.jobs import (
     DEFAULT_CHUNK,
     ChunkSpec,
     ErrorCounts,
+    FuzzChunkSpec,
+    FuzzJob,
+    FuzzRows,
     LintJob,
     LintRows,
     MagnitudeStats,
@@ -61,6 +64,9 @@ __all__ = [
     "EngineMetrics",
     "EngineResult",
     "ErrorCounts",
+    "FuzzChunkSpec",
+    "FuzzJob",
+    "FuzzRows",
     "LINTABLE_DESIGNS",
     "LintJob",
     "LintRows",

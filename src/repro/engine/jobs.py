@@ -451,6 +451,91 @@ class SweepJob:
 
 
 # ---------------------------------------------------------------------------
+# Differential-fuzz fan-out
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzChunkSpec:
+    """One fuzz work unit: a design point crossed with a generator strategy.
+
+    ``point`` is a :class:`repro.fuzz.oracle.DesignPoint` (typed loosely so
+    the engine layer stays importable without the fuzz package);
+    ``base_pairs`` carries the corpus snapshot the ``corpus`` mutation
+    strategy feeds on; ``fault`` is an optional planted ``(net, stuck_at)``
+    mutant for self-test mode.
+    """
+
+    point: Any
+    strategy: str
+    vectors: int
+    base_pairs: Tuple[Tuple[int, int], ...] = ()
+    fault: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class FuzzRows:
+    """Fuzz aggregate: per-chunk outcome rows keyed by global chunk index.
+
+    Rows are disjoint across chunks, so the union merge is associative
+    and commutative and parallel runs stay bit-identical to serial ones
+    (the campaign driver replays rows in sorted index order).
+    """
+
+    rows: Dict[int, dict] = field(default_factory=dict)
+
+    def merge(self, other: "FuzzRows") -> "FuzzRows":
+        """Union the disjoint row sets."""
+        self.rows.update(other.rows)
+        return self
+
+    def ordered(self) -> Tuple[dict, ...]:
+        """Rows back in chunk order."""
+        return tuple(self.rows[i] for i in sorted(self.rows))
+
+
+@dataclass(frozen=True)
+class FuzzJob:
+    """One fuzz round: every (design point, strategy) chunk of the grid.
+
+    ``index_base`` offsets the global chunk indices so each campaign round
+    draws from fresh random streams — chunk ``i`` of round ``r`` is seeded
+    by ``(seed, index_base + i)`` under the engine's standard discipline,
+    independent of worker assignment.
+    """
+
+    specs: Tuple[FuzzChunkSpec, ...]
+    seed: int = 2012
+    index_base: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a fuzz job needs at least one chunk spec")
+        if self.index_base < 0:
+            raise ValueError(f"index_base must be >= 0, got {self.index_base}")
+
+    def chunk_specs(self) -> Tuple[ChunkSpec, ...]:
+        """One chunk per (point, strategy) pair (spec rides in the payload)."""
+        return tuple(
+            ChunkSpec(index=self.index_base + i, size=spec.vectors, payload=spec)
+            for i, spec in enumerate(self.specs)
+        )
+
+    def new_aggregate(self) -> FuzzRows:
+        """A zero aggregate."""
+        return FuzzRows()
+
+    def run_chunk(self, spec: ChunkSpec) -> FuzzRows:
+        """Generate and cross-check one chunk (deferred fuzz import keeps
+        the engine layer free of a hard fuzz dependency)."""
+        from repro.fuzz.fuzzer import run_fuzz_chunk
+
+        return FuzzRows(
+            rows={spec.index: run_fuzz_chunk(spec.payload, self.seed, spec.index)}
+        )
+
+
+# ---------------------------------------------------------------------------
 # Static-analysis (lint) fan-out
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,135 @@
+"""The persistent fuzz corpus: content-addressed, deterministically hashed.
+
+A corpus is a directory of small JSON files, one interesting input per
+file, named by the SHA-256 of their canonical content — so re-adding an
+entry is a no-op, two runs that discover the same inputs produce the same
+directory, and ``corpus_hash`` (the hash of the sorted entry hashes) is a
+single value CI can compare across runs to assert determinism.
+
+Entries record the design point, the operand pair (hex), why the pair
+was kept (``coverage`` novelty or a ``divergence`` with its check id),
+and the coverage key when applicable.  ``--replay`` feeds every entry
+back through the oracle — the regression-test mode that makes a nightly
+finding reproducible locally from the uploaded artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One kept input: a design point, an operand pair, and its reason."""
+
+    design: str
+    width: int
+    window: Optional[int]
+    a: int
+    b: int
+    reason: str = "coverage"  # "coverage" | "divergence"
+    check: str = ""  # failing check id (divergences) or coverage key repr
+
+    def canonical(self) -> str:
+        """Stable JSON body (sorted keys, hex operands)."""
+        return json.dumps(
+            {
+                "design": self.design,
+                "width": self.width,
+                "window": self.window,
+                "a": hex(self.a),
+                "b": hex(self.b),
+                "reason": self.reason,
+                "check": self.check,
+            },
+            sort_keys=True,
+        )
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        return cls(
+            design=data["design"],
+            width=int(data["width"]),
+            window=None if data.get("window") is None else int(data["window"]),
+            a=int(data["a"], 16),
+            b=int(data["b"], 16),
+            reason=data.get("reason", "coverage"),
+            check=data.get("check", ""),
+        )
+
+
+class Corpus:
+    """A directory-backed entry set (or purely in-memory when dir is None)."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._entries: Dict[str, CorpusEntry] = {}
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            self._load()
+
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path) as handle:
+                    entry = CorpusEntry.from_dict(json.load(handle))
+            except (OSError, ValueError, KeyError):
+                continue  # tolerate corruption like the engine cache does
+            self._entries[entry.digest] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        """Entries in digest order — the deterministic iteration order."""
+        for digest in sorted(self._entries):
+            yield self._entries[digest]
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Insert (and persist) an entry; False when already present."""
+        digest = entry.digest
+        if digest in self._entries:
+            return False
+        self._entries[digest] = entry
+        if self.directory:
+            path = os.path.join(self.directory, f"{digest[:16]}.json")
+            with open(path, "w") as handle:
+                handle.write(entry.canonical() + "\n")
+        return True
+
+    def pairs_for(
+        self, design: str, width: int, window: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        """Operand pairs for one design point, in deterministic order
+        (the mutation strategy's seed pool)."""
+        return [
+            (e.a, e.b)
+            for e in self
+            if e.design == design and e.width == width and e.window == window
+        ]
+
+    def corpus_hash(self) -> str:
+        """SHA-256 over the sorted entry digests — the determinism pin."""
+        h = hashlib.sha256()
+        for digest in sorted(self._entries):
+            h.update(digest.encode())
+        return h.hexdigest()
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (size and determinism hash)."""
+        return {
+            "directory": self.directory,
+            "entries": len(self._entries),
+            "hash": self.corpus_hash(),
+        }

@@ -1,0 +1,100 @@
+"""Structural-coverage feedback for the differential fuzzer.
+
+Two complementary coverage signals decide whether an input batch taught
+us anything new:
+
+* **inter-window carry patterns** (behavioural) — for every adjacent
+  window pair the 3-bit combination ``(G[i-1], P[i-1], carry_in[i])``.
+  These eight states per boundary are exactly the cases the speculation
+  and detection logic branch on (thesis Ch. 4-6): ``G=0,P=1,cin=1`` is
+  the mis-speculation pattern, ``P[i]&G[i-1]`` drives ERR0, and so on.
+  A fuzzer that has exercised all reachable combinations at every
+  boundary has seen every window-level decision the architecture makes;
+
+* **mux-select toggles** (structural) — for every MUX2 gate in the
+  compiled netlist (:func:`repro.netlist.compile.mux_select_points`,
+  which reuses the kernel's levelization), whether its select has been
+  observed at 0 and at 1.  The carry-select sum rows, the VLCSA 2
+  hypothesis muxes, and the recovery path are all mux-structured, so
+  select toggles approximate path coverage of the datapath.
+
+Keys are small tuples, witnesses are the first operand pair (in vector
+order) that exercised the key — the deterministic choice that makes the
+corpus reproducible run over run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model.behavioral import WindowProfile
+
+CoverageKey = Tuple  # ("w", boundary, combo) | ("m", gate_index, value)
+Pair = Tuple[int, int]
+
+
+def window_pattern_keys(
+    profile: WindowProfile, remainder: str
+) -> Dict[CoverageKey, int]:
+    """Observed inter-window patterns -> first sample index exercising them.
+
+    Key: ``("w", remainder, boundary, combo)`` with ``combo`` encoding
+    ``G[i-1] | P[i-1] << 1 | carry_in[i] << 2``.
+    """
+    keys: Dict[CoverageKey, int] = {}
+    m = profile.group_g.shape[1]
+    for boundary in range(1, m):
+        combos = (
+            profile.group_g[:, boundary - 1].astype(int)
+            | (profile.group_p[:, boundary - 1].astype(int) << 1)
+            | (profile.carry_in[:, boundary].astype(int) << 2)
+        )
+        for combo in range(8):
+            hits = combos == combo
+            if hits.any():
+                key = ("w", remainder, boundary, combo)
+                keys[key] = int(hits.argmax())
+    return keys
+
+
+def _lowest_set_bit(mask: int) -> int:
+    return (mask & -mask).bit_length() - 1
+
+
+def _lowest_clear_bit(mask: int, num_vectors: int) -> int:
+    inverted = ~mask & ((1 << num_vectors) - 1)
+    return _lowest_set_bit(inverted)
+
+
+def mux_toggle_keys(
+    points: Sequence[Tuple[int, int, int]],
+    values: Sequence[int],
+    ones: int,
+    num_vectors: int,
+) -> Dict[CoverageKey, int]:
+    """Observed mux-select values -> first vector index exercising them.
+
+    ``points`` comes from :func:`repro.netlist.compile.mux_select_points`;
+    ``values`` is the full per-net mask list of one compiled evaluation
+    (every net is evaluated, so intermediate selects are free to read).
+    Key: ``("m", gate_index, value)``.
+    """
+    keys: Dict[CoverageKey, int] = {}
+    for gate_index, select_net, _level in points:
+        mask = values[select_net] & ones
+        if mask:
+            keys[("m", gate_index, 1)] = _lowest_set_bit(mask)
+        if mask != ones:
+            keys[("m", gate_index, 0)] = _lowest_clear_bit(mask, num_vectors)
+    return keys
+
+
+def witnessed(
+    keys: Dict[CoverageKey, int], pairs: Sequence[Pair]
+) -> List[Tuple[CoverageKey, int, int]]:
+    """Attach operand witnesses: ``(key, a, b)`` in sorted key order."""
+    out = []
+    for key in sorted(keys):
+        a, b = pairs[keys[key]]
+        out.append((key, a, b))
+    return out

@@ -1,0 +1,399 @@
+"""The round-based fuzz campaign driver.
+
+A campaign walks a design grid (architecture × width × window) through
+deterministic *rounds*.  Each round fans one :class:`repro.engine.jobs.FuzzJob`
+— one chunk per (point, strategy) — through the engine runner, so
+``--workers`` parallelism comes for free and, because chunk randomness
+depends only on ``(seed, global chunk index)`` and aggregates merge by
+chunk index, the parallel campaign is bit-identical to the serial one.
+
+Between rounds the driver folds the chunks' coverage observations into
+the global coverage set; inputs that exercised *new* coverage keys enter
+the corpus, and the next round's ``corpus`` strategy mutates them — the
+coverage-guided feedback loop.  The campaign ends when the round plan is
+exhausted, when coverage and divergences have been stale for
+``stale_rounds`` consecutive rounds (both checks are deterministic), or
+when the wall-clock ``time_budget`` runs out (the only nondeterministic
+exit; the default round plan finishes far inside the CI budgets, so in
+practice two equal-seed runs produce identical corpora and reports —
+which the test suite asserts).
+
+After the loop every unique ``(point, check)`` divergence is shrunk by
+:func:`repro.fuzz.minimize.minimize_pair` and the analytical-model rate
+check compares the uniform-strategy mis-speculation counts against the
+exact Eq. 3.13 refinement at a 6-sigma binomial tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.generators import STRATEGY_ORDER
+from repro.fuzz.oracle import DesignPoint, Divergence, process_oracle
+
+Pair = Tuple[int, int]
+
+#: Corpus pairs shipped to each chunk as mutation bases (pickle bound).
+_MAX_BASE_PAIRS = 32
+
+#: New-coverage witnesses admitted to the corpus per chunk (keeps the
+#: corpus a digest of interesting inputs, not a full trace).
+_MAX_CORPUS_PER_CHUNK = 4
+
+#: Binomial tolerance: 6 sigma plus a small-count floor, so the rate
+#: check is deterministic and essentially free of false positives.
+_RATE_SIGMA = 6.0
+_RATE_FLOOR = 8.0
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything a campaign needs; frozen so runs are reproducible."""
+
+    points: Tuple[DesignPoint, ...]
+    strategies: Tuple[str, ...] = STRATEGY_ORDER
+    vectors: int = 128
+    max_rounds: int = 8
+    stale_rounds: int = 2
+    time_budget: Optional[float] = None
+    seed: int = 2012
+    workers: int = 0
+    corpus_dir: Optional[str] = None
+    fault: Optional[Tuple[int, int]] = None  # planted mutant (self-test)
+    minimize: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a fuzz campaign needs at least one design point")
+        if self.vectors < 1:
+            raise ValueError(f"vectors must be positive, got {self.vectors}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
+
+
+@dataclass
+class FuzzCampaign:
+    """Campaign outcome: everything the JSON report and exit code need."""
+
+    config: FuzzConfig
+    corpus: Corpus
+    divergences: List[Divergence] = field(default_factory=list)
+    minimized: List[dict] = field(default_factory=list)
+    rate_checks: List[dict] = field(default_factory=list)
+    rounds_executed: int = 0
+    execs: int = 0
+    coverage_points: int = 0
+    completed: bool = True
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        """The JSON report body (divergence list deterministically capped)."""
+        return {
+            "grid": [p.to_dict() for p in self.config.points],
+            "strategies": list(self.config.strategies),
+            "vectors": self.config.vectors,
+            "seed": self.config.seed,
+            "rounds_executed": self.rounds_executed,
+            "completed": self.completed,
+            "execs": self.execs,
+            "coverage_points": self.coverage_points,
+            "divergence_count": len(self.divergences),
+            # A planted mutant can diverge on nearly every vector; cap the
+            # raw list (deterministically) and rely on `minimized` for the
+            # one-per-(point, check) reproducers.
+            "divergences": [d.to_dict() for d in self.divergences[:200]],
+            "minimized": list(self.minimized),
+            "rate_checks": list(self.rate_checks),
+            "corpus": self.corpus.to_dict(),
+            "ok": self.ok,
+        }
+
+
+def run_fuzz_chunk(spec, seed: int, index: int) -> dict:
+    """Execute one (point, strategy) chunk — the worker-side entry point.
+
+    Randomness comes only from ``(seed, index)`` (the engine's seeding
+    discipline), so any worker may run any chunk.
+    """
+    import numpy as np
+
+    from repro.engine.jobs import chunk_seed_sequence
+    from repro.fuzz.generators import generate_pairs
+
+    rng = np.random.default_rng(chunk_seed_sequence(seed, index))
+    pairs = generate_pairs(
+        spec.strategy, rng, spec.point.width, spec.point.window,
+        spec.vectors, spec.base_pairs,
+    )
+    oracle = process_oracle(spec.point, spec.fault)
+    outcome = oracle.check_batch(
+        pairs, collect_coverage=True, count_rate=spec.strategy == "uniform"
+    )
+    for div in outcome.divergences:
+        div.strategy = spec.strategy
+    return {
+        "point": spec.point,
+        "strategy": spec.strategy,
+        "samples": outcome.samples,
+        "divergences": outcome.divergences,
+        "coverage": outcome.coverage,
+        "lsb_errors": outcome.lsb_profile_errors,
+        "lsb_samples": outcome.lsb_profile_samples,
+    }
+
+
+def _round_specs(
+    config: FuzzConfig, corpus: Corpus
+) -> List["FuzzChunkSpec"]:
+    """One round's chunk list (constant shape, deterministic order)."""
+    from repro.engine.jobs import FuzzChunkSpec
+
+    specs = []
+    for point in config.points:
+        base = tuple(
+            corpus.pairs_for(point.design, point.width, point.window)[
+                :_MAX_BASE_PAIRS
+            ]
+        )
+        for strategy in config.strategies:
+            specs.append(
+                FuzzChunkSpec(
+                    point=point,
+                    strategy=strategy,
+                    vectors=config.vectors,
+                    base_pairs=base if strategy == "corpus" else (),
+                    fault=config.fault,
+                )
+            )
+    return specs
+
+
+def run_campaign(config: FuzzConfig, metrics=None) -> FuzzCampaign:
+    """Run a full campaign (rounds, feedback, minimization, rate check)."""
+    from repro.engine import EngineMetrics
+    from repro.engine.jobs import FuzzJob
+    from repro.engine.runner import run_job
+    from repro.obs import spans as _obs
+
+    metrics = metrics if metrics is not None else EngineMetrics()
+    corpus = Corpus(config.corpus_dir)
+    campaign = FuzzCampaign(config=config, corpus=corpus)
+    coverage_seen: Set[tuple] = set()
+    rate_counts: Dict[Tuple[int, int], List[int]] = {}
+    seen_divergence_keys: Set[tuple] = set()
+    stale = 0
+    start = time.monotonic()
+
+    per_round = len(config.points) * len(config.strategies)
+    for round_index in range(config.max_rounds):
+        specs = _round_specs(config, corpus)
+        job = FuzzJob(
+            specs=tuple(specs),
+            seed=config.seed,
+            index_base=round_index * per_round,
+        )
+        with metrics.phase("fuzz.round"):
+            rows = run_job(job, workers=config.workers, metrics=metrics).aggregate
+        campaign.rounds_executed += 1
+
+        new_coverage = 0
+        new_divergences = 0
+        for row in rows.ordered():
+            point: DesignPoint = row["point"]
+            campaign.execs += row["samples"]
+            metrics.add("fuzz_execs", row["samples"])
+            metrics.record("fuzz.batch_vectors", row["samples"])
+            if row["lsb_samples"]:
+                acc = rate_counts.setdefault(
+                    (point.width, point.window), [0, 0]
+                )
+                acc[0] += row["lsb_errors"]
+                acc[1] += row["lsb_samples"]
+            for div in row["divergences"]:
+                key = (point, div.check)
+                campaign.divergences.append(div)
+                metrics.add("fuzz_divergences", 1)
+                if key not in seen_divergence_keys:
+                    seen_divergence_keys.add(key)
+                    new_divergences += 1
+                    corpus.add(
+                        CorpusEntry(
+                            point.design, point.width, point.window,
+                            div.a, div.b, reason="divergence", check=div.check,
+                        )
+                    )
+            admitted = 0
+            for cov_key in sorted(row["coverage"]):
+                full_key = (point, cov_key)
+                if full_key in coverage_seen:
+                    continue
+                coverage_seen.add(full_key)
+                new_coverage += 1
+                if admitted < _MAX_CORPUS_PER_CHUNK:
+                    a, b = row["coverage"][cov_key]
+                    if corpus.add(
+                        CorpusEntry(
+                            point.design, point.width, point.window,
+                            a, b, reason="coverage", check=repr(cov_key),
+                        )
+                    ):
+                        admitted += 1
+        metrics.record("fuzz.round_new_coverage", new_coverage)
+        _obs.add("fuzz.rounds", 1)
+
+        stale = 0 if (new_coverage or new_divergences) else stale + 1
+        if stale >= config.stale_rounds:
+            break
+        if (
+            config.time_budget is not None
+            and time.monotonic() - start >= config.time_budget
+        ):
+            campaign.completed = False
+            break
+
+    campaign.coverage_points = len(coverage_seen)
+    metrics.add("fuzz_coverage_points", len(coverage_seen))
+    metrics.add("fuzz_corpus_entries", len(corpus))
+
+    _rate_checks(campaign, rate_counts)
+    if config.minimize:
+        _minimize_divergences(campaign, metrics)
+    campaign.elapsed_s = time.monotonic() - start
+    return campaign
+
+
+def _rate_checks(
+    campaign: FuzzCampaign, rate_counts: Dict[Tuple[int, int], List[int]]
+) -> None:
+    """Uniform-strategy mis-speculation counts vs the analytical model."""
+    from repro.model.error_model import scsa_error_rate, scsa_error_rate_exact
+
+    for (width, window), (errors, samples) in sorted(rate_counts.items()):
+        expected_p = scsa_error_rate_exact(width, window)
+        expected = expected_p * samples
+        tolerance = (
+            _RATE_SIGMA * math.sqrt(max(expected_p * (1 - expected_p), 0.0) * samples)
+            + _RATE_FLOOR
+        )
+        ok = abs(errors - expected) <= tolerance
+        campaign.rate_checks.append(
+            {
+                "width": width,
+                "window": window,
+                "samples": samples,
+                "observed_errors": errors,
+                "expected_errors": expected,
+                "tolerance": tolerance,
+                "eq_3_13_rate": scsa_error_rate(width, window),
+                "ok": ok,
+            }
+        )
+        if not ok:
+            campaign.divergences.append(
+                Divergence(
+                    DesignPoint("model", width, window),
+                    "rate",
+                    0,
+                    0,
+                    detail=(
+                        f"uniform strategy observed {errors}/{samples} "
+                        f"mis-speculations, analytical model expects "
+                        f"{expected:.2f} ± {tolerance:.2f}"
+                    ),
+                    strategy="uniform",
+                )
+            )
+
+
+def _minimize_divergences(campaign: FuzzCampaign, metrics) -> None:
+    """Shrink the first divergence of every unique (point, check)."""
+    from repro.fuzz.minimize import minimize_pair
+
+    done: Set[tuple] = set()
+    for div in campaign.divergences:
+        if div.check == "rate":
+            continue
+        key = (div.point, div.check)
+        if key in done:
+            continue
+        done.add(key)
+        oracle = process_oracle(div.point, campaign.config.fault)
+
+        def diverges(a: int, b: int) -> bool:
+            return bool(oracle.diverges(a, b))
+
+        if not diverges(div.a, div.b):
+            # Flaky or latency-subsample-only: keep the raw pair.
+            campaign.minimized.append(
+                {**div.to_dict(), "minimized": False}
+            )
+            continue
+        a, b = minimize_pair(diverges, div.a, div.b)
+        metrics.add("fuzz_minimized", 1)
+        campaign.minimized.append(
+            {
+                **div.to_dict(),
+                "a": hex(a),
+                "b": hex(b),
+                "original_a": hex(div.a),
+                "original_b": hex(div.b),
+                "minimized": True,
+            }
+        )
+        campaign.corpus.add(
+            CorpusEntry(
+                div.point.design, div.point.width, div.point.window,
+                a, b, reason="divergence", check=f"{div.check}:minimized",
+            )
+        )
+
+
+def replay_corpus(
+    corpus: Corpus, fault: Optional[Tuple[int, int]] = None, metrics=None
+) -> List[Divergence]:
+    """Re-run every corpus entry through the oracle (regression mode)."""
+    from repro.engine import EngineMetrics
+
+    metrics = metrics if metrics is not None else EngineMetrics()
+    by_point: Dict[DesignPoint, List[Pair]] = {}
+    for entry in corpus:
+        point = DesignPoint(entry.design, entry.width, entry.window)
+        by_point.setdefault(point, []).append((entry.a, entry.b))
+    divergences: List[Divergence] = []
+    for point in sorted(by_point, key=lambda p: (p.design, p.width, p.window or 0)):
+        oracle = process_oracle(point, fault)
+        outcome = oracle.check_batch(by_point[point], collect_coverage=False)
+        metrics.add("fuzz_execs", outcome.samples)
+        for div in outcome.divergences:
+            div.strategy = "replay"
+        divergences.extend(outcome.divergences)
+    metrics.add("fuzz_divergences", len(divergences))
+    return divergences
+
+
+def default_fault(point: DesignPoint) -> Tuple[int, int]:
+    """A deterministic plantable fault for ``point`` (self-test mode).
+
+    Prefers a stuck-at-1 on the sum bus's least significant driven bit —
+    observable on the very first boundary vector ``0 + 0`` — falling back
+    to the first enumerable fault.
+    """
+    from repro.engine.elab import build_design
+    from repro.netlist.faults import enumerate_faults
+
+    circuit = build_design(point.design, point.width, point.window)
+    for net in circuit.output_buses.get("sum", ()):
+        if circuit.is_driven(net):
+            return (net, 1)
+    faults = enumerate_faults(circuit)
+    if not faults:
+        raise ValueError(f"{point.label} has no faultable nets")
+    return (faults[0].net, 1)

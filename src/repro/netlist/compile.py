@@ -391,6 +391,30 @@ class CompiledSim:
                 }
 
 
+def mux_select_points(circuit: Circuit) -> Tuple[Tuple[int, int, int], ...]:
+    """Structural coverage points: every MUX2 select, with its logic level.
+
+    Returns ``(gate_index, select_net, level)`` per MUX2 gate, ordered by
+    gate index.  The level comes from the compiled kernel's
+    :func:`levelize` pass (compiling if needed — the kernel is cached), so
+    coverage consumers get depth information for free: a select that only
+    ever toggles at level 3 while the deep recovery muxes at level 20 stay
+    constant is a very different test set than one that exercises both.
+
+    This is the netlist half of the fuzzer's coverage signal
+    (:mod:`repro.fuzz.coverage`): a select mask equal to ``0`` under every
+    vector of every batch means the ``d1`` input cone was never observed
+    through that mux, i.e. the test set cannot distinguish faults in it.
+    """
+    sim = compile_circuit(circuit)
+    levels = sim.kernel.gate_level
+    return tuple(
+        (index, gate.inputs[0], levels[index])
+        for index, gate in enumerate(circuit.gates)
+        if gate.kind == "MUX2"
+    )
+
+
 #: Process-wide kernel cache (memory LRU keyed by netlist content hash).
 #: Built lazily — importing :mod:`repro.engine` at module scope would close
 #: an import cycle (engine elaborates designs that import netlist).

@@ -1,0 +1,69 @@
+"""Tests for the persistent content-addressed corpus (repro.fuzz.corpus)."""
+
+import json
+
+from repro.fuzz.corpus import Corpus, CorpusEntry
+
+
+def _entry(a=0x12, b=0x34, **kw):
+    kw.setdefault("design", "vlcsa1")
+    kw.setdefault("width", 16)
+    kw.setdefault("window", 4)
+    return CorpusEntry(a=a, b=b, **kw)
+
+
+def test_entry_digest_is_content_addressed():
+    assert _entry().digest == _entry().digest
+    assert _entry().digest != _entry(a=0x13).digest
+    assert _entry().digest != _entry(reason="divergence").digest
+
+
+def test_entry_round_trips_through_json():
+    entry = _entry(a=(1 << 64) + 5, b=7, reason="divergence", check="err0")
+    back = CorpusEntry.from_dict(json.loads(entry.canonical()))
+    assert back == entry
+
+
+def test_add_deduplicates():
+    corpus = Corpus()
+    assert corpus.add(_entry()) is True
+    assert corpus.add(_entry()) is False
+    assert len(corpus) == 1
+
+
+def test_corpus_persists_and_reloads(tmp_path):
+    d = str(tmp_path / "corpus")
+    corpus = Corpus(d)
+    corpus.add(_entry())
+    corpus.add(_entry(a=0x99, design="scsa2"))
+    reloaded = Corpus(d)
+    assert len(reloaded) == 2
+    assert reloaded.corpus_hash() == corpus.corpus_hash()
+
+
+def test_corpus_tolerates_corrupt_files(tmp_path):
+    d = tmp_path / "corpus"
+    corpus = Corpus(str(d))
+    corpus.add(_entry())
+    (d / "zz_corrupt.json").write_text("{not json")
+    (d / "notes.txt").write_text("ignored")
+    assert len(Corpus(str(d))) == 1
+
+
+def test_corpus_hash_is_order_independent(tmp_path):
+    one = Corpus()
+    two = Corpus()
+    entries = [_entry(a=i) for i in range(5)]
+    for e in entries:
+        one.add(e)
+    for e in reversed(entries):
+        two.add(e)
+    assert one.corpus_hash() == two.corpus_hash()
+
+
+def test_pairs_for_filters_by_design_point():
+    corpus = Corpus()
+    corpus.add(_entry(a=1))
+    corpus.add(_entry(a=2, width=32))
+    corpus.add(_entry(a=3, design="scsa1"))
+    assert corpus.pairs_for("vlcsa1", 16, 4) == [(1, 0x34)]

@@ -1,0 +1,68 @@
+"""Tests for the structural-coverage feedback (repro.fuzz.coverage)."""
+
+import numpy as np
+
+from repro.engine.elab import build_design
+from repro.fuzz.coverage import mux_toggle_keys, window_pattern_keys, witnessed
+from repro.model.behavioral import pack_ints, window_profile
+from repro.netlist.compile import compile_circuit, mux_select_points
+
+
+def test_window_pattern_keys_identify_boundary_combos():
+    width, window = 16, 4
+    # a=b=0: every boundary sees G=0, P=0, cin=0 -> combo 0.
+    profile = window_profile(
+        pack_ints([0], width), pack_ints([0], width), width, window, "lsb"
+    )
+    keys = window_pattern_keys(profile, "lsb")
+    assert keys  # one key per boundary
+    assert all(key[0] == "w" and key[1] == "lsb" for key in keys)
+    assert all(key[3] == 0 for key in keys)
+    assert set(keys.values()) == {0}  # the only sample is the witness
+
+    # all-ones operands: every window generates -> G=1 and cin=1.
+    ones = (1 << width) - 1
+    profile = window_profile(
+        pack_ints([ones], width), pack_ints([ones], width), width, window, "lsb"
+    )
+    combos = {key[3] for key in window_pattern_keys(profile, "lsb")}
+    assert combos == {0b101}  # G=1, P=0, cin=1
+
+
+def test_window_pattern_witness_is_first_sample():
+    width, window = 16, 4
+    ones = (1 << width) - 1
+    a = pack_ints([0, ones, 0], width)
+    b = pack_ints([0, ones, 0], width)
+    profile = window_profile(a, b, width, window, "lsb")
+    keys = window_pattern_keys(profile, "lsb")
+    # combo 0 first appears at sample 0; combo 0b101 at sample 1.
+    for key, index in keys.items():
+        assert index == (0 if key[3] == 0 else 1)
+
+
+def test_mux_select_points_and_toggles():
+    circuit = build_design("scsa2", 16, 4)
+    points = mux_select_points(circuit)
+    assert points  # carry-select architectures are mux-structured
+    gate_indices = {p[0] for p in points}
+    assert all(circuit.gates[i].kind == "MUX2" for i in gate_indices)
+    assert all(level >= 0 for _, _, level in points)
+
+    sim = compile_circuit(circuit)
+    pairs = [(0, 0), ((1 << 16) - 1, (1 << 16) - 1)]
+    inputs = {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]}
+    masks, ones, num_vectors = sim.pack_inputs(inputs)
+    values = sim.eval_masks(masks, ones)
+    keys = mux_toggle_keys(points, values, ones, num_vectors)
+    assert keys
+    observed = {key[2] for key in keys}
+    assert observed == {0, 1}  # the two extreme vectors toggle selects
+    assert all(0 <= index < num_vectors for index in keys.values())
+
+
+def test_witnessed_orders_and_maps_to_pairs():
+    keys = {("m", 3, 1): 1, ("m", 1, 0): 0}
+    pairs = [(0xA, 0xB), (0xC, 0xD)]
+    out = witnessed(keys, pairs)
+    assert out == [(("m", 1, 0), 0xA, 0xB), (("m", 3, 1), 0xC, 0xD)]

@@ -1,0 +1,39 @@
+"""Tests for the greedy test-case minimizer (repro.fuzz.minimize)."""
+
+import pytest
+
+from repro.fuzz.minimize import minimize_pair
+
+
+def test_minimizes_to_essential_bits():
+    # "Diverges" whenever both operands have bit 3 set: the minimal
+    # still-diverging pair is exactly (8, 8).
+    def diverges(a, b):
+        return bool(a & 8) and bool(b & 8)
+
+    assert minimize_pair(diverges, 0xDEAD, 0xBEEF) == (8, 8)
+
+
+def test_minimizes_to_zero_when_everything_diverges():
+    assert minimize_pair(lambda a, b: True, 0xFFFF, 0x1234) == (0, 0)
+
+
+def test_result_still_diverges():
+    def diverges(a, b):
+        return (a + b) % 7 == 3
+
+    a, b = minimize_pair(diverges, 0x52A1, 0x0F0E)  # (a + b) % 7 == 3
+    assert diverges(0x52A1, 0x0F0E)
+    assert diverges(a, b)
+    # 1-minimal: clearing any single remaining bit breaks divergence.
+    for value, other, which in ((a, b, 0), (b, a, 1)):
+        for bit in range(value.bit_length()):
+            if value & (1 << bit):
+                candidate = value & ~(1 << bit)
+                pair = (candidate, other) if which == 0 else (other, candidate)
+                assert not diverges(*pair)
+
+
+def test_rejects_non_diverging_input():
+    with pytest.raises(ValueError, match="non-diverging"):
+        minimize_pair(lambda a, b: False, 1, 2)
