@@ -23,6 +23,8 @@ See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md
 for the paper-experiment index.
 """
 
+from repro._version import __version__, package_version  # noqa: F401
+
 # Substrate
 from repro.netlist import (
     Circuit,

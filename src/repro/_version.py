@@ -1,0 +1,28 @@
+"""Single source of the installed package version.
+
+``repro --version``, the server hello, and every provenance block report
+the same string: the installed distribution metadata when the package is
+installed, or the pyproject fallback when running from a source checkout
+via ``PYTHONPATH=src`` (the CI layout).
+"""
+
+from __future__ import annotations
+
+#: Mirrors ``[project] version`` in pyproject.toml — the value reported
+#: when the distribution metadata is unavailable (uninstalled checkout).
+_FALLBACK_VERSION = "1.0.0"
+
+
+def package_version() -> str:
+    """The ``repro`` distribution version from package metadata."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return _FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = package_version()

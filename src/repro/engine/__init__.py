@@ -54,7 +54,13 @@ from repro.engine.jobs import (
 )
 from repro.engine.kernels import scsa1_error_count, scsa1_error_flags_swar
 from repro.engine.metrics import EngineMetrics
-from repro.engine.runner import EngineError, EngineResult, run_job, run_jobs
+from repro.engine.runner import (
+    EngineError,
+    EngineResult,
+    WorkerPool,
+    run_job,
+    run_jobs,
+)
 
 __all__ = [
     "ChunkSpec",
@@ -77,6 +83,7 @@ __all__ = [
     "SweepPoint",
     "SweepRows",
     "SWEEPABLE_DESIGNS",
+    "WorkerPool",
     "build_design",
     "cache_key",
     "chunk_seed_sequence",

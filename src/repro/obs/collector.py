@@ -51,6 +51,7 @@ class Collector:
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
         self.histograms: Dict[str, "Histogram"] = {}
+        self.gauges: Dict[str, float] = {}
         self.spans: List[SpanRecord] = []
 
     # -- recording --------------------------------------------------------
@@ -79,6 +80,21 @@ class Collector:
             hist = self.histograms[name] = self._hist_cls()
         hist.record(value, count)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set instantaneous gauge ``name`` and keep its high-water mark.
+
+        The current value lives under ``name``; ``name + ".max"`` tracks
+        the saturation peak (the value merges keep — merging two
+        collectors' point-in-time readings has no meaningful "current",
+        so merge folds the high-water marks and the latest write wins for
+        the instantaneous one).
+        """
+        v = float(value)
+        self.gauges[name] = v
+        peak = self.gauges.get(name + ".max")
+        if peak is None or v > peak:
+            self.gauges[name + ".max"] = v
+
     # -- merging ----------------------------------------------------------
 
     def merge_counters(self, counters: Mapping[str, int]) -> None:
@@ -102,6 +118,12 @@ class Collector:
                 self.histograms[name] = self._hist_cls().merge(hist)
             else:
                 mine.merge(hist)
+        for name, value in other.gauges.items():
+            if name.endswith(".max"):
+                mine_peak = self.gauges.get(name)
+                self.gauges[name] = value if mine_peak is None else max(mine_peak, value)
+            else:
+                self.gauges[name] = value
         self.spans.extend(other.spans)
         return self
 
@@ -110,6 +132,7 @@ class Collector:
         self.counters.clear()
         self.timers.clear()
         self.histograms.clear()
+        self.gauges.clear()
         self.spans.clear()
 
     # -- reporting --------------------------------------------------------
@@ -125,6 +148,8 @@ class Collector:
                 name: hist.to_dict()
                 for name, hist in sorted(self.histograms.items())
             }
+        if self.gauges:
+            payload["gauges"] = {k: v for k, v in sorted(self.gauges.items())}
         return payload
 
     def __getstate__(self) -> dict:
@@ -136,4 +161,5 @@ class Collector:
         from repro.obs.hist import Histogram
 
         self.__dict__.update(state)
+        self.__dict__.setdefault("gauges", {})
         self._hist_cls = Histogram

@@ -47,8 +47,11 @@ def provenance_block(
         numpy_version = numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dep today
         numpy_version = None
+    from repro._version import package_version
+
     return {
         "schema_version": REPORT_SCHEMA_VERSION,
+        "repro_version": package_version(),
         "seed": seed,
         "argv": list(argv) if argv is not None else None,
         "git_rev": git_revision(),

@@ -1,0 +1,251 @@
+"""Seeded open-loop load generator and SLO report for ``repro serve``.
+
+The workload is a pure function of its seed: a ``random.Random(seed)``
+draws each request's kind, design point, and arrival offset, so two runs
+against two servers replay byte-identical request streams — which is what
+makes an SLO report comparable across branches.  Arrivals are *open
+loop*: requests launch on their schedule whether or not earlier ones have
+answered, so the generator measures the server's behaviour under load
+instead of adapting to it.
+
+The workload deliberately repeats design points (few distinct points,
+many requests): repeats exercise exactly the machinery the service
+exists for — identity dedup, request coalescing into engine batches, and
+warm elaboration caches — and the report asserts they happened via the
+server's own ``/metrics`` counters.
+
+The report is provenance-stamped JSON: client-side exact latency
+percentiles, per-status counts, and the server's SLO block, plus
+optional gate thresholds (p99 budget, shed budget, coalescing floor,
+cache-hit floor) whose verdicts drive the CLI exit code — the CI smoke
+job is just ``repro loadgen`` with gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.serve.client import AsyncServeClient, ServeError
+
+#: The design-point menu the workload draws from (small on purpose:
+#: repeats are the interesting case for a coalescing, cache-warm service).
+_ERROR_POINTS = (
+    {"width": 16, "window": 4},
+    {"width": 32, "window": 4},
+    {"width": 32, "window": 8},
+    {"width": 64, "window": 8},
+)
+_MEASURE_POINTS = (
+    {"architecture": "scsa1", "width": 32, "window": 4},
+    {"architecture": "vlcsa1", "width": 32, "window": 4},
+    {"architecture": "vlcsa2", "width": 64, "window": 8},
+    {"architecture": "kogge_stone", "width": 32},
+)
+
+
+@dataclass
+class LoadgenConfig:
+    """Workload shape + connection target + optional SLO gates."""
+
+    uds: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    requests: int = 100
+    rate: float = 500.0  # arrivals per second (0 = all at once)
+    seed: int = 2012
+    samples: int = 2048  # Monte Carlo budget per "errors" request
+    measure_fraction: float = 0.3
+    seed_spread: int = 4  # distinct request seeds (smaller = more dedup)
+    # Gates (None = report only, no verdict):
+    max_p99_ms: Optional[float] = None
+    max_shed: Optional[int] = None
+    min_coalescing: Optional[float] = None
+    min_cache_hit_rate: Optional[float] = None
+
+    def validate(self) -> None:
+        """Reject contradictory or out-of-range settings early."""
+        if (self.uds is None) == (self.port is None):
+            raise ValueError("pass exactly one of uds= or port=")
+        if self.requests < 1:
+            raise ValueError(f"requests must be positive, got {self.requests}")
+        if not 0.0 <= self.measure_fraction <= 1.0:
+            raise ValueError("measure_fraction must be in [0, 1]")
+        if self.seed_spread < 1:
+            raise ValueError("seed_spread must be >= 1")
+
+
+@dataclass
+class _Outcome:
+    """One request's client-side result."""
+
+    index: int
+    status: str  # "ok" | "shed" | "error"
+    latency_ms: float
+    code: str = ""
+    response: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+
+def build_workload(config: LoadgenConfig) -> List[Dict[str, Any]]:
+    """The deterministic request list (index, offset, kind, params, seed)."""
+    rng = random.Random(config.seed)
+    workload: List[Dict[str, Any]] = []
+    for index in range(config.requests):
+        if rng.random() < config.measure_fraction:
+            kind = "measure"
+            params: Dict[str, Any] = dict(rng.choice(_MEASURE_POINTS))
+        else:
+            kind = "errors"
+            params = dict(rng.choice(_ERROR_POINTS))
+            params["samples"] = config.samples
+        offset = (index / config.rate) if config.rate > 0 else 0.0
+        offset += rng.uniform(0.0, 1.0 / config.rate) if config.rate > 0 else 0.0
+        workload.append(
+            {
+                "index": index,
+                "offset_s": offset,
+                "kind": kind,
+                "params": params,
+                "seed": config.seed + rng.randrange(config.seed_spread),
+                "id": f"loadgen-{config.seed}-{index}",
+            }
+        )
+    return workload
+
+
+async def _fire(
+    config: LoadgenConfig, spec: Mapping[str, Any], epoch: float
+) -> _Outcome:
+    delay = epoch + spec["offset_s"] - time.perf_counter()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    client = AsyncServeClient(uds=config.uds, host=config.host, port=config.port)
+    start = time.perf_counter()
+    try:
+        response = await client.evaluate(
+            spec["kind"], spec["params"], seed=spec["seed"], request_id=spec["id"]
+        )
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        return _Outcome(spec["index"], "ok", latency_ms, response=response)
+    except ServeError as exc:
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        status = "shed" if exc.status in (429, 503) else "error"
+        return _Outcome(spec["index"], status, latency_ms, code=exc.code)
+    except OSError as exc:
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        return _Outcome(spec["index"], "error", latency_ms, code=type(exc).__name__)
+    finally:
+        await client.close()
+
+
+def _exact_percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    return sorted_values[min(len(sorted_values) - 1, int(q * len(sorted_values)))]
+
+
+async def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
+    """Replay the workload, fetch server metrics, render the SLO report."""
+    config.validate()
+    workload = build_workload(config)
+    epoch = time.perf_counter()
+    outcomes = await asyncio.gather(
+        *(_fire(config, spec, epoch) for spec in workload)
+    )
+    wall_s = time.perf_counter() - epoch
+
+    metrics_client = AsyncServeClient(
+        uds=config.uds, host=config.host, port=config.port
+    )
+    try:
+        server_metrics: Optional[Dict[str, Any]] = await metrics_client.metrics()
+    except (ServeError, OSError):
+        server_metrics = None
+    finally:
+        await metrics_client.close()
+
+    return build_report(config, workload, list(outcomes), wall_s, server_metrics)
+
+
+def build_report(
+    config: LoadgenConfig,
+    workload: List[Dict[str, Any]],
+    outcomes: List[_Outcome],
+    wall_s: float,
+    server_metrics: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold outcomes + server metrics into the gated, stamped SLO report."""
+    from repro.obs.provenance import with_provenance
+
+    ok = [o for o in outcomes if o.status == "ok"]
+    shed = [o for o in outcomes if o.status == "shed"]
+    errors = [o for o in outcomes if o.status == "error"]
+    latencies = sorted(o.latency_ms for o in ok)
+    unique = len({(s["kind"], tuple(sorted(s["params"].items())), s["seed"])
+                  for s in workload})
+    client: Dict[str, Any] = {
+        "requests": len(outcomes),
+        "unique_computations": unique,
+        "ok": len(ok),
+        "shed": len(shed),
+        "errors": len(errors),
+        "error_codes": sorted({o.code for o in outcomes if o.code}),
+        "wall_s": round(wall_s, 6),
+        "throughput_rps": round(len(ok) / wall_s, 3) if wall_s > 0 else None,
+        "latency_ms": {
+            "count": len(latencies),
+            "mean": (sum(latencies) / len(latencies)) if latencies else None,
+            "p50": _exact_percentile(latencies, 0.50),
+            "p99": _exact_percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else None,
+        },
+    }
+
+    slo = (server_metrics or {}).get("slo", {})
+    gates: Dict[str, Any] = {}
+    if config.max_p99_ms is not None:
+        p99 = client["latency_ms"]["p99"]
+        gates["p99_ms"] = {
+            "limit": config.max_p99_ms,
+            "actual": p99,
+            "ok": p99 is not None and p99 <= config.max_p99_ms,
+        }
+    if config.max_shed is not None:
+        gates["shed"] = {
+            "limit": config.max_shed,
+            "actual": len(shed),
+            "ok": len(shed) <= config.max_shed,
+        }
+    if config.min_coalescing is not None:
+        factor = slo.get("coalescing_factor")
+        gates["coalescing_factor"] = {
+            "limit": config.min_coalescing,
+            "actual": factor,
+            "ok": factor is not None and factor >= config.min_coalescing,
+        }
+    if config.min_cache_hit_rate is not None:
+        rate = slo.get("cache_hit_rate")
+        gates["cache_hit_rate"] = {
+            "limit": config.min_cache_hit_rate,
+            "actual": rate,
+            "ok": rate is not None and rate >= config.min_cache_hit_rate,
+        }
+
+    report = {
+        "loadgen": {
+            "seed": config.seed,
+            "requests": config.requests,
+            "rate_rps": config.rate,
+            "samples": config.samples,
+            "measure_fraction": config.measure_fraction,
+            "seed_spread": config.seed_spread,
+        },
+        "client": client,
+        "server": server_metrics,
+        "gates": gates,
+        "passed": all(gate["ok"] for gate in gates.values()) if gates else True,
+    }
+    return with_provenance(report, seed=config.seed)

@@ -1,0 +1,84 @@
+"""Coalescer planning: dedup, shard grouping, batch splitting."""
+
+from repro.serve.coalescer import PendingEntry, admit, plan_batches
+from repro.serve.protocol import parse_request
+
+
+def _request(width=32, window=8, samples=1024, seed=7, kind="errors"):
+    if kind == "errors":
+        params = {"width": width, "window": window, "samples": samples}
+    else:
+        params = {"architecture": "scsa1", "width": width, "window": window}
+    return parse_request({"kind": kind, "params": params, "seed": seed})
+
+
+def test_admit_deduplicates_identical_requests():
+    pending = {}
+    first = admit(pending, _request(), "waiter-a", shards=4)
+    second = admit(pending, _request(), "waiter-b", shards=4)
+    assert first is second
+    assert first.fanout == 2
+    assert len(pending) == 1
+
+
+def test_admit_separates_different_seeds():
+    pending = {}
+    admit(pending, _request(seed=1), "a", shards=4)
+    admit(pending, _request(seed=2), "b", shards=4)
+    assert len(pending) == 2
+    # ... but both still route to the same shard (same affinity).
+    shards = {entry.shard for entry in pending.values()}
+    assert len(shards) == 1
+
+
+def test_plan_groups_by_shard_and_kind():
+    pending = {}
+    admit(pending, _request(seed=1), "a", shards=8)
+    admit(pending, _request(seed=2), "b", shards=8)
+    admit(pending, _request(kind="measure", seed=1), "c", shards=8)
+    batches = plan_batches(list(pending.values()), max_batch=8)
+    assert {(b.shard, b.kind) for b in batches} == {
+        (entry.shard, entry.request.kind) for entry in pending.values()
+    }
+    for batch in batches:
+        assert all(entry.shard == batch.shard for entry in batch.entries)
+        assert all(entry.request.kind == batch.kind for entry in batch.entries)
+
+
+def test_plan_splits_at_max_batch():
+    pending = {}
+    for seed in range(10):
+        admit(pending, _request(seed=seed), f"w{seed}", shards=1)
+    batches = plan_batches(list(pending.values()), max_batch=4)
+    assert [len(b.entries) for b in batches] == [4, 4, 2]
+
+
+def test_plan_is_deterministic():
+    def build():
+        pending = {}
+        for seed in range(6):
+            admit(pending, _request(width=32 + 32 * (seed % 2), seed=seed),
+                  f"w{seed}", shards=4)
+        return plan_batches(list(pending.values()), max_batch=3)
+
+    first, second = build(), build()
+    assert [(b.shard, b.kind, [e.key for e in b.entries]) for b in first] == [
+        (b.shard, b.kind, [e.key for e in b.entries]) for b in second
+    ]
+
+
+def test_batch_requests_counts_fanout():
+    pending = {}
+    admit(pending, _request(), "a", shards=1)
+    admit(pending, _request(), "b", shards=1)
+    admit(pending, _request(seed=9), "c", shards=1)
+    (batch,) = plan_batches(list(pending.values()), max_batch=8)
+    assert len(batch.entries) == 2  # two unique computations
+    assert batch.requests == 3  # three client requests
+
+
+def test_pending_entry_fanout():
+    entry = PendingEntry(request=_request(), key="k", shard=0)
+    assert entry.fanout == 0
+    entry.waiters.append(object())
+    assert entry.fanout == 1

@@ -1,0 +1,86 @@
+"""Loadgen: deterministic workloads and the gated SLO report."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.harness import ServerThread
+from repro.serve.loadgen import LoadgenConfig, build_workload, run_loadgen
+from repro.serve.server import ServeConfig
+
+
+def test_workload_is_a_pure_function_of_the_seed():
+    config = LoadgenConfig(uds="/tmp/x.sock", requests=40, seed=7)
+    assert build_workload(config) == build_workload(config)
+    other = LoadgenConfig(uds="/tmp/x.sock", requests=40, seed=8)
+    assert build_workload(config) != build_workload(other)
+
+
+def test_workload_repeats_design_points():
+    config = LoadgenConfig(uds="/tmp/x.sock", requests=60, seed=7)
+    workload = build_workload(config)
+    unique = {
+        (spec["kind"], tuple(sorted(spec["params"].items())), spec["seed"])
+        for spec in workload
+    }
+    assert len(unique) < len(workload)  # repeats are the point
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LoadgenConfig(uds=None, port=None).validate()
+    with pytest.raises(ValueError):
+        LoadgenConfig(uds="/tmp/x.sock", requests=0).validate()
+    with pytest.raises(ValueError):
+        LoadgenConfig(uds="/tmp/x.sock", measure_fraction=1.5).validate()
+
+
+def test_loadgen_against_live_server(tmp_path):
+    uds = str(tmp_path / "serve.sock")
+    config = LoadgenConfig(
+        uds=uds,
+        requests=30,
+        rate=300.0,
+        seed=11,
+        samples=512,
+        max_p99_ms=60_000.0,
+        max_shed=0,
+        min_coalescing=1.5,
+        min_cache_hit_rate=0.01,
+    )
+    with ServerThread(
+        ServeConfig(uds=uds, shards=2, coalesce_ms=20, max_pending=256,
+                    cache_dir=str(tmp_path / "cache"))
+    ):
+        report = asyncio.run(run_loadgen(config))
+
+    client = report["client"]
+    assert client["requests"] == 30
+    assert client["ok"] == 30 and client["errors"] == 0 and client["shed"] == 0
+    assert client["unique_computations"] < 30
+    assert client["latency_ms"]["p99"] >= client["latency_ms"]["p50"] > 0
+
+    # Server-side SLOs made it into the report and the gates evaluated.
+    slo = report["server"]["slo"]
+    assert slo["requests"] == 30
+    assert slo["coalescing_factor"] >= 1.5
+    assert slo["cache_hit_rate"] > 0
+    assert report["passed"] is True
+    assert all(gate["ok"] for gate in report["gates"].values())
+    assert report["gates"]["shed"]["actual"] == 0
+
+    # Provenance-stamped like every other repro report.
+    assert report["provenance"]["seed"] == 11
+    assert report["schema_version"] == 1
+
+
+def test_loadgen_gate_failure_flips_passed(tmp_path):
+    uds = str(tmp_path / "serve.sock")
+    config = LoadgenConfig(
+        uds=uds, requests=5, rate=0.0, seed=3, samples=256,
+        max_p99_ms=0.000001,  # impossible budget
+    )
+    with ServerThread(ServeConfig(uds=uds, shards=1, coalesce_ms=0)):
+        report = asyncio.run(run_loadgen(config))
+    assert report["passed"] is False
+    assert report["gates"]["p99_ms"]["ok"] is False

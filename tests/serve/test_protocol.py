@@ -1,0 +1,164 @@
+"""Protocol layer: validation, scheduler keys, response rendering."""
+
+import pytest
+
+from repro._version import package_version
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    affinity_key,
+    error_response,
+    identity_key,
+    ok_response,
+    parse_request,
+    request_to_job,
+    server_block,
+    shard_of,
+)
+
+
+def _errors_payload(**overrides):
+    payload = {
+        "kind": "errors",
+        "params": {"width": 32, "window": 8, "samples": 1024},
+        "seed": 7,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestParseRequest:
+    def test_round_trip(self):
+        request = parse_request(_errors_payload(id="r1"))
+        assert request.kind == "errors"
+        assert request.seed == 7
+        assert request.request_id == "r1"
+        assert request.param_dict()["width"] == 32
+        assert request.param_dict()["distribution"] == "uniform"
+
+    def test_params_canonical_order(self):
+        a = parse_request(_errors_payload())
+        b = parse_request(
+            {"kind": "errors", "seed": 7,
+             "params": {"samples": 1024, "window": 8, "width": 32}}
+        )
+        assert a == b
+        assert identity_key(a) == identity_key(b)
+
+    def test_default_seed_is_fixed(self):
+        payload = _errors_payload()
+        del payload["seed"]
+        assert parse_request(payload).seed == 2012
+
+    @pytest.mark.parametrize(
+        "mutate, code",
+        [
+            (lambda p: p.update(kind="quantum"), "bad-kind"),
+            (lambda p: p.update(proto=99), "unsupported-proto"),
+            (lambda p: p.update(params="nope"), "bad-param"),
+            (lambda p: p["params"].update(width=1), "bad-param"),
+            (lambda p: p["params"].update(window=64), "bad-param"),  # > width
+            (lambda p: p["params"].update(samples=0), "bad-param"),
+            (lambda p: p["params"].update(distribution="cauchy"), "bad-param"),
+            (lambda p: p["params"].update(counters=["bogus"]), "bad-param"),
+            (lambda p: p["params"].update(extra=1), "bad-param"),
+            (lambda p: p.update(seed=-1), "bad-param"),
+            (lambda p: p.update(id="x" * 200), "bad-param"),
+        ],
+    )
+    def test_rejects_malformed(self, mutate, code):
+        payload = _errors_payload()
+        mutate(payload)
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == code
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError):
+            parse_request([1, 2, 3])
+
+    def test_measure_defaults_window_from_solver(self):
+        request = parse_request(
+            {"kind": "measure", "params": {"architecture": "scsa1", "width": 64}}
+        )
+        from repro.analysis.sizing import scsa_window_size_for
+
+        assert request.param_dict()["window"] == scsa_window_size_for(64, 1e-4)
+
+    def test_measure_rejects_window_on_fixed_design(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"kind": "measure",
+                 "params": {"architecture": "kogge_stone", "width": 32,
+                            "window": 4}}
+            )
+
+    def test_measure_rejects_unknown_architecture(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"kind": "measure", "params": {"architecture": "cla", "width": 32}}
+            )
+
+
+class TestSchedulerKeys:
+    def test_identity_includes_seed_and_samples(self):
+        base = parse_request(_errors_payload())
+        other_seed = parse_request(_errors_payload(seed=8))
+        other_budget = parse_request(
+            _errors_payload(params={"width": 32, "window": 8, "samples": 2048})
+        )
+        assert identity_key(base) != identity_key(other_seed)
+        assert identity_key(base) != identity_key(other_budget)
+
+    def test_affinity_excludes_seed_and_samples(self):
+        base = parse_request(_errors_payload())
+        other_seed = parse_request(_errors_payload(seed=8))
+        other_budget = parse_request(
+            _errors_payload(params={"width": 32, "window": 8, "samples": 2048})
+        )
+        other_point = parse_request(
+            _errors_payload(params={"width": 64, "window": 8, "samples": 1024})
+        )
+        assert affinity_key(base) == affinity_key(other_seed)
+        assert affinity_key(base) == affinity_key(other_budget)
+        assert affinity_key(base) != affinity_key(other_point)
+
+    def test_shard_of_stable_and_in_range(self):
+        request = parse_request(_errors_payload())
+        shard = shard_of(request, 4)
+        assert shard == shard_of(request, 4)  # sha256, not randomized hash()
+        assert 0 <= shard < 4
+        assert shard_of(request, 1) == 0
+
+
+class TestResponses:
+    def test_request_to_job_uses_request_seed(self):
+        request = parse_request(_errors_payload(seed=41))
+        job = request_to_job(request)
+        assert job.seed == 41
+        assert job.samples == 1024
+        assert job.width == 32 and job.window == 8
+
+    def test_request_to_job_rejects_measure(self):
+        request = parse_request(
+            {"kind": "measure", "params": {"architecture": "scsa1", "width": 32}}
+        )
+        with pytest.raises(ValueError):
+            request_to_job(request)
+
+    def test_ok_response_carries_provenance_and_version(self):
+        request = parse_request(_errors_payload(id="q"))
+        body = ok_response(request, {"x": 1}, server_block("9.9.9", shard=3))
+        assert body["ok"] is True
+        assert body["id"] == "q"
+        assert body["server"]["version"] == "9.9.9"
+        assert body["server"]["shard"] == 3
+        assert body["provenance"]["seed"] == 7
+        assert body["provenance"]["repro_version"] == package_version()
+
+    def test_error_response_shape(self):
+        body = error_response("overloaded", "try later", "r9")
+        assert body["ok"] is False
+        assert body["proto"] == PROTOCOL_VERSION
+        assert body["id"] == "r9"
+        assert body["error"] == {"code": "overloaded", "message": "try later"}

@@ -404,3 +404,22 @@ def test_bench_compare_no_comparable_metrics_exits_two(tmp_path, capsys):
     new.write_text(json.dumps(report))
     assert main(["bench", "compare", str(old), str(new)]) == 2
     assert "no comparable metrics" in capsys.readouterr().err
+
+
+def test_version_flag_reports_package_version(capsys):
+    from repro._version import package_version
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
+
+def test_serve_rejects_bad_config(capsys):
+    assert main(["serve", "--shards", "0"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_loadgen_rejects_bad_config(capsys):
+    assert main(["loadgen", "--uds", "/tmp/x.sock", "--requests", "0"]) == 2
+    assert "error:" in capsys.readouterr().err
