@@ -24,7 +24,17 @@ analyses this reproduction adds:
   simulation backends, and the analytical error model, with a persistent
   minimizing corpus (``--replay``) and a planted-mutant ``--self-test``;
 * ``bench``   — benchmark-report tooling; ``bench compare`` gates a new
-  report against a baseline and fails on throughput/speedup regressions.
+  report against a baseline and fails on throughput/speedup regressions;
+* ``equiv``   — combinational equivalence check between two designs:
+  structural fast path, seeded miter simulation sweep, then a BDD proof,
+  with a minimized counterexample on any mismatch;
+* ``opt``     — the netlist optimizer over a design × width grid:
+  gate-count/depth reductions per architecture, ``--prove`` runs CEC
+  after every pass and rolls back unproven rewrites, and the JSON report
+  is the checked-in ``BENCH_netlist_opt.json`` format;
+* ``sta``     — full static timing analysis of one design: per-bus
+  arrivals, per-net slack, top-K critical paths with named-port
+  endpoints, and SARIF output of the timing rules.
 
 Commands that do real work take ``--trace PATH`` to record hierarchical
 spans (:mod:`repro.obs`) and export a Chrome trace-event JSON.
@@ -55,7 +65,6 @@ from repro.analysis.compare import (
 from repro.analysis.report import format_table, percent
 from repro.analysis.sizing import scsa_window_size_for
 from repro.model.error_model import scsa_error_rate
-from repro.netlist.bdd import prove_equivalent
 from repro.netlist.circuit import Circuit
 from repro.netlist.optimize import optimize
 from repro.rtl import to_testbench, to_verilog
@@ -256,17 +265,302 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_equiv(args: argparse.Namespace) -> int:
+    """CEC between two designs: structural → miter sim sweep → BDD proof."""
+    from repro.netlist.equiv import check_equivalent
+    from repro.netlist.optimize import AREA_PASSES
+
     c1 = _build_design(args.design1, args.width, args.window)
     c2 = _build_design(args.design2, args.width, args.window)
+    if args.optimize1:
+        c1, _ = optimize(c1, passes=AREA_PASSES, buffer_limit=None)
+    if args.optimize2:
+        c2, _ = optimize(c2, passes=AREA_PASSES, buffer_limit=None)
     buses = [(args.bus1, args.bus2)] if args.bus1 else None
-    result = prove_equivalent(c1, c2, buses=buses)
+    vectors = 0 if args.method == "bdd" else args.vectors
+    result = check_equivalent(
+        c1, c2, buses=buses, sim_vectors=vectors, seed=_resolve_seed(args)
+    )
+    _emit_json(
+        args.json,
+        {
+            "command": "equiv",
+            "design1": args.design1,
+            "design2": args.design2,
+            "width": args.width,
+            "window": args.window,
+            "result": result.to_dict(),
+        },
+        seed=_resolve_seed(args),
+    )
     if result.equivalent:
-        print(f"EQUIVALENT: {c1.name} == {c2.name} over all inputs")
+        detail = (
+            "identical netlists"
+            if result.method == "structural"
+            else f"BDD proof over {result.candidates} output bits "
+            f"({result.bdd_nodes} nodes)"
+        )
+        print(f"EQUIVALENT: {c1.name} == {c2.name} over all inputs ({detail})")
         return 0
     bus, bit = result.mismatch
-    print(f"NOT EQUIVALENT at {bus}[{bit}]; counterexample: "
-          + ", ".join(f"{k}={v:#x}" for k, v in result.counterexample.items()))
+    shape = "minimized " if result.minimized else ""
+    print(
+        f"NOT EQUIVALENT at {bus}[{bit}] (refuted by {result.method}); "
+        f"{shape}counterexample: "
+        + ", ".join(f"{k}={v:#x}" for k, v in sorted(result.counterexample.items()))
+    )
     return 1
+
+
+def _cmd_opt(args: argparse.Namespace) -> int:
+    """Netlist optimization over a design grid, optionally CEC-proven.
+
+    Reports gate-count and unit-depth reductions per (architecture,
+    width); with ``--prove`` every pass runs through the equivalence
+    funnel and unproven rewrites are rolled back (any rollback fails the
+    run).  ``--sim`` adds compiled-backend throughput for the raw vs
+    optimized netlists plus a bit-identity cross-check of the optimized
+    netlist under both backends.  The JSON report is the checked-in
+    ``BENCH_netlist_opt.json`` format.
+    """
+    import random
+    import time
+
+    from repro.engine.elab import grid_designs
+    from repro.netlist.optimize import AREA_PASSES, DEFAULT_PASSES, depth_levels
+    from repro.netlist.simulate import simulate_batch, simulate_batch_reference
+
+    designs = list(args.designs)
+    if args.all:
+        designs = [d for d in grid_designs() if d not in designs] + designs
+    if not designs:
+        raise SystemExit("no designs given (name some, or pass --all)")
+    pipeline = DEFAULT_PASSES if args.pipeline == "timing" else AREA_PASSES
+    seed = _resolve_seed(args)
+    rows = []
+    table_rows = []
+    failures = []
+    for design in designs:
+        for width in args.widths:
+            circuit = _build_design(design, width, args.window)
+            start = time.perf_counter()
+            opt, stats = optimize(
+                circuit,
+                passes=pipeline,
+                buffer_limit=args.buffer_limit,
+                prove=args.prove,
+                prove_vectors=args.vectors,
+                prove_seed=seed,
+            )
+            opt_s = time.perf_counter() - start
+            depth_raw = depth_levels(circuit)
+            depth_opt = depth_levels(opt)
+            row = {
+                "architecture": design,
+                "width": width,
+                "window": args.window,
+                "pipeline": args.pipeline,
+                "gates_raw": stats.gates_before,
+                "gates_opt": stats.gates_after,
+                "gate_reduction": (
+                    stats.gates_before / stats.gates_after
+                    if stats.gates_after
+                    else None
+                ),
+                "depth_raw": depth_raw,
+                "depth_opt": depth_opt,
+                "depth_reduction": depth_raw / depth_opt if depth_opt else None,
+                "iterations": stats.iterations,
+                "optimize_s": opt_s,
+                "proved": stats.proved if args.prove else None,
+                "rollbacks": stats.rollbacks,
+            }
+            if args.prove and stats.rollbacks:
+                rolled = [r.name for r in stats.pass_records if r.rolled_back]
+                failures.append(
+                    f"{design} n={width}: {stats.rollbacks} pass(es) rolled "
+                    f"back ({', '.join(sorted(set(rolled)))})"
+                )
+            if args.sim:
+                rng = random.Random(seed ^ (width << 20))
+                inputs = {
+                    name: [rng.getrandbits(len(nets)) for _ in range(args.sim_vectors)]
+                    for name, nets in circuit.input_buses.items()
+                }
+                raw_ref = simulate_batch_reference(circuit, inputs)
+                opt_compiled = simulate_batch(opt, inputs, backend="compiled")
+                opt_ref = simulate_batch_reference(opt, inputs)
+                if opt_compiled != opt_ref:
+                    failures.append(
+                        f"{design} n={width}: optimized netlist diverges "
+                        f"between compiled and reference backends"
+                    )
+                if opt_compiled != raw_ref:
+                    failures.append(
+                        f"{design} n={width}: optimized outputs differ from "
+                        f"the raw netlist's"
+                    )
+                timings = {}
+                for label, target in (("raw", circuit), ("opt", opt)):
+                    best = None
+                    for _ in range(max(1, args.repeat)):
+                        t0 = time.perf_counter()
+                        simulate_batch(target, inputs, backend="compiled")
+                        dt = time.perf_counter() - t0
+                        best = dt if best is None else min(best, dt)
+                    timings[label] = best
+                row["sim_raw_s"] = timings["raw"]
+                row["sim_opt_s"] = timings["opt"]
+                row["sim_speedup"] = (
+                    timings["raw"] / timings["opt"] if timings["opt"] > 0 else None
+                )
+            rows.append(row)
+            cols = [
+                design,
+                width,
+                stats.gates_before,
+                stats.gates_after,
+                f"{row['gate_reduction']:.3f}x",
+                depth_raw,
+                depth_opt,
+            ]
+            if args.prove:
+                cols.append("proved" if not stats.rollbacks else "ROLLBACK")
+            if args.sim:
+                cols.append(f"{row['sim_speedup']:.2f}x")
+            table_rows.append(tuple(cols))
+    headers = ["design", "n", "gates", "opt", "reduction", "depth", "opt"]
+    if args.prove:
+        headers.append("CEC")
+    if args.sim:
+        headers.append("sim")
+    print(
+        format_table(
+            headers,
+            table_rows,
+            title=f"netlist optimization ({args.pipeline} pipeline"
+            + (", equivalence-gated" if args.prove else "")
+            + ")",
+        )
+    )
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    _emit_json(
+        args.json,
+        {
+            "command": "opt",
+            "designs": designs,
+            "widths": list(args.widths),
+            "pipeline": args.pipeline,
+            "prove": args.prove,
+            "vectors": args.vectors,
+            "seed": seed,
+            "ok": not failures,
+            "rows": rows,
+        },
+        seed=seed,
+    )
+    return 1 if failures else 0
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    """Full STA of one design: arrivals, slack, top-K critical paths."""
+    from repro.netlist.lint import reports_to_sarif, resolve_rules, run_lint
+    from repro.netlist.timing import analyze_timing, describe_path
+
+    circuit = _build_design(args.design, args.width, args.window)
+    if args.optimize:
+        circuit, _ = optimize(circuit)
+    report = analyze_timing(circuit)
+    clock = args.clock if args.clock is not None else report.critical_delay
+    print(
+        format_table(
+            ["bus", "bits", "arrival ns", "depth"],
+            [
+                (
+                    name,
+                    len(nets),
+                    f"{report.bus_delay(name):.3f}",
+                    report.logic_depth(name),
+                )
+                for name, nets in sorted(circuit.output_buses.items())
+            ],
+            title=f"{circuit.name}: critical delay "
+            f"{report.critical_delay:.3f} ns, clock {clock:.3f} ns",
+        )
+    )
+    paths = report.critical_paths(args.paths, clock=clock)
+    print()
+    print(
+        format_table(
+            ["#", "endpoint", "startpoint", "arrival ns", "slack ns", "cells"],
+            [
+                (
+                    i,
+                    p.endpoint,
+                    p.startpoint,
+                    f"{p.arrival:.3f}",
+                    f"{p.slack:+.3f}",
+                    max(0, len(p.nets) - 1),
+                )
+                for i, p in enumerate(paths)
+            ],
+            title=f"top {len(paths)} critical paths",
+        )
+    )
+    if args.verbose and paths:
+        print()
+        rows = describe_path(circuit, report, list(paths[0].nets))
+        print(
+            format_table(
+                ["net", "cell", "arrival ns", "port"],
+                [(n, k, f"{t:.3f}", port) for n, k, t, port in rows],
+                title=f"worst path: {paths[0].startpoint} -> {paths[0].endpoint}",
+            )
+        )
+    worst = min((p.slack for p in paths), default=0.0)
+    if args.sarif:
+        lint = run_lint(circuit, rules=resolve_rules(families=("timing",)))
+        sarif = reports_to_sarif([lint])
+        with open(args.sarif, "w") as handle:
+            json.dump(sarif, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    _emit_json(
+        args.json,
+        {
+            "command": "sta",
+            "design": args.design,
+            "width": args.width,
+            "window": args.window,
+            "optimized": args.optimize,
+            "critical_delay": report.critical_delay,
+            "clock": clock,
+            "worst_slack": worst,
+            "buses": {
+                name: report.bus_delay(name)
+                for name in sorted(circuit.output_buses)
+            },
+            "paths": [
+                {
+                    "endpoint": p.endpoint,
+                    "startpoint": p.startpoint,
+                    "arrival": p.arrival,
+                    "slack": p.slack,
+                    "cells": max(0, len(p.nets) - 1),
+                }
+                for p in paths
+            ],
+        },
+        seed=None,
+    )
+    if worst < -1e-9:
+        print(
+            f"TIMING VIOLATION: worst endpoint slack {worst:.3f} ns "
+            f"at clock {clock:.3f} ns",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_chains(args: argparse.Namespace) -> int:
@@ -588,6 +882,13 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             with metrics.phase("elaborate"):
                 circuit = _build_design(design, width, args.window)
             metrics.add("elaborations", 1)
+            if args.optimize:
+                from repro.netlist.optimize import AREA_PASSES
+
+                with metrics.phase("optimize"):
+                    circuit, _ = optimize(
+                        circuit, passes=AREA_PASSES, buffer_limit=None
+                    )
             rng = random.Random(seed ^ (width << 20))
             inputs = {
                 name: [rng.getrandbits(len(nets)) for _ in range(args.vectors)]
@@ -701,6 +1002,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             "designs": list(args.designs),
             "widths": list(args.widths),
             "vectors": args.vectors,
+            "optimize": args.optimize,
             "backend": args.backend,
             "repeat": repeat,
             "seed": seed,
@@ -1340,14 +1642,90 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace(errors)
     errors.set_defaults(fn=_cmd_errors)
 
-    equiv = sub.add_parser("equiv", help="formal equivalence check (BDD)")
+    equiv = sub.add_parser(
+        "equiv",
+        help="combinational equivalence check "
+             "(structural / miter sim sweep / BDD proof)",
+    )
     equiv.add_argument("design1")
     equiv.add_argument("design2")
     equiv.add_argument("width", type=int)
     equiv.add_argument("--window", type=int, default=None)
     equiv.add_argument("--bus1", default=None)
     equiv.add_argument("--bus2", default=None)
+    equiv.add_argument("--method", choices=["auto", "bdd"], default="auto",
+                       help="'auto' runs the full funnel; 'bdd' skips the "
+                            "simulation sweep and proves directly")
+    equiv.add_argument("--vectors", type=int, default=256,
+                       help="random vectors in the miter sweep (default 256)")
+    equiv.add_argument("--optimize1", action="store_true",
+                       help="optimize design1 (area pipeline) before comparing")
+    equiv.add_argument("--optimize2", action="store_true",
+                       help="optimize design2 (area pipeline) before comparing")
+    equiv.add_argument("--seed", type=int, default=None)
+    equiv.add_argument("--json", default=None, metavar="PATH",
+                       help="write a JSON report ('-' for stdout)")
     equiv.set_defaults(fn=_cmd_equiv)
+
+    opt = sub.add_parser(
+        "opt",
+        help="netlist optimization grid: gate/depth reductions, "
+             "equivalence-gated with --prove",
+    )
+    opt.add_argument("designs", nargs="*",
+                     help="architectures to optimize (see also --all)")
+    opt.add_argument("--all", action="store_true",
+                     help="optimize every elaborable design (the full grid)")
+    opt.add_argument("--widths", type=int, nargs="+", default=[8, 16, 32, 64],
+                     metavar="N", help="adder widths (default: 8 16 32 64)")
+    opt.add_argument("--window", type=int, default=None,
+                     help="window size k (default: Eq. 3.13 sizing @ 1e-4)")
+    opt.add_argument("--pipeline", choices=["area", "timing"], default="area",
+                     help="'area' includes structural hashing/CSE; 'timing' "
+                          "is the measurement pipeline (default: area)")
+    opt.add_argument("--prove", action="store_true",
+                     help="run CEC after every pass; roll back and fail on "
+                          "any unproven rewrite")
+    opt.add_argument("--vectors", type=int, default=64,
+                     help="sweep vectors per CEC check (default 64)")
+    opt.add_argument("--buffer-limit", type=int, default=None,
+                     help="fanout-repair pin limit (default: no buffering, "
+                          "so gate counts measure logic alone)")
+    opt.add_argument("--sim", action="store_true",
+                     help="also benchmark compiled-backend throughput raw vs "
+                          "optimized and cross-check bit-identity")
+    opt.add_argument("--sim-vectors", type=int, default=1024,
+                     help="vectors for the --sim benchmark (default 1024)")
+    opt.add_argument("--repeat", type=int, default=3,
+                     help="timing repetitions for --sim, best kept (default 3)")
+    opt.add_argument("--seed", type=int, default=None)
+    opt.add_argument("--json", default=None, metavar="PATH",
+                     help="write a BENCH_netlist_opt.json report "
+                          "('-' for stdout)")
+    _add_trace(opt)
+    opt.set_defaults(fn=_cmd_opt)
+
+    sta = sub.add_parser(
+        "sta",
+        help="static timing analysis: arrivals, slack, top-K critical paths",
+    )
+    sta.add_argument("design")
+    sta.add_argument("width", type=int)
+    sta.add_argument("window", type=int, nargs="?", default=None)
+    sta.add_argument("--optimize", action="store_true",
+                     help="analyze the optimized netlist (timing pipeline)")
+    sta.add_argument("--clock", type=float, default=None,
+                     help="required time at every output (default: the "
+                          "critical delay, i.e. zero worst slack)")
+    sta.add_argument("--paths", type=int, default=5,
+                     help="number of critical paths to enumerate (default 5)")
+    sta.add_argument("-v", "--verbose", action="store_true",
+                     help="also print the worst path cell by cell")
+    sta.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write timing-rule diagnostics as SARIF 2.1.0")
+    sta.add_argument("--json", default=None, metavar="PATH",
+                     help="write a JSON report ('-' for stdout)")
+    sta.set_defaults(fn=_cmd_sta)
 
     chains = sub.add_parser("chains", help="carry-chain-length histogram")
     chains.add_argument("width", type=int)
@@ -1486,6 +1864,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "outputs bit for bit and exits 1 on divergence")
     sim.add_argument("--faults", action="store_true",
                      help="also run stuck-at fault coverage per point")
+    sim.add_argument("--optimize", action="store_true",
+                     help="simulate the optimized netlist (area pipeline); "
+                          "with --backend both this checks optimize-then-"
+                          "simulate bit-identity across backends")
     sim.add_argument("--repeat", type=int, default=3,
                      help="timing repetitions per point, best kept (default 3)")
     sim.add_argument("--seed", type=int, default=None)

@@ -1,0 +1,8 @@
+"""Developer tooling that guards repository invariants.
+
+Home of checks that run in CI but are not part of the library proper,
+starting with the determinism lint (:mod:`repro.devtools.determinism`):
+every result in this repository is supposed to be replayable from a
+seed, so global-state randomness and wall-clock reads are banned from
+``src/repro`` at the AST level.
+"""

@@ -1,0 +1,262 @@
+"""AST lint banning nondeterminism sources from ``src/repro``.
+
+Everything this repository reports — Monte Carlo rates, fuzz corpora,
+benchmark rows, CEC verdicts — is keyed by an explicit seed, and CI
+replays runs expecting bit-identical output.  One stray call into the
+*global* random state (``random.random()``, ``np.random.rand()``) or a
+naked wall-clock read (``time.time()`` used as data) silently breaks
+that contract, so this checker bans them structurally:
+
+* calls through the ``random`` module's global instance
+  (``random.random()``, ``random.randint(...)``, ``random.seed(...)``,
+  …) — constructing a seeded ``random.Random(seed)`` is the sanctioned
+  form and stays legal;
+* calls through ``numpy.random``'s legacy global state
+  (``np.random.rand()``, ``np.random.shuffle()``, …) — the seeded
+  constructors (``default_rng``, ``Generator``, ``SeedSequence``,
+  ``PCG64``, ``Philox``, ``RandomState``) stay legal;
+* ``time.time()`` — ``perf_counter``/``monotonic`` are fine for
+  *durations*; absolute wall-clock time is data that changes per run.
+
+A line may opt out with a trailing ``# det: allow`` comment (e.g. a
+provenance timestamp that is deliberately wall-clock), which keeps the
+escape hatch grep-able.  Test trees are exempt: determinism there is the
+*subject* of tests, not an invariant.
+
+Run as ``python -m repro.devtools.determinism [paths…]`` (default:
+``src/repro``); exits 1 if any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List
+
+#: Comment marker that exempts the line it appears on.
+ALLOW_MARKER = "det: allow"
+
+#: ``random.<attr>()`` calls that hit the module-global Mersenne Twister.
+#: (Attribute-based: ``random.Random`` and ``random.SystemRandom``
+#: construct independent instances and are not listed.)
+BANNED_RANDOM_ATTRS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random.<attr>`` names that are *not* global-state: seeded
+#: generator constructors and their building blocks.
+ALLOWED_NP_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "RandomState",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One banned call site."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.message}"
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve local alias names for the modules the lint cares about."""
+
+    def __init__(self) -> None:
+        self.random_aliases: set = set()
+        self.numpy_aliases: set = set()
+        self.np_random_aliases: set = set()
+        self.time_aliases: set = set()
+        #: names bound by ``from time import time [as t]``
+        self.time_func_names: set = set()
+        #: names bound by ``from random import <banned> [as f]``
+        self.random_func_names: set = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(local)
+            elif alias.name in ("numpy", "np"):
+                self.numpy_aliases.add(local)
+            elif alias.name == "numpy.random":
+                # ``import numpy.random`` binds ``numpy`` (or the asname
+                # binds the submodule directly).
+                if alias.asname:
+                    self.np_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+            elif alias.name == "time":
+                self.time_aliases.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.np_random_aliases.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    self.time_func_names.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in BANNED_RANDOM_ATTRS:
+                    self.random_func_names.add(alias.asname or alias.name)
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` → ``["a", "b", "c"]``; empty list for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def check_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one Python source text; returns all violations found."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    tracker = _ImportTracker()
+    tracker.visit(tree)
+    violations: List[Violation] = []
+
+    def allowed(lineno: int) -> bool:
+        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        return ALLOW_MARKER in line
+
+    def report(node: ast.Call, message: str) -> None:
+        if not allowed(node.lineno):
+            violations.append(
+                Violation(path, node.lineno, node.col_offset, message)
+            )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if not chain:
+            continue
+        head, rest = chain[0], chain[1:]
+        if rest == [] and head in tracker.random_func_names:
+            report(
+                node,
+                f"call to global-state random.{head}(); "
+                f"use a seeded random.Random(seed) instance",
+            )
+        elif (
+            len(rest) == 1
+            and head in tracker.random_aliases
+            and rest[0] in BANNED_RANDOM_ATTRS
+        ):
+            report(
+                node,
+                f"call to global-state random.{rest[0]}(); "
+                f"use a seeded random.Random(seed) instance",
+            )
+        elif (
+            len(rest) == 2
+            and head in tracker.numpy_aliases
+            and rest[0] == "random"
+            and rest[1] not in ALLOWED_NP_RANDOM_ATTRS
+        ):
+            report(
+                node,
+                f"call to global-state numpy.random.{rest[1]}(); "
+                f"use numpy.random.default_rng(seed)",
+            )
+        elif (
+            len(rest) == 1
+            and head in tracker.np_random_aliases
+            and rest[0] not in ALLOWED_NP_RANDOM_ATTRS
+        ):
+            report(
+                node,
+                f"call to global-state numpy.random.{rest[0]}(); "
+                f"use numpy.random.default_rng(seed)",
+            )
+        elif len(rest) == 1 and head in tracker.time_aliases and rest[0] == "time":
+            report(
+                node,
+                "naked time.time(); use perf_counter/monotonic for "
+                "durations, or mark deliberate wall-clock reads "
+                f"with '# {ALLOW_MARKER}'",
+            )
+        elif rest == [] and head in tracker.time_func_names:
+            report(
+                node,
+                "naked time.time(); use perf_counter/monotonic for "
+                "durations, or mark deliberate wall-clock reads "
+                f"with '# {ALLOW_MARKER}'",
+            )
+    return violations
+
+
+def _is_test_path(path: Path) -> bool:
+    """Test trees are exempt (they *test* determinism, they need not obey)."""
+    parts = set(path.parts)
+    return (
+        "tests" in parts
+        or "benchmarks" in parts
+        or path.name.startswith("test_")
+    )
+
+
+def check_paths(paths: Iterable[Path]) -> List[Violation]:
+    """Lint every non-test ``.py`` file under the given paths."""
+    violations: List[Violation] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            if _is_test_path(file):
+                continue
+            violations.extend(
+                check_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return violations
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point: lint the given paths (default ``src/repro``)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = [Path(p) for p in args] or [Path("src/repro")]
+    for path in paths:
+        if not path.exists():
+            print(f"determinism lint: no such path {path}", file=sys.stderr)
+            return 2
+    violations = check_paths(paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"determinism lint: {len(violations)} violation(s); "
+            f"seed explicitly or annotate with '# {ALLOW_MARKER}'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: clean ({', '.join(map(str, paths))})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

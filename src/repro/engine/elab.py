@@ -109,6 +109,22 @@ LINTABLE_DESIGNS = (
 )
 
 
+def grid_designs() -> tuple:
+    """Every elaborable architecture name: the full design grid.
+
+    The union :func:`build_design` resolves — all plain adder
+    generators, the windowed speculative family, and the DesignWare
+    model — in sorted order.  This is the grid ``repro opt --all``
+    proves equivalence-gated optimization over.
+    """
+    from repro.adders import ADDER_GENERATORS
+
+    windowed = ("scsa1", "scsa2", "vlcsa1", "vlcsa2", "vlsa")
+    return tuple(
+        sorted(set(ADDER_GENERATORS) | set(windowed) | {"designware"})
+    )
+
+
 def measure_design(
     architecture: str,
     width: int,

@@ -174,15 +174,15 @@ _BDD_OPS = {
 }
 
 
-def circuit_to_bdds(
+def net_functions(
     circuit: Circuit, manager: BDD, levels_by_name: Optional[Dict[str, int]] = None
-) -> Dict[str, List[int]]:
-    """Build the BDD of every output bit of ``circuit``.
+) -> Dict[int, int]:
+    """Build the BDD of *every net* of ``circuit`` (net -> BDD node).
 
-    ``levels_by_name`` maps *input bit names* (``bus[i]`` / 1-bit bus
-    names) to variable levels, so two circuits with identical port shapes
-    share variables; by default :func:`interleaved_order` is derived from
-    this circuit.
+    The workhorse behind :func:`circuit_to_bdds`; exposed separately so
+    the equivalence engine (:mod:`repro.netlist.equiv`) can discharge
+    candidate-equivalent *internal* nets, not just primary outputs.
+    ``levels_by_name`` is as in :func:`circuit_to_bdds`.
     """
     if levels_by_name is None:
         by_net = interleaved_order(circuit)
@@ -228,6 +228,20 @@ def circuit_to_bdds(
             raise NetlistError(f"no BDD semantics for gate kind {kind!r}")
         values[gate.output] = out
 
+    return values
+
+
+def circuit_to_bdds(
+    circuit: Circuit, manager: BDD, levels_by_name: Optional[Dict[str, int]] = None
+) -> Dict[str, List[int]]:
+    """Build the BDD of every output bit of ``circuit``.
+
+    ``levels_by_name`` maps *input bit names* (``bus[i]`` / 1-bit bus
+    names) to variable levels, so two circuits with identical port shapes
+    share variables; by default :func:`interleaved_order` is derived from
+    this circuit.
+    """
+    values = net_functions(circuit, manager, levels_by_name)
     return {
         name: [values[n] for n in nets]
         for name, nets in circuit.output_buses.items()

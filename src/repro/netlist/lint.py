@@ -66,8 +66,11 @@ class Diagnostic:
     """One finding of one rule on one circuit.
 
     ``nets`` are printable net names and ``gates`` gate indices locating
-    the finding; ``counterexample`` (formal rules) maps input bus names to
-    concrete values exhibiting the violation; ``hint`` suggests a fix.
+    the finding; ``ports`` are named-bus-plus-bit-index anchors
+    (``sum[63]``) when the finding lands on primary ports, so SARIF
+    locations can point at the actual port rather than a bare net id;
+    ``counterexample`` (formal rules) maps input bus names to concrete
+    values exhibiting the violation; ``hint`` suggests a fix.
     """
 
     rule_id: str
@@ -77,12 +80,13 @@ class Diagnostic:
     message: str
     nets: Tuple[str, ...] = ()
     gates: Tuple[int, ...] = ()
+    ports: Tuple[str, ...] = ()
     counterexample: Optional[Dict[str, int]] = None
     hint: Optional[str] = None
 
     def sort_key(self) -> Tuple:
         """Deterministic ordering: rule, then location, then message."""
-        return (self.rule_id, self.gates, self.nets, self.message)
+        return (self.rule_id, self.gates, self.nets, self.ports, self.message)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (counterexample values as ints)."""
@@ -95,6 +99,8 @@ class Diagnostic:
             "nets": list(self.nets),
             "gates": list(self.gates),
         }
+        if self.ports:
+            payload["ports"] = list(self.ports)
         if self.counterexample is not None:
             payload["counterexample"] = dict(self.counterexample)
         if self.hint is not None:
@@ -112,6 +118,7 @@ class Diagnostic:
             message=payload["message"],
             nets=tuple(payload.get("nets", ())),
             gates=tuple(payload.get("gates", ())),
+            ports=tuple(payload.get("ports", ())),
             counterexample=payload.get("counterexample"),
             hint=payload.get("hint"),
         )
@@ -125,6 +132,8 @@ class Finding:
     message: str
     nets: Tuple[str, ...] = ()
     gates: Tuple[int, ...] = ()
+    #: named-bus + bit-index anchors (``sum[63]``) for port-level findings
+    ports: Tuple[str, ...] = ()
     counterexample: Optional[Dict[str, int]] = None
     hint: Optional[str] = None
     #: override the rule's default severity for this one finding
@@ -261,6 +270,7 @@ class Rule:
                     message=finding.message,
                     nets=finding.nets,
                     gates=finding.gates,
+                    ports=finding.ports,
                     counterexample=finding.counterexample,
                     hint=finding.hint,
                 )
@@ -428,7 +438,10 @@ def reports_to_sarif(
     """SARIF 2.1.0 document covering several reports in one run.
 
     Netlists have no source files, so findings are located via SARIF
-    *logical locations* (circuit name, then net names).
+    *logical locations*: the circuit (kind ``module``), net names (kind
+    ``member``), and — for diagnostics carrying port anchors — the named
+    bus + bit index as kind ``parameter`` with a ``circuit::port``
+    fully-qualified name, so timing endpoints resolve to actual ports.
     """
     rule_meta = {}
     for rule in resolve_rules():
@@ -442,9 +455,18 @@ def reports_to_sarif(
     results = []
     for report in reports:
         for diag in report.diagnostics:
-            logical = [
-                {"name": report.circuit, "kind": "module"}
-            ] + [{"name": net, "kind": "member"} for net in diag.nets[:8]]
+            logical = (
+                [{"name": report.circuit, "kind": "module"}]
+                + [
+                    {
+                        "name": port,
+                        "kind": "parameter",
+                        "fullyQualifiedName": f"{report.circuit}::{port}",
+                    }
+                    for port in diag.ports[:8]
+                ]
+                + [{"name": net, "kind": "member"} for net in diag.nets[:8]]
+            )
             message = diag.message
             if diag.counterexample is not None:
                 vals = ", ".join(

@@ -2,9 +2,14 @@
 
 The thesis hands its generated Verilog to Synopsys Design Compiler, which
 restructures logic during technology mapping.  This module provides the
-closest executable analogue: a small fixpoint optimizer with four passes —
+closest executable analogue: a small fixpoint optimizer with five passes —
 
 * **constant folding** — gates with constant inputs are evaluated away;
+* **structural hashing / CSE** (:func:`share_structure`) — structurally
+  identical gates (operands of commutative gates canonically sorted, AOI/
+  OAI product terms normalized) are merged into one shared instance, and
+  same-operand degeneracies (``AND2(x,x) → x``, ``XOR2(x,x) → 0``,
+  ``NAND2(x,x) → INV(x)``, …) are rewritten on the way;
 * **inverter merging** — ``INV(INV(x)) → x`` and, for single-fanout inner
   gates, ``INV(AND2) → NAND2``, ``INV(OR2) → NOR2``, ``INV(XOR2) → XNOR2``
   (and the reverse direction when the inverted form feeds a lone INV);
@@ -16,15 +21,38 @@ closest executable analogue: a small fixpoint optimizer with four passes —
 
 Each pass is a rebuild of the circuit, so the topological-order invariant is
 preserved by construction.  :func:`optimize` iterates the pipeline until the
-gate count stops improving.
+gate count stops improving; with ``prove=True`` every pass is followed by a
+combinational equivalence check (:mod:`repro.netlist.equiv`) and a pass
+whose output cannot be proven equivalent is rolled back instead of applied,
+with the refuting counterexample recorded in the stats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netlist.circuit import Circuit, Gate
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One pass application inside :func:`optimize`.
+
+    ``proved`` is ``None`` when the run was not proving, otherwise the
+    CEC verdict; a failed proof sets ``rolled_back`` and keeps the
+    pre-pass circuit, with the refuting ``counterexample`` retained for
+    replay.  ``method`` names the CEC stage that settled the check
+    (``structural`` / ``simulation`` / ``bdd``).
+    """
+
+    name: str
+    gates_before: int
+    gates_after: int
+    proved: Optional[bool] = None
+    method: str = ""
+    rolled_back: bool = False
+    counterexample: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -34,10 +62,39 @@ class OptimizeStats:
     gates_before: int
     gates_after: int
     iterations: int
+    #: per-pass trace (empty for runs predating the proving optimizer)
+    pass_records: Tuple[PassRecord, ...] = field(default=(), repr=False)
+    #: number of passes rejected by the equivalence gate
+    rollbacks: int = 0
 
     @property
     def removed(self) -> int:
         return self.gates_before - self.gates_after
+
+    @property
+    def proved(self) -> bool:
+        """True if every applied pass carried a successful CEC verdict."""
+        return bool(self.pass_records) and all(
+            r.proved or r.rolled_back for r in self.pass_records
+        )
+
+
+def depth_levels(circuit: Circuit) -> int:
+    """Unit-delay logic depth: the longest gate chain to any output.
+
+    Constants are tie cells at depth 0; every other gate (buffers
+    included) adds one level.  Deterministic and library-free, which is
+    what the optimization benchmarks gate on.
+    """
+    depth = [0] * circuit.num_nets
+    for gate in circuit.gates:
+        if gate.kind in ("CONST0", "CONST1"):
+            continue
+        depth[gate.output] = 1 + max((depth[n] for n in gate.inputs), default=0)
+    return max(
+        (depth[n] for nets in circuit.output_buses.values() for n in nets),
+        default=0,
+    )
 
 
 def _copy_inputs(old: Circuit, new: Circuit) -> Dict[int, int]:
@@ -173,6 +230,74 @@ def fold_constants(circuit: Circuit) -> Circuit:
             const[replacement] = 0
         elif driver is not None and driver.kind == "CONST1":
             const[replacement] = 1
+    return _finish(circuit, new, env)
+
+
+#: Commutative 2-input kinds whose operands :func:`share_structure` sorts.
+_COMMUTATIVE = ("AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2")
+
+
+def share_structure(circuit: Circuit) -> Circuit:
+    """Structural hashing / common-subexpression elimination.
+
+    One forward pass keeps a hash table keyed by ``(kind, canonical
+    operands)`` — commutative operands sorted, AOI/OAI product terms
+    sorted within and across pairs — so every structurally repeated gate
+    collapses onto one shared instance.  Same-operand degeneracies are
+    rewritten instead of hashed: ``AND2/OR2(x,x) → x``,
+    ``XOR2(x,x) → 0``, ``XNOR2(x,x) → 1``, and ``NAND2/NOR2(x,x)`` onto a
+    shared ``INV(x)``.  This is the workhorse behind the gate-count
+    reductions pinned in ``BENCH_netlist_opt.json``: carry-select adders
+    duplicate most of a block between their ``cin=0`` / ``cin=1`` halves,
+    and the generators emit those halves independently.
+    """
+    new = Circuit(circuit.name)
+    env = _copy_inputs(circuit, new)
+    table: Dict[tuple, int] = {}
+
+    def shared_inv(operand: int) -> int:
+        key = ("INV", (operand,))
+        out = table.get(key)
+        if out is None:
+            out = new.not_(operand)
+            table[key] = out
+        return out
+
+    for gate in circuit.gates:
+        kind = gate.kind
+        if kind == "CONST0":
+            env[gate.output] = new.const0()
+            continue
+        if kind == "CONST1":
+            env[gate.output] = new.const1()
+            continue
+        ins = tuple(env[n] for n in gate.inputs)
+        if kind in _COMMUTATIVE:
+            a, b = ins
+            if a == b:
+                if kind in ("AND2", "OR2"):
+                    env[gate.output] = a
+                elif kind == "XOR2":
+                    env[gate.output] = new.const0()
+                elif kind == "XNOR2":
+                    env[gate.output] = new.const1()
+                else:  # NAND2 / NOR2 of equal operands is an inverter
+                    env[gate.output] = shared_inv(a)
+                continue
+            ins = tuple(sorted(ins))
+        elif kind in ("AOI22", "OAI22"):
+            pair1 = tuple(sorted(ins[:2]))
+            pair2 = tuple(sorted(ins[2:]))
+            low, high = sorted((pair1, pair2))
+            ins = low + high
+        elif kind in ("AOI21", "OAI21"):
+            ins = tuple(sorted(ins[:2])) + (ins[2],)
+        key = (kind, ins)
+        out = table.get(key)
+        if out is None:
+            out = new.add_gate(kind, list(ins))
+            table[key] = out
+        env[gate.output] = out
     return _finish(circuit, new, env)
 
 
@@ -325,8 +450,20 @@ def buffer_fanout(circuit: Circuit, max_fanout: int = 8) -> Circuit:
     return new
 
 
+#: The timing-oriented pipeline every measurement path runs.  CSE is
+#: deliberately *not* here: sharing raises fanout on the merged nets, and
+#: under the load-dependent delay model that moves critical paths the
+#: thesis tables depend on.
 DEFAULT_PASSES = (fold_constants, merge_inverters, map_compound,
                   merge_inverters, strip_dead)
+
+#: The area-oriented pipeline (``repro opt``, the optimization
+#: benchmarks, and optimize-before-simulate): structural hashing between
+#: constant folding and the local rewrites, trading net sharing (more
+#: load, slightly different timing) for the large gate-count reductions
+#: pinned in ``BENCH_netlist_opt.json``.
+AREA_PASSES = (fold_constants, share_structure, merge_inverters,
+               map_compound, merge_inverters, strip_dead)
 
 
 def optimize(
@@ -334,12 +471,25 @@ def optimize(
     passes: Optional[List[Callable[[Circuit], Circuit]]] = None,
     max_iterations: int = 8,
     buffer_limit: Optional[int] = 8,
+    prove: bool = False,
+    prove_vectors: int = 64,
+    prove_seed: int = 2012,
 ) -> tuple[Circuit, OptimizeStats]:
     """Run the pass pipeline to a gate-count fixpoint, then repair fanout.
 
     ``buffer_limit`` is the maximum pin load allowed before a buffer tree is
     inserted (``None`` disables the repair — fanout buffering runs once
     *after* the fixpoint because it deliberately increases gate count).
+
+    With ``prove=True`` every pass output (fanout repair included) is
+    checked against its input with the full CEC funnel of
+    :mod:`repro.netlist.equiv` (``prove_vectors`` seeded sweep vectors,
+    then a BDD proof); a pass that cannot be proven equivalent is *rolled
+    back* — its output is discarded, the refuting counterexample lands in
+    the :class:`PassRecord`, and the pipeline continues from the last
+    proven-good circuit.  Soundness over the applied passes is therefore
+    unconditional, at the cost of one equivalence check per pass.
+
     Returns the optimized circuit and an :class:`OptimizeStats` record.  The
     input circuit is never mutated.
     """
@@ -347,13 +497,45 @@ def optimize(
     before = circuit.num_gates
     current = circuit
     iterations = 0
+    records: List[PassRecord] = []
+    rollbacks = 0
+
+    def apply_gated(name: str, candidate: Circuit) -> Circuit:
+        """Accept ``candidate`` (proving first if asked) or roll back."""
+        nonlocal rollbacks
+        if not prove:
+            records.append(PassRecord(name, current.num_gates, candidate.num_gates))
+            return candidate
+        from repro.netlist.equiv import check_equivalent
+
+        verdict = check_equivalent(
+            current, candidate, sim_vectors=prove_vectors, seed=prove_seed
+        )
+        records.append(
+            PassRecord(
+                name,
+                current.num_gates,
+                candidate.num_gates,
+                proved=verdict.equivalent,
+                method=verdict.method,
+                rolled_back=not verdict.equivalent,
+                counterexample=verdict.counterexample,
+            )
+        )
+        if not verdict.equivalent:
+            rollbacks += 1
+            return current
+        return candidate
+
     for _ in range(max_iterations):
         iterations += 1
         count = current.num_gates
         for pass_fn in pipeline:
-            current = pass_fn(current)
+            current = apply_gated(pass_fn.__name__, pass_fn(current))
         if current.num_gates >= count:
             break
     if buffer_limit is not None:
-        current = buffer_fanout(current, buffer_limit)
-    return current, OptimizeStats(before, current.num_gates, iterations)
+        current = apply_gated("buffer_fanout", buffer_fanout(current, buffer_limit))
+    return current, OptimizeStats(
+        before, current.num_gates, iterations, tuple(records), rollbacks
+    )

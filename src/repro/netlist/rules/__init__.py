@@ -7,7 +7,8 @@ family, so the registry is complete after ``from repro.netlist import
 rules``.
 
 Rule-id convention: ``S0xx`` structural, ``F0xx`` formal (BDD proofs),
-``T0xx`` timing.  ``M001`` is reserved for the mutation self-test's own
+``T0xx`` timing, ``E0xx`` equivalence-engine findings (sim-sweep +
+BDD-proven redundant or constant logic).  ``M001`` is reserved for the mutation self-test's own
 failure diagnostic (see :func:`repro.netlist.lint.mutation_self_test`).
 """
 
@@ -70,5 +71,6 @@ def get_rule(rule_id: str) -> Rule:
 from repro.netlist.rules import structural  # noqa: E402,F401
 from repro.netlist.rules import formal  # noqa: E402,F401
 from repro.netlist.rules import timing  # noqa: E402,F401
+from repro.netlist.rules import equiv  # noqa: E402,F401
 
 __all__ = ["all_rules", "get_rule", "register"]

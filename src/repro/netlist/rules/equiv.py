@@ -1,0 +1,149 @@
+"""Equivalence-engine lint rules (``E0xx``).
+
+These rules surface what the CEC funnel of :mod:`repro.netlist.equiv`
+proves about a single circuit: internal nets that are *formally*
+redundant (E001) or *formally* constant (E002).  Both follow the same
+two-stage discipline as the equivalence checker itself — a seeded random
+simulation sweep nominates candidates cheaply, then the BDD engine
+discharges each candidate, so a reported finding is a proof, never a
+sampling artifact.
+
+Findings are informational: redundant or constant logic is functionally
+harmless (the circuits still compute the right answers), but it is area
+the optimizer's structural-hashing pass exists to reclaim, and on a
+supposedly optimized netlist it marks a missed rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.netlist.lint import Finding, LintContext, SEVERITY_INFO
+from repro.netlist.rules import register
+
+#: Sweep width for the candidate filter; kept modest because every
+#: surviving candidate is proven anyway — more vectors only trim the
+#: BDD workload, they never change a verdict.
+_SWEEP_VECTORS = 128
+
+#: Seed for the candidate sweep (the paper's year, as everywhere else).
+_SWEEP_SEED = 2012
+
+#: Cap on reported findings per circuit, keeping SARIF output bounded on
+#: pathological netlists.
+_MAX_FINDINGS = 8
+
+
+def _applies(ctx: LintContext) -> bool:
+    """Equivalence rules need inputs to sweep and gates to compare."""
+    return bool(ctx.circuit.input_buses) and ctx.circuit.num_gates > 0
+
+
+def _net_bdds(ctx: LintContext):
+    """BDD of every net of the linted circuit under the interleaved order."""
+    from repro.netlist.bdd import BDD, interleaved_order, net_functions
+
+    manager = BDD()
+    levels = {
+        ctx.circuit.net_name(net): lvl
+        for net, lvl in interleaved_order(ctx.circuit).items()
+    }
+    return manager, net_functions(ctx.circuit, manager, levels)
+
+
+@register(
+    "E001",
+    "proven-redundant-logic",
+    family="equiv",
+    severity=SEVERITY_INFO,
+    description=(
+        "Internal nets proven equivalent by the sim-sweep + BDD funnel: "
+        "duplicated logic cones the structural-hashing pass should merge."
+    ),
+    applies=_applies,
+)
+def check_redundant_logic(ctx: LintContext) -> Iterator[Finding]:
+    """Prove candidate-equivalent net classes and report each merged class.
+
+    :func:`repro.netlist.equiv.signature_classes` groups gate outputs by
+    their seeded random-sweep signatures; every class is then split by
+    BDD node identity (the manager is canonical, so two nets are
+    equivalent iff they map to the same node).  Only subgroups that
+    survive the proof are reported.
+    """
+    from repro.netlist.equiv import signature_classes
+
+    classes = signature_classes(ctx.circuit, _SWEEP_VECTORS, _SWEEP_SEED)
+    if not classes:
+        return
+    manager, funcs = _net_bdds(ctx)
+    emitted = 0
+    for candidate in classes:
+        by_node: dict = {}
+        for net in candidate:
+            by_node.setdefault(funcs[net], []).append(net)
+        for node, nets in sorted(by_node.items()):
+            if len(nets) < 2 or emitted >= _MAX_FINDINGS:
+                continue
+            names = tuple(ctx.circuit.net_name(n) for n in nets)
+            yield Finding(
+                message=(
+                    f"{len(nets)} nets are BDD-proven to compute the same "
+                    f"function: {', '.join(names[:6])}"
+                    + ("…" if len(names) > 6 else "")
+                ),
+                nets=names[:8],
+                hint=(
+                    "run optimize() with the AREA_PASSES pipeline; "
+                    "share_structure merges structurally identical cones"
+                ),
+            )
+            emitted += 1
+
+
+@register(
+    "E002",
+    "proven-constant-net",
+    family="equiv",
+    severity=SEVERITY_INFO,
+    description=(
+        "Internal gate outputs proven constant by the sim-sweep + BDD "
+        "funnel: logic that folds to a tie cell."
+    ),
+    applies=_applies,
+)
+def check_constant_nets(ctx: LintContext) -> Iterator[Finding]:
+    """Prove sweep-constant gate outputs really are constant and report them.
+
+    Candidates are gate outputs whose sweep signature is all-zeros or
+    all-ones (CONST tie cells and buffers of them excluded); each is
+    discharged against the BDD terminals.
+    """
+    from repro.netlist.equiv import net_signatures
+
+    signatures = net_signatures(ctx.circuit, _SWEEP_VECTORS, _SWEEP_SEED)
+    ones = (1 << _SWEEP_VECTORS) - 1
+    candidates = [
+        gate
+        for gate in ctx.circuit.gates
+        if gate.kind not in ("CONST0", "CONST1", "BUF")
+        and signatures[gate.output] in (0, ones)
+    ]
+    if not candidates:
+        return
+    manager, funcs = _net_bdds(ctx)
+    emitted = 0
+    for gate in candidates:
+        node = funcs[gate.output]
+        if node not in (0, 1) or emitted >= _MAX_FINDINGS:
+            continue
+        name = ctx.circuit.net_name(gate.output)
+        yield Finding(
+            message=(
+                f"net {name} ({gate.kind}) is BDD-proven constant {node}"
+            ),
+            nets=(name,),
+            gates=(gate.output,),
+            hint="fold_constants rewrites readers onto the tie cell",
+        )
+        emitted += 1

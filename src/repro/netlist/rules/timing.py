@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.netlist.lint import Finding, LintContext, SEVERITY_ERROR
+from repro.netlist.lint import (
+    Finding,
+    LintContext,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
 from repro.netlist.rules import register
 
 #: Slack tolerance in ns, absorbing float accumulation in the STA sums.
@@ -54,5 +59,56 @@ def check_detection_arrival(ctx: LintContext) -> Iterator[Finding]:
             hint=(
                 "run the optimize pipeline (NAND/NOR remap + fanout "
                 "buffering) or widen the speculation window"
+            ),
+        )
+
+
+@register(
+    "T002",
+    "negative-slack-detection-endpoint",
+    family="timing",
+    severity=SEVERITY_WARNING,
+    description=(
+        "Per-endpoint slack refinement of T001: each detection output bit "
+        "whose arrival misses the speculative-path clock, with the named "
+        "port anchoring the SARIF location."
+    ),
+    applies=lambda ctx: (
+        "sum" in ctx.circuit.output_buses and "err" in ctx.circuit.output_buses
+    ),
+)
+def check_negative_slack_endpoints(ctx: LintContext) -> Iterator[Finding]:
+    """Report every detection endpoint with negative slack at ``tau_spec``.
+
+    The single-cycle clock of the variable-latency contract is set by the
+    speculative sum path; detection buses (``err``/``err0``/``err1``) must
+    close timing under it.  Where T001 reports only the worst arrival
+    relation, this rule walks the STA endpoints so each failing port bit
+    is located individually (recovery buses are exempt — they are
+    *expected* to exceed ``tau_spec``, that is the second cycle).
+    """
+    report = ctx.timing()
+    clock = report.bus_delay("sum")
+    detection = [
+        name for name in ("err", "err0", "err1")
+        if name in ctx.circuit.output_buses
+    ]
+    for path in report.critical_paths(k=len(report.arrival), clock=clock):
+        if path.bus not in detection:
+            continue
+        if path.slack >= -_EPSILON:
+            break  # paths are sorted by ascending slack
+        yield Finding(
+            message=(
+                f"detection endpoint {path.endpoint} arrives at "
+                f"{path.arrival:.3f} ns, {-path.slack:.3f} ns past the "
+                f"speculative clock ({clock:.3f} ns); path starts at "
+                f"{path.startpoint}"
+            ),
+            nets=(ctx.circuit.net_name(path.nets[-1]),),
+            ports=(path.endpoint,),
+            hint=(
+                "rebalance the ERR reduction tree or widen the "
+                "speculation window until detection closes at tau_spec"
             ),
         )

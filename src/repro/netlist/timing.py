@@ -9,15 +9,41 @@ The report exposes per-net arrivals, the overall critical path, and — the
 query the thesis' evaluation needs — the worst arrival over a named output
 bus, so that the speculative, detection, and recovery paths of one VLCSA
 netlist can be reported separately (Fig. 7.4/7.8/7.10).
+
+Beyond arrivals this is a full (combinational) STA: given a clock (the
+required time at every primary output, defaulting to the critical delay),
+:meth:`TimingReport.required_times` runs the backward pass,
+:meth:`TimingReport.slacks` gives per-net slack, and
+:meth:`TimingReport.critical_paths` enumerates the top-K worst-slack
+endpoints with named-bus anchors (``sum[63]``, not a bare net id) so the
+timing lint rules and SARIF output can point at actual ports.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cells.library import CellLibrary, default_library
 from repro.netlist.circuit import Circuit, NetlistError
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One enumerated critical path (see :meth:`TimingReport.critical_paths`).
+
+    ``endpoint`` is a named-bus anchor (``sum[63]``), ``startpoint`` the
+    first net on the path (a primary input's port name when it is one).
+    """
+
+    endpoint: str
+    bus: str
+    bit: int
+    startpoint: str
+    arrival: float
+    slack: float
+    nets: Tuple[int, ...] = field(repr=False, default=())
 
 
 @dataclass
@@ -31,6 +57,10 @@ class TimingReport:
     #: nets of each output bus, for path queries
     output_buses: Dict[str, List[int]] = field(repr=False, default_factory=dict)
     input_nets: frozenset = field(repr=False, default_factory=frozenset)
+    #: per net: delay of the driving cell (0.0 for primary inputs)
+    gate_delay: List[float] = field(repr=False, default_factory=list)
+    #: the analyzed circuit, needed by the backward (required-time) pass
+    circuit: Optional[Circuit] = field(repr=False, default=None)
 
     @property
     def critical_delay(self) -> float:
@@ -85,6 +115,114 @@ class TimingReport:
         # The first net on the path is a primary input or constant.
         return max(0, len(path) - 1)
 
+    # ------------------------------------------- required times and slack
+
+    def _require_circuit(self) -> Circuit:
+        if self.circuit is None:
+            raise NetlistError(
+                "this TimingReport carries no circuit; required-time and "
+                "slack queries need a report produced by analyze_timing()"
+            )
+        return self.circuit
+
+    def port_of(self, net: int) -> Optional[str]:
+        """The ``bus[bit]`` port anchor of a net, or None for internal nets.
+
+        Output-bus anchors win when a net is both an input bit and an
+        output bit, since timing endpoints are outputs.
+        """
+        circuit = self._require_circuit()
+        ports: Dict[int, str] = {}
+        for name, nets in sorted(circuit.input_buses.items()):
+            for bit, n in enumerate(nets):
+                ports.setdefault(n, f"{name}[{bit}]" if len(nets) > 1 else name)
+        for name, nets in sorted(circuit.output_buses.items()):
+            for bit, n in enumerate(nets):
+                ports[n] = f"{name}[{bit}]" if len(nets) > 1 else name
+        return ports.get(net)
+
+    def required_times(self, clock: Optional[float] = None) -> List[float]:
+        """Backward-pass required arrival time of every net.
+
+        Every primary output is required at ``clock`` (default: the
+        critical delay, making the worst slack exactly zero); the
+        requirement propagates backward through each gate minus that
+        gate's cell delay.  Nets that reach no primary output keep
+        ``inf`` — they have no timing obligation.
+        """
+        circuit = self._require_circuit()
+        if clock is None:
+            clock = self.critical_delay
+        required = [math.inf] * circuit.num_nets
+        for nets in self.output_buses.values():
+            for net in nets:
+                required[net] = min(required[net], clock)
+        for gate in reversed(circuit.gates):
+            budget = required[gate.output] - self.gate_delay[gate.output]
+            for net in gate.inputs:
+                if budget < required[net]:
+                    required[net] = budget
+        return required
+
+    def slacks(self, clock: Optional[float] = None) -> List[float]:
+        """Per-net slack: required minus arrival (inf off any timed path)."""
+        required = self.required_times(clock)
+        return [
+            req - arr if math.isfinite(req) else math.inf
+            for req, arr in zip(required, self.arrival)
+        ]
+
+    def worst_slack(self, clock: Optional[float] = None) -> float:
+        """Minimum slack over all timed nets (0.0 under the default clock)."""
+        return min(
+            (s for s in self.slacks(clock) if math.isfinite(s)), default=0.0
+        )
+
+    def critical_paths(
+        self, k: int = 5, clock: Optional[float] = None
+    ) -> List[TimingPath]:
+        """The ``k`` worst-slack endpoints, each with its full worst path.
+
+        Endpoints are output-bus bits, anchored by port name
+        (``sum[63]``); ties break on bus/bit for determinism.  Each
+        path's slack is the *endpoint* slack ``clock - arrival`` —
+        the clock constraint at that output alone, not the net slack of
+        :meth:`slacks`, which also folds in requirements the net inherits
+        by feeding further logic.  Default clock: the critical delay, so
+        the first path has slack exactly 0.
+        """
+        if clock is None:
+            clock = self.critical_delay
+        endpoints = []
+        for bus in sorted(self.output_buses):
+            nets = self.output_buses[bus]
+            for bit, net in enumerate(nets):
+                anchor = f"{bus}[{bit}]" if len(nets) > 1 else bus
+                endpoints.append(
+                    (clock - self.arrival[net], bus, bit, net, anchor)
+                )
+        endpoints.sort(key=lambda row: row[:3])
+        paths = []
+        for slack, bus, bit, net, anchor in endpoints[: max(0, k)]:
+            nets = tuple(self.path_to(net))
+            start_net = nets[0] if nets else net
+            start = self.port_of(start_net)
+            if start is None:
+                circuit = self._require_circuit()
+                start = circuit.net_name(start_net)
+            paths.append(
+                TimingPath(
+                    endpoint=anchor,
+                    bus=bus,
+                    bit=bit,
+                    startpoint=start,
+                    arrival=self.arrival[net],
+                    slack=slack,
+                    nets=nets,
+                )
+            )
+        return paths
+
 
 def analyze_timing(
     circuit: Circuit,
@@ -100,6 +238,7 @@ def analyze_timing(
     fanout = circuit.fanout_counts()
     arrival = [0.0] * circuit.num_nets
     worst_input = [-1] * circuit.num_nets
+    gate_delay = [0.0] * circuit.num_nets
 
     input_nets = set()
     for name, nets in circuit.input_buses.items():
@@ -114,6 +253,7 @@ def analyze_timing(
     for gate in circuit.gates:
         cell = lib[gate.kind]
         delay = cell.delay(fanout[gate.output])
+        gate_delay[gate.output] = delay
         if gate.inputs:
             worst_net = max(gate.inputs, key=lambda n: arrival[n])
             arrival[gate.output] = arrival[worst_net] + delay
@@ -127,6 +267,8 @@ def analyze_timing(
         worst_input=worst_input,
         output_buses=circuit.output_buses,
         input_nets=frozenset(input_nets),
+        gate_delay=gate_delay,
+        circuit=circuit,
     )
 
 
@@ -139,11 +281,27 @@ def critical_delay(
 
 def describe_path(
     circuit: Circuit, report: TimingReport, path: Sequence[int]
-) -> List[Tuple[str, str, float]]:
-    """Human-readable (net name, driving cell, arrival) rows for a path."""
+) -> List[Tuple[str, str, float, str]]:
+    """Human-readable (net name, driving cell, arrival, port) rows.
+
+    The fourth column is the named-bus-plus-bit-index anchor
+    (``sum[63]``) when the net is a primary port, else ``""`` — the same
+    anchors the timing diagnostics and their SARIF locations carry, so a
+    reported path endpoint can be traced to the actual port rather than
+    a bare net id.
+    """
+    ports: Dict[int, str] = {}
+    for name, nets in sorted(circuit.input_buses.items()):
+        for bit, n in enumerate(nets):
+            ports.setdefault(n, f"{name}[{bit}]" if len(nets) > 1 else name)
+    for name, nets in sorted(circuit.output_buses.items()):
+        for bit, n in enumerate(nets):
+            ports[n] = f"{name}[{bit}]" if len(nets) > 1 else name
     rows = []
     for net in path:
         gate = circuit.driver_of(net)
         kind = gate.kind if gate is not None else "<input>"
-        rows.append((circuit.net_name(net), kind, report.arrival[net]))
+        rows.append(
+            (circuit.net_name(net), kind, report.arrival[net], ports.get(net, ""))
+        )
     return rows

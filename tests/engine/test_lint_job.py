@@ -26,7 +26,12 @@ def test_rows_come_back_in_point_order():
     assert [r["architecture"] for r in rows] == ["vlcsa1", "kogge_stone", "vlcsa2"]
     assert all(r["width"] == 16 for r in rows)
     assert all(r["optimized"] for r in rows)
-    assert all(r["diagnostics"] == [] for r in rows)
+    # The E-family may report residual (info-severity) redundancy on the
+    # timing-pipeline netlists; the gate severities must stay absent.
+    for row in rows:
+        assert [
+            d for d in row["diagnostics"] if d["severity"] != "info"
+        ] == []
 
 
 def test_parallel_matches_serial(tmp_path):
@@ -54,7 +59,7 @@ def test_lint_config_participates_in_cache_key(tmp_path):
         LintJob(points=point, optimize=True, cache_dir=str(tmp_path)), workers=1
     ).aggregate.ordered()[0]
     assert any(d["rule_id"] == "T001" for d in raw["diagnostics"])
-    assert opt["diagnostics"] == []
+    assert [d for d in opt["diagnostics"] if d["severity"] != "info"] == []
 
 
 def test_select_restricts_rules(tmp_path):

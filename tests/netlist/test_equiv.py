@@ -1,0 +1,277 @@
+"""Tests for combinational equivalence checking (repro.netlist.equiv)."""
+
+import pytest
+
+from repro.adders import build_kogge_stone_adder, build_ripple_adder
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.equiv import (
+    build_miter,
+    check_equivalent,
+    matched_buses,
+    minimize_counterexample,
+    net_signatures,
+    random_input_batch,
+    signature_classes,
+    structural_equal,
+    structural_key,
+    verify_counterexample,
+)
+from repro.netlist.faults import Fault, apply_fault
+from repro.netlist.simulate import simulate
+
+
+def _xor_pair():
+    """Two structurally different but equivalent 1-bit circuits."""
+    c1 = Circuit("direct")
+    a = c1.add_input("a")
+    b = c1.add_input("b")
+    c1.set_output("y", c1.xor2(a, b))
+
+    c2 = Circuit("decomposed")  # a^b == (a|b) & ~(a&b)
+    a = c2.add_input("a")
+    b = c2.add_input("b")
+    c2.set_output("y", c2.and2(c2.or2(a, b), c2.not_(c2.and2(a, b))))
+    return c1, c2
+
+
+# ---------------------------------------------------------------------------
+# Interface matching
+# ---------------------------------------------------------------------------
+
+
+class TestMatchedBuses:
+    def test_shared_buses_default_pairing(self):
+        c1 = build_ripple_adder(8)
+        c2 = build_kogge_stone_adder(8)
+        pairs = matched_buses(c1, c2)
+        assert ("sum", "sum") in pairs
+
+    def test_input_interface_mismatch_rejected(self):
+        c1 = build_ripple_adder(8)
+        c2 = build_ripple_adder(16)
+        with pytest.raises(NetlistError, match="input interfaces differ"):
+            matched_buses(c1, c2)
+
+    def test_width_mismatch_rejected(self):
+        c1 = Circuit("one")
+        a = c1.add_input("a")
+        c1.set_output("y", c1.not_(a))
+        c2 = Circuit("two")
+        a = c2.add_input("a")
+        c2.set_output_bus("y", [c2.not_(a), c2.buf(a)])
+        with pytest.raises(NetlistError, match="different widths"):
+            matched_buses(c1, c2)
+
+    def test_no_shared_outputs_rejected(self):
+        c1 = Circuit("one")
+        a = c1.add_input("a")
+        c1.set_output("y", c1.not_(a))
+        c2 = Circuit("two")
+        a = c2.add_input("a")
+        c2.set_output("z", c2.not_(a))
+        with pytest.raises(NetlistError, match="share no output bus"):
+            matched_buses(c1, c2)
+        # Explicit pairing still works.
+        assert matched_buses(c1, c2, [("y", "z")]) == [("y", "z")]
+
+
+# ---------------------------------------------------------------------------
+# Structural key
+# ---------------------------------------------------------------------------
+
+
+class TestStructuralKey:
+    def test_identical_builds_compare_equal(self):
+        assert structural_equal(build_ripple_adder(8), build_ripple_adder(8))
+
+    def test_commutative_operands_canonicalized(self):
+        c1 = Circuit("t")
+        a = c1.add_input("a")
+        b = c1.add_input("b")
+        c1.set_output("y", c1.and2(a, b))
+        c2 = Circuit("t")
+        a = c2.add_input("a")
+        b = c2.add_input("b")
+        c2.set_output("y", c2.and2(b, a))
+        assert structural_equal(c1, c2)
+
+    def test_different_function_different_key(self):
+        c1, c2 = _xor_pair()
+        assert structural_key(c1) != structural_key(c2)
+
+
+# ---------------------------------------------------------------------------
+# Miter construction
+# ---------------------------------------------------------------------------
+
+
+class TestMiter:
+    def test_miter_neq_flags_exactly_disagreements(self):
+        c1, c2 = _xor_pair()
+        # Break c2: invert its output so it disagrees everywhere.
+        broken = Circuit("broken")
+        a = broken.add_input("a")
+        b = broken.add_input("b")
+        broken.set_output("y", broken.xnor2(a, b))
+        good = build_miter(c1, c2)
+        bad = build_miter(c1, broken)
+        for a_v in (0, 1):
+            for b_v in (0, 1):
+                ins = {"a": a_v, "b": b_v}
+                assert simulate(good, ins)["neq"] == 0
+                assert simulate(bad, ins)["neq"] == 1
+
+    def test_miter_exposes_diff_buses(self):
+        c1 = build_ripple_adder(4)
+        c2 = build_kogge_stone_adder(4)
+        miter = build_miter(c1, c2)
+        assert "neq" in miter.output_buses
+        assert any(name.startswith("diff_sum") for name in miter.output_buses)
+        # Shared inputs: one a bus, one b bus, both 4 bits wide.
+        assert {n: len(v) for n, v in miter.input_buses.items()} == {
+            "a": 4,
+            "b": 4,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Signatures
+# ---------------------------------------------------------------------------
+
+
+class TestSignatures:
+    def test_random_batch_is_seed_deterministic(self):
+        c = build_ripple_adder(16)
+        assert random_input_batch(c, 32, seed=7) == random_input_batch(
+            c, 32, seed=7
+        )
+        assert random_input_batch(c, 32, seed=7) != random_input_batch(
+            c, 32, seed=8
+        )
+
+    def test_signatures_match_single_vector_simulation(self):
+        c = build_ripple_adder(4)
+        sigs = net_signatures(c, num_vectors=16, seed=3)
+        batch = random_input_batch(c, 16, seed=3)
+        for v in range(16):
+            out = simulate(c, {"a": batch["a"][v], "b": batch["b"][v]})
+            for bit, net in enumerate(c.output_bus("sum")):
+                assert (sigs[net] >> v) & 1 == (out["sum"] >> bit) & 1
+
+    def test_duplicate_logic_lands_in_one_class(self):
+        c = Circuit("dup")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.and2(a, b)
+        y = c.and2(a, b)  # structural duplicate
+        c.set_output("y", c.or2(x, y))
+        classes = signature_classes(c, num_vectors=64)
+        assert any({x, y} <= set(cls) for cls in classes)
+
+
+# ---------------------------------------------------------------------------
+# Counterexamples
+# ---------------------------------------------------------------------------
+
+
+class TestCounterexamples:
+    def test_verify_finds_first_differing_bit(self):
+        c1 = build_ripple_adder(8)
+        mutant = apply_fault(c1, Fault(c1.output_bus("sum")[3], 1))
+        pairs = [("sum", "sum")]
+        assert verify_counterexample(c1, mutant, pairs, {"a": 0, "b": 0}) == (
+            "sum",
+            3,
+        )
+        # a=8,b=0 sets sum[3]=1 in both circuits: no disagreement there.
+        assert verify_counterexample(c1, mutant, pairs, {"a": 8, "b": 0}) is None
+
+    def test_minimization_is_one_minimal(self):
+        c1 = build_ripple_adder(8)
+        mutant = apply_fault(c1, Fault(c1.output_bus("sum")[3], 0))
+        pairs = [("sum", "sum")]
+        dense = {"a": 0xAB, "b": 0xCD}
+        assert verify_counterexample(c1, mutant, pairs, dense) is not None
+        small = minimize_counterexample(c1, mutant, pairs, dense)
+        assert verify_counterexample(c1, mutant, pairs, small) is not None
+        # Clearing any single remaining set bit kills the disagreement.
+        for name, value in small.items():
+            for bit in range(value.bit_length()):
+                if (value >> bit) & 1:
+                    trial = dict(small)
+                    trial[name] = value & ~(1 << bit)
+                    assert (
+                        verify_counterexample(c1, mutant, pairs, trial) is None
+                    ), (name, bit)
+
+
+# ---------------------------------------------------------------------------
+# The full funnel
+# ---------------------------------------------------------------------------
+
+
+class TestCheckEquivalent:
+    def test_identical_circuits_settle_structurally(self):
+        result = check_equivalent(build_ripple_adder(16), build_ripple_adder(16))
+        assert result.equivalent and result.method == "structural"
+
+    def test_cross_architecture_needs_bdd_proof(self):
+        result = check_equivalent(
+            build_ripple_adder(16),
+            build_kogge_stone_adder(16),
+            [("sum", "sum")],
+        )
+        assert result.equivalent and result.method == "bdd"
+        assert result.bdd_nodes > 0
+        assert result.candidates == 17  # sum is n+1 bits
+
+    def test_planted_fault_refuted_with_replayable_counterexample(self):
+        """The acceptance-criterion scenario: apply_fault mutant caught."""
+        clean = build_ripple_adder(16)
+        # Stuck-at-0 on an internal carry net (the last gate driving sum[8]).
+        victim = clean.driver_of(clean.output_bus("sum")[8]).inputs[0]
+        mutant = apply_fault(clean, Fault(victim, 0))
+        result = check_equivalent(clean, mutant, [("sum", "sum")])
+        assert not result.equivalent
+        assert result.method in ("simulation", "bdd")
+        assert result.minimized
+        cex = result.counterexample
+        assert cex is not None
+        # Replay: the recorded vector really distinguishes the circuits.
+        bus, bit = result.mismatch
+        out_clean = simulate(clean, cex)
+        out_mutant = simulate(mutant, cex)
+        assert (out_clean[bus] >> bit) & 1 != (out_mutant[bus] >> bit) & 1
+        assert out_clean["sum"] == cex["a"] + cex["b"]
+
+    def test_rare_disagreement_caught_by_bdd_stage(self):
+        """A mismatch too rare for random vectors is still refuted."""
+        c1 = Circuit("and_wide")
+        a1 = c1.add_input_bus("a", 16)
+        acc = a1[0]
+        for net in a1[1:]:
+            acc = c1.and2(acc, net)
+        c1.set_output("y", acc)
+        c2 = Circuit("const_zero")
+        c2.add_input_bus("a", 16)
+        c2.set_output("y", c2.const0())
+        # Disagrees only at a=0xffff: ~1.5e-5 per random vector.
+        result = check_equivalent(c1, c2, [("y", "y")], sim_vectors=64)
+        assert not result.equivalent and result.method == "bdd"
+        assert result.counterexample == {"a": 0xFFFF}
+
+    def test_sim_vectors_zero_goes_straight_to_bdd(self):
+        c1, c2 = _xor_pair()
+        result = check_equivalent(c1, c2, sim_vectors=0)
+        assert result.equivalent and result.method == "bdd"
+        assert result.sim_vectors == 0
+
+    def test_result_round_trips_to_dict(self):
+        clean = build_ripple_adder(8)
+        mutant = apply_fault(clean, Fault(clean.output_bus("sum")[0], 1))
+        result = check_equivalent(clean, mutant, [("sum", "sum")])
+        payload = result.to_dict()
+        assert payload["equivalent"] is False
+        assert payload["mismatch"] == ["sum", 0]
+        assert payload["seed"] == result.seed
+        assert isinstance(payload["counterexample"], dict)

@@ -33,7 +33,7 @@ def test_registry_ids_unique_and_sorted():
     assert len(ids) == len(set(ids))
     names = [r.name for r in rules]
     assert len(names) == len(set(names))
-    assert {r.family for r in rules} == {"structural", "formal", "timing"}
+    assert {r.family for r in rules} == {"structural", "formal", "timing", "equiv"}
     assert all(r.severity in SEVERITIES for r in rules)
 
 

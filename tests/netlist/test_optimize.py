@@ -7,11 +7,14 @@ import pytest
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.optimize import (
+    AREA_PASSES,
     buffer_fanout,
+    depth_levels,
     fold_constants,
     map_compound,
     merge_inverters,
     optimize,
+    share_structure,
     strip_dead,
 )
 from repro.netlist.simulate import simulate, simulate_batch
@@ -197,6 +200,60 @@ class TestBufferFanout:
             buffer_fanout(c, max_fanout=1)
 
 
+class TestShareStructure:
+    def test_duplicate_gate_shared(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.and2(a, b)
+        y = c.and2(a, b)
+        c.set_output("p", c.not_(x))
+        c.set_output("q", c.not_(y))
+        out = strip_dead(share_structure(c))
+        assert out.count_by_kind().get("AND2", 0) == 1
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1})
+
+    def test_commutative_operand_order_irrelevant(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("p", c.xor2(a, b))
+        c.set_output("q", c.xor2(b, a))
+        out = strip_dead(share_structure(c))
+        assert out.count_by_kind().get("XOR2", 0) == 1
+
+    def test_degenerate_same_operand_gates_collapse(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output("and_aa", c.and2(a, a))  # a
+        c.set_output("xor_aa", c.xor2(a, a))  # 0
+        c.set_output("xnor_aa", c.xnor2(a, a))  # 1
+        c.set_output("nand_aa", c.nand2(a, a))  # ~a
+        out = strip_dead(share_structure(c))
+        kinds = out.count_by_kind()
+        assert kinds.get("AND2", 0) == 0
+        assert kinds.get("XOR2", 0) == 0
+        assert kinds.get("XNOR2", 0) == 0
+        assert kinds.get("NAND2", 0) == 0
+        for v in (0, 1):
+            got = simulate(out, {"a": v})
+            assert got["and_aa"] == v
+            assert got["xor_aa"] == 0
+            assert got["xnor_aa"] == 1
+            assert got["nand_aa"] == 1 - v
+
+    def test_sharing_is_transitive_through_rebuilt_fanin(self):
+        """Gates over shared fan-in merge too (one pass, topological)."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.set_output("p", c.or2(c.and2(a, b), a))
+        c.set_output("q", c.or2(c.and2(b, a), a))
+        out = strip_dead(share_structure(c))
+        assert out.count_by_kind() == {"AND2": 1, "OR2": 1}
+        _exhaustive_equivalent(c, out, {"a": 1, "b": 1})
+
+
 class TestOptimizePipeline:
     @pytest.mark.parametrize("width", [4, 8])
     def test_adder_preserved_exhaustively(self, width):
@@ -249,3 +306,128 @@ class TestOptimizePipeline:
         before = c.num_gates
         optimize(c)
         assert c.num_gates == before
+
+
+# ---------------------------------------------------------------------------
+# Grid-wide invariants: idempotence and simulate bit-identity
+# ---------------------------------------------------------------------------
+
+GRID_WIDTHS = (8, 16, 32, 64)
+
+
+def _grid_points():
+    from repro.engine.elab import grid_designs
+
+    return [(name, width) for name in grid_designs() for width in GRID_WIDTHS]
+
+
+@pytest.mark.parametrize("name,width", _grid_points())
+def test_grid_optimize_idempotent_and_bit_identical(name, width):
+    """AREA pipeline: optimize twice == optimize once, and simulation of
+    the optimized netlist is bit-identical to the raw one on both
+    backends (seeded random batch)."""
+    from repro.engine.elab import build_design
+    from repro.netlist.equiv import random_input_batch, structural_key
+
+    raw = build_design(name, width)
+    once, _ = optimize(raw, passes=AREA_PASSES, buffer_limit=None)
+    twice, stats2 = optimize(once, passes=AREA_PASSES, buffer_limit=None)
+    check_circuit(once)
+    assert structural_key(once) == structural_key(twice), (name, width)
+    assert stats2.removed == 0
+
+    batch = random_input_batch(raw, 64, seed=width)
+    want = simulate_batch(raw, batch, backend="reference")
+    got_ref = simulate_batch(once, batch, backend="reference")
+    got_jit = simulate_batch(once, batch, backend="compiled")
+    for bus in raw.output_buses:
+        assert got_ref[bus] == want[bus], (name, width, bus)
+        assert got_jit[bus] == want[bus], (name, width, bus)
+
+
+def test_depth_levels_counts_unit_logic_depth():
+    c = Circuit("t")
+    a = c.add_input("a")
+    x = a
+    for _ in range(4):
+        x = c.not_(x)
+    c.set_output("y", x)
+    c.set_output("zero", c.const0())  # constants are depth 0
+    assert depth_levels(c) == 4
+
+
+# ---------------------------------------------------------------------------
+# Prove mode: equivalence-gated passes with rollback
+# ---------------------------------------------------------------------------
+
+
+class TestProveMode:
+    def test_prove_records_every_pass(self):
+        from repro.adders import build_carry_select_adder
+
+        c = build_carry_select_adder(16)
+        opt, stats = optimize(
+            c, passes=AREA_PASSES, buffer_limit=None, prove=True
+        )
+        assert stats.proved
+        assert stats.rollbacks == 0
+        assert len(stats.pass_records) >= len(AREA_PASSES)
+        names = {r.name for r in stats.pass_records}
+        assert "share_structure" in names
+        for record in stats.pass_records:
+            assert record.proved is True and not record.rolled_back
+
+    def test_unproved_run_reports_not_proved(self):
+        from repro.adders import build_ripple_adder
+
+        _, stats = optimize(build_ripple_adder(8))
+        assert not stats.proved
+        # Records are kept even without prove=True, but carry no verdict.
+        assert stats.pass_records
+        assert all(r.proved is None for r in stats.pass_records)
+
+    def test_broken_pass_rolled_back_with_counterexample(self):
+        """A miscompiling pass is refuted, rolled back, and reported."""
+        from repro.adders import build_ripple_adder
+
+        def bad_pass(circuit):
+            # Rewrite every AND2 as OR2: wrong whenever inputs differ.
+            out = Circuit(circuit.name)
+            env = {}
+            for name, nets in circuit.input_buses.items():
+                env.update(zip(nets, out.add_input_bus(name, len(nets))))
+            for gate in circuit.gates:
+                kind = "OR2" if gate.kind == "AND2" else gate.kind
+                if kind == "CONST0":
+                    env[gate.output] = out.const0()
+                elif kind == "CONST1":
+                    env[gate.output] = out.const1()
+                else:
+                    env[gate.output] = out.add_gate(
+                        kind, [env[n] for n in gate.inputs]
+                    )
+            for name, nets in circuit.output_buses.items():
+                out.set_output_bus(name, [env[n] for n in nets])
+            return out
+
+        c = build_ripple_adder(8)
+        opt, stats = optimize(
+            c,
+            passes=(bad_pass,),
+            max_iterations=1,
+            buffer_limit=None,
+            prove=True,
+        )
+        assert stats.rollbacks == 1
+        record = stats.pass_records[0]
+        assert record.rolled_back and record.proved is False
+        assert record.counterexample is not None
+        # The rollback left the circuit untouched...
+        for a in (0, 3, 255):
+            assert simulate(opt, {"a": a, "b": 1})["sum"] == a + 1
+        # ...and the recorded counterexample really refutes the bad pass.
+        cex = record.counterexample
+        broken = bad_pass(c)
+        assert simulate(broken, cex)["sum"] != simulate(c, cex)["sum"]
+        # stats.proved still holds: the refuted pass was rolled back.
+        assert stats.proved

@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 schema-shape validation for lint, equiv, and STA output.
+
+The repository has no jsonschema dependency, so this validates the
+document shape structurally: the required top-level keys, the
+``tool.driver`` rule table, result well-formedness, and the logical
+locations that anchor findings to circuits, ports, and nets — across
+all three rule families that emit SARIF (structural/formal lint, the
+E-family equivalence findings, and the T-family timing findings).
+"""
+
+import json
+
+from repro.netlist.lint import reports_to_sarif, resolve_rules, run_lint
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL_FOR_SEVERITY = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def _vlsa_reports():
+    """Lint reports that exercise every family, including T002 and E001.
+
+    Optimized vlsa at 64 bits genuinely violates the timing rules (its
+    detector lands after its sum — the paper's own argument against it),
+    and raw vlcsa1 carries redundant logic the E-family reports.
+    """
+    from repro.core import build_vlcsa1, build_vlsa
+    from repro.netlist.optimize import optimize
+
+    vlsa, _ = optimize(build_vlsa(64, 14))
+    return [run_lint(vlsa), run_lint(build_vlcsa1(32, 13))]
+
+
+def _assert_sarif_shape(doc):
+    """Structural assertions over one SARIF 2.1.0 document."""
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"] == _SARIF_SCHEMA_URI
+    assert isinstance(doc["runs"], list) and doc["runs"]
+    for run in doc["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"]
+        rules = driver["rules"]
+        rule_ids = [r["id"] for r in rules]
+        assert rule_ids == sorted(rule_ids)
+        assert len(rule_ids) == len(set(rule_ids))
+        for rule in rules:
+            assert rule["name"]
+            assert rule["shortDescription"]["text"]
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            for location in result["locations"]:
+                logicals = location["logicalLocations"]
+                assert logicals, "every result must be anchored"
+                kinds = {loc["kind"] for loc in logicals}
+                assert kinds <= {"module", "parameter", "member"}
+                assert "module" in kinds  # the circuit itself
+                for loc in logicals:
+                    assert loc["name"]
+                    assert "::" in loc.get(
+                        "fullyQualifiedName", "::"
+                    ) or loc["kind"] == "module"
+
+
+def test_sarif_document_is_json_serializable_and_shaped():
+    reports = _vlsa_reports()
+    doc = json.loads(json.dumps(reports_to_sarif(reports)))
+    _assert_sarif_shape(doc)
+
+
+def test_sarif_levels_match_severities():
+    reports = _vlsa_reports()
+    doc = reports_to_sarif(reports)
+    by_id = {r.id: r for r in resolve_rules()}
+    for result in doc["runs"][0]["results"]:
+        rule = by_id[result["ruleId"]]
+        assert result["level"] == _LEVEL_FOR_SEVERITY[rule.severity]
+
+
+def test_timing_findings_carry_port_anchors():
+    """T002 results anchor the failing endpoint as a parameter port."""
+    doc = reports_to_sarif(_vlsa_reports())
+    t002 = [
+        res
+        for run in doc["runs"]
+        for res in run["results"]
+        if res["ruleId"] == "T002"
+    ]
+    assert t002, "optimized vlsa@64 must trip T002"
+    for result in t002:
+        ports = [
+            loc
+            for loc in result["locations"][0]["logicalLocations"]
+            if loc["kind"] == "parameter"
+        ]
+        assert ports, "timing findings must name the endpoint port"
+        assert any(loc["name"] == "err" for loc in ports)
+
+
+def test_equiv_findings_present_and_anchored():
+    """E-family findings appear for redundant logic, anchored to nets."""
+    doc = reports_to_sarif(_vlsa_reports())
+    e_family = [
+        res
+        for run in doc["runs"]
+        for res in run["results"]
+        if res["ruleId"].startswith("E0")
+    ]
+    assert e_family, "raw vlcsa1@32 must carry provable redundancy"
+    for result in e_family:
+        assert result["level"] == "note"
+        members = [
+            loc
+            for loc in result["locations"][0]["logicalLocations"]
+            if loc["kind"] == "member"
+        ]
+        assert members, "equivalence findings must name the nets"
+
+
+def test_empty_reports_still_valid_sarif():
+    from repro.netlist.circuit import Circuit
+
+    c = Circuit("clean")
+    a = c.add_input("a")
+    c.set_output("y", c.not_(a))
+    doc = reports_to_sarif([run_lint(c)])
+    _assert_sarif_shape(doc)
+    assert doc["runs"][0]["results"] == []

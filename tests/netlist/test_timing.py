@@ -131,6 +131,109 @@ class TestPathQueries:
         assert rows[-1][1] == "INV"
 
 
+class TestSlack:
+    def test_default_clock_gives_zero_worst_slack(self):
+        """Acceptance criterion: at clock == critical_delay the worst
+        slack is exactly zero on the raw (unoptimized) circuit."""
+        from repro.adders import build_carry_select_adder
+
+        for width in (8, 16, 32):
+            report = analyze_timing(build_carry_select_adder(width))
+            assert report.worst_slack() == pytest.approx(0.0, abs=1e-12)
+
+    def test_required_times_budget_backwards(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = c.not_(a)
+        y = c.not_(x)
+        c.set_output("y", y)
+        report = analyze_timing(c, _unit_library())
+        required = report.required_times(clock=5.0)
+        assert required[y] == pytest.approx(5.0)
+        assert required[x] == pytest.approx(4.0)  # minus one unit stage
+        assert required[a] == pytest.approx(3.0)
+
+    def test_net_slack_is_min_over_obligations(self):
+        """A net feeding both a fast and a slow cone gets the slow cone's
+        (tighter) slack, not the endpoint's own."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        fast = c.buf(a)
+        slow = a
+        for _ in range(4):
+            slow = c.not_(slow)
+        c.set_output("fast", fast)
+        c.set_output("slow", slow)
+        report = analyze_timing(c, _unit_library())
+        slacks = report.slacks(clock=5.0)
+        # a arrives at 0; through the slow cone it must leave by 1.0.
+        assert slacks[a] == pytest.approx(1.0)
+        assert report.worst_slack(clock=5.0) == pytest.approx(1.0)
+
+    def test_negative_slack_under_tight_clock(self):
+        from repro.adders import build_ripple_adder
+
+        c = build_ripple_adder(16)
+        report = analyze_timing(c)
+        tight = report.critical_delay / 2
+        assert report.worst_slack(clock=tight) == pytest.approx(
+            tight - report.critical_delay
+        )
+
+
+class TestCriticalPaths:
+    def test_paths_sorted_by_endpoint_slack(self):
+        from repro.core import build_vlcsa1
+
+        report = analyze_timing(build_vlcsa1(32, 13))
+        paths = report.critical_paths(k=8)
+        assert len(paths) == 8
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+        # Worst endpoint is the critical path itself: slack 0 at default clock.
+        assert paths[0].slack == pytest.approx(0.0, abs=1e-12)
+        assert paths[0].arrival == pytest.approx(report.critical_delay)
+
+    def test_path_carries_named_bus_anchors(self):
+        from repro.core import build_vlcsa2
+
+        c = build_vlcsa2(32, 13)
+        report = analyze_timing(c)
+        for path in report.critical_paths(k=5):
+            # Endpoint anchors use port syntax: the bus name, or bus[i].
+            assert path.endpoint.split("[")[0] in c.output_buses
+            assert path.bus in c.output_buses
+            assert 0 <= path.bit < len(c.output_bus(path.bus))
+            assert report.port_of(c.output_bus(path.bus)[path.bit]) == (
+                path.endpoint
+            )
+            assert path.nets  # full net trace retained
+            assert path.startpoint
+
+    def test_port_of_resolves_both_directions(self):
+        c = Circuit("t")
+        bus = c.add_input_bus("a", 2)
+        y = c.not_(bus[0])
+        c.set_output("y", y)
+        report = analyze_timing(c)
+        assert report.port_of(bus[1]) == "a[1]"
+        assert report.port_of(y) == "y"
+        assert report.port_of(9999) is None
+
+    def test_describe_path_includes_port_column(self):
+        from repro.core import build_vlcsa1
+
+        c = build_vlcsa1(16, 4)
+        from repro.netlist.timing import describe_path
+
+        report = analyze_timing(c)
+        rows = describe_path(c, report, report.critical_path())
+        assert all(len(row) == 4 for row in rows)
+        first, last = rows[0], rows[-1]
+        assert first[1] == "<input>" and first[3]  # named startpoint port
+        assert last[3]  # endpoint is an output port
+
+
 def test_critical_delay_convenience_matches_report():
     from repro.adders import build_ripple_adder
 

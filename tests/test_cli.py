@@ -142,7 +142,10 @@ def test_lint_clean_design(capsys):
     captured = capsys.readouterr()
     assert "vlcsa1 n=16" in captured.out
     assert "0 error(s)" in captured.out
-    assert "clean" in captured.err
+    # The timing pipeline deliberately leaves sharable logic duplicated
+    # (sharing raises fanout), so the E001 note is expected: the gate is
+    # error-severity only.
+    assert "worst severity info" in captured.err
 
 
 def test_lint_fails_on_unoptimized_timing(capsys):
@@ -423,3 +426,61 @@ def test_serve_rejects_bad_config(capsys):
 def test_loadgen_rejects_bad_config(capsys):
     assert main(["loadgen", "--uds", "/tmp/x.sock", "--requests", "0"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_equiv_mutant_refuted_with_minimized_cex(tmp_path, capsys):
+    out = tmp_path / "equiv.json"
+    code = main(
+        ["equiv", "scsa1", "designware", "16", "--bus1", "sum",
+         "--bus2", "sum", "--json", str(out)]
+    )
+    assert code == 1
+    text = capsys.readouterr().out
+    assert "NOT EQUIVALENT" in text and "counterexample" in text
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["result"]["equivalent"] is False
+    assert payload["result"]["counterexample"] is not None
+
+
+def test_equiv_optimized_against_raw(capsys):
+    assert main(["equiv", "vlcsa2", "vlcsa2", "16", "--optimize2"]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_opt_proves_and_reports_reductions(tmp_path, capsys):
+    out = tmp_path / "opt.json"
+    code = main(
+        ["opt", "carry_select", "--widths", "16", "--prove",
+         "--json", str(out)]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "reduction" in text and "proved" in text
+    import json
+
+    payload = json.loads(out.read_text())
+    row = payload["rows"][0]
+    assert row["proved"] is True and row["rollbacks"] == 0
+    assert row["gate_reduction"] >= 1.10
+    assert payload["ok"] is True
+
+
+def test_sta_reports_paths_and_sarif(tmp_path, capsys):
+    sarif = tmp_path / "sta.sarif"
+    assert main(
+        ["sta", "vlcsa2", "32", "--paths", "3", "-v", "--sarif", str(sarif)]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "critical delay" in text and "slack" in text
+    assert "worst path" in text
+    import json
+
+    doc = json.loads(sarif.read_text())
+    assert doc["version"] == "2.1.0"
+
+
+def test_sta_tight_clock_fails_with_violation(capsys):
+    assert main(["sta", "ripple", "32", "--clock", "0.1"]) == 1
+    assert "TIMING VIOLATION" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""Tests for the determinism AST lint (repro.devtools.determinism)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.determinism import (
+    ALLOW_MARKER,
+    check_paths,
+    check_source,
+    main,
+)
+
+
+def _lint(code):
+    return check_source(textwrap.dedent(code), "snippet.py")
+
+
+# ---------------------------------------------------------------------------
+# Banned patterns
+# ---------------------------------------------------------------------------
+
+
+class TestBannedCalls:
+    def test_global_random_module_calls(self):
+        violations = _lint(
+            """
+            import random
+            x = random.random()
+            y = random.randint(0, 7)
+            random.seed(42)
+            """
+        )
+        assert len(violations) == 3
+        assert all("random.Random(seed)" in v.message for v in violations)
+        assert [v.line for v in violations] == [3, 4, 5]
+
+    def test_aliased_import_tracked(self):
+        violations = _lint(
+            """
+            import random as rnd
+            rnd.shuffle([1, 2, 3])
+            """
+        )
+        assert len(violations) == 1
+
+    def test_from_random_import_tracked(self):
+        violations = _lint(
+            """
+            from random import getrandbits as grb, randint
+            grb(8)
+            randint(0, 1)
+            """
+        )
+        assert len(violations) == 2
+
+    def test_numpy_global_state_banned_seeded_rng_allowed(self):
+        violations = _lint(
+            """
+            import numpy as np
+            bad = np.random.rand(3)
+            also_bad = np.random.randint(0, 7)
+            fine = np.random.default_rng(2012)
+            also_fine = np.random.PCG64(1)
+            """
+        )
+        assert len(violations) == 2
+        assert all("default_rng" in v.message for v in violations)
+
+    def test_naked_time_time_banned(self):
+        violations = _lint(
+            """
+            import time
+            from time import time as now
+            t0 = time.time()
+            t1 = now()
+            ok = time.perf_counter()
+            """
+        )
+        assert len(violations) == 2
+        assert all("perf_counter" in v.message for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# Sanctioned forms
+# ---------------------------------------------------------------------------
+
+
+class TestSanctionedForms:
+    def test_seeded_random_instance_is_legal(self):
+        assert (
+            _lint(
+                """
+                import random
+                rng = random.Random(2012)
+                x = rng.random()
+                y = rng.getrandbits(64)
+                """
+            )
+            == []
+        )
+
+    def test_monotonic_clocks_are_legal(self):
+        assert (
+            _lint(
+                """
+                import time
+                t0 = time.perf_counter()
+                t1 = time.monotonic()
+                time.sleep(0.01)
+                """
+            )
+            == []
+        )
+
+    def test_unrelated_modules_untouched(self):
+        assert (
+            _lint(
+                """
+                import os
+                import mymodule as random
+                # A *local* name shadowing is fine: only real imports count.
+                x = os.urandom(4)
+                """
+            )
+            == []
+        )
+
+    def test_allow_marker_exempts_the_line(self):
+        violations = _lint(
+            f"""
+            import time
+            stamp = time.time()  # {ALLOW_MARKER}: provenance timestamp
+            naked = time.time()
+            """
+        )
+        assert len(violations) == 1
+        assert violations[0].line == 4
+
+
+# ---------------------------------------------------------------------------
+# Path handling and CLI
+# ---------------------------------------------------------------------------
+
+
+class TestPaths:
+    def test_test_trees_exempt(self, tmp_path):
+        bad = "import random\nrandom.random()\n"
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "helper.py").write_text(bad)
+        (tmp_path / "test_thing.py").write_text(bad)
+        (tmp_path / "module.py").write_text(bad)
+        violations = check_paths([tmp_path])
+        assert [Path(v.path).name for v in violations] == ["module.py"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import random\nrng = random.Random(1)\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr()
+        assert "dirty.py:2" in out.out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_repository_source_tree_is_clean():
+    """The invariant CI enforces: src/repro has no nondeterminism."""
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    assert src.is_dir()
+    violations = check_paths([src])
+    assert violations == [], "\n".join(map(str, violations))
