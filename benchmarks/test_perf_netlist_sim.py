@@ -34,12 +34,12 @@ def _vectors(circuit, count, seed):
     }
 
 
-def _best_of(fn, repeat=3):
+def _best_of(fn, repeat=3, clock=time.perf_counter):
     best, result = None, None
     for _ in range(repeat):
-        start = time.perf_counter()
+        start = clock()
         result = fn()
-        elapsed = time.perf_counter() - start
+        elapsed = clock() - start
         best = elapsed if best is None else min(best, elapsed)
     return best, result
 
@@ -116,4 +116,86 @@ def test_perf_fault_coverage(benchmark):
     assert r["speedup"] >= floor, (
         f"concurrent fault coverage speedup {r['speedup']:.1f}x "
         f"below the {floor:.0f}x floor"
+    )
+
+
+def test_perf_vectorized_backend(benchmark):
+    """PR 8 headline: the level-vectorized limb backend vs the compiled
+    big-int kernel at large batch sizes, bit identity asserted.
+
+    Measured on the DesignWare-style baseline adder at n=64, the
+    acceptance point from the bench trajectory (the deepest-fused level
+    structure of the grid; VLCSA's wide mux levels fuse less and land
+    around 2.5x).  The gate-evaluation phase alone is ~10x faster than
+    the big-int kernel; the end-to-end ratio is Amdahl-capped by the
+    shared Python-int pack/unpack boundary at ~2.5-3.5x for n=64 (wide
+    buses at n=256 reach 20-65x because the compiled backend loses its
+    uint64 packing fast path there).  Floors are accel-aware: with the
+    C transpose fast path (:mod:`repro.netlist._accel`, available
+    wherever a system C compiler is) the floor is 2.3x at full scale —
+    safely under the observed 2.6-3.4x band on shared runners; the
+    pure-numpy fallback keeps a lower floor.  At 1024 vectors the
+    vectorized backend must at least hold its ground (no regression).
+
+    The ratio is taken over CPU time (``time.process_time``): on shared
+    single-CPU runners wall-clock noise lands disproportionately on the
+    faster backend and turns a hard floor flaky.
+    """
+    from repro.engine.elab import build_design
+    from repro.netlist import _accel
+
+    n_large = 4096 if full_scale() else 2048
+    accel = _accel.load() is not None
+
+    def compute():
+        built = build_design("designware", WIDTH)
+        circuit = getattr(built, "circuit", built)
+        rows = {}
+        for count in (1024, n_large):
+            batch = _vectors(circuit, count, 41)
+            # Untimed warmup: the first vectorized call pays one-time
+            # plan/codegen/scratch costs, the first compiled call the
+            # kernel compile.
+            simulate_batch(circuit, batch, backend="compiled")
+            simulate_batch(circuit, batch, backend="vectorized")
+            t_cmp, out_cmp = _best_of(
+                lambda: simulate_batch(circuit, batch, backend="compiled"),
+                repeat=5, clock=time.process_time,
+            )
+            t_vec, out_vec = _best_of(
+                lambda: simulate_batch(circuit, batch, backend="vectorized"),
+                repeat=5, clock=time.process_time,
+            )
+            assert out_vec == out_cmp, "vectorized diverged from compiled"
+            rows[count] = {"compiled_s": t_cmp, "vectorized_s": t_vec,
+                           "ratio": t_cmp / t_vec}
+        return rows
+
+    r = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["vectors", "compiled", "vectorized", "ratio"],
+            [
+                (count, f"{row['compiled_s'] * 1e3:.2f} ms",
+                 f"{row['vectorized_s'] * 1e3:.2f} ms",
+                 f"{row['ratio']:.2f}x")
+                for count, row in r.items()
+            ],
+            title=f"vectorized vs compiled, designware n={WIDTH} "
+            f"(best of 5, C fast path {'on' if accel else 'off'})",
+        )
+    )
+    if full_scale():
+        floor = 2.3 if accel else 1.2
+    else:
+        floor = 1.5 if accel else 1.0
+    ratio = r[n_large]["ratio"]
+    assert ratio >= floor, (
+        f"vectorized backend {ratio:.2f}x vs compiled at {n_large} vectors, "
+        f"below the {floor:.1f}x floor"
+    )
+    assert r[1024]["ratio"] >= 0.9, (
+        f"vectorized backend regressed at 1024 vectors "
+        f"({r[1024]['ratio']:.2f}x vs compiled)"
     )

@@ -11,6 +11,8 @@ bit-for-bit the same as a fresh elaboration.
 
 from __future__ import annotations
 
+import functools as _functools
+
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.analysis.compare import (
@@ -169,3 +171,78 @@ def measure_design(
             return builder()
         key = cache_key(architecture, width, window, opts)
         return cache.get_or_build(key, builder)
+
+
+@_functools.lru_cache(maxsize=32)
+def _sim_circuit(
+    architecture: str, width: int, window: Optional[int]
+) -> "Circuit":
+    """Memoised :func:`build_design` for the simulation entry point.
+
+    Simulation requests (serve's ``sim`` kind, the CLI grid) hit the
+    same few ``(architecture, width, window)`` tuples repeatedly;
+    elaboration dominates small batches, so a bounded memo keeps warm
+    shards elaboration-free.  Circuits are append-only and never mutated
+    after elaboration, so sharing instances is safe.
+    """
+    return build_design(architecture, width, window)
+
+
+def simulate_design(
+    architecture: str,
+    width: int,
+    window: Optional[int] = None,
+    vectors: int = 1024,
+    seed: int = 2012,
+    backend: str = "auto",
+) -> Dict[str, Any]:
+    """Deterministic gate-level simulation batch of a named design.
+
+    Draws ``vectors`` uniform operand pairs from ``random.Random(seed)``,
+    simulates them through the requested backend
+    (:func:`repro.netlist.simulate.simulate_batch` semantics), and
+    returns a JSON-ready summary: a SHA-256 digest of all output buses
+    (the cross-backend identity witness — any two backends must produce
+    the same digest), plus the error-flag count for variable-latency
+    designs.  The same tuple always produces the same digest, which is
+    what makes the result cacheable and coalescable in ``repro.serve``.
+    """
+    import hashlib
+    import json
+    import random
+
+    from repro.netlist.simulate import simulate_batch
+    from repro.obs import spans as _obs
+
+    if vectors < 0:
+        raise ValueError(f"vectors must be non-negative, got {vectors}")
+    circuit = _sim_circuit(architecture, width, window)
+    rng = random.Random(seed)
+    inputs = {
+        name: [rng.getrandbits(len(nets)) for _ in range(vectors)]
+        for name, nets in circuit.input_buses.items()
+    }
+    with _obs.span(
+        "engine.simulate",
+        architecture=architecture,
+        width=width,
+        vectors=vectors,
+        backend=backend,
+    ):
+        outputs = simulate_batch(circuit, inputs, backend=backend)
+    payload = json.dumps(
+        {name: outputs[name] for name in sorted(outputs)},
+        separators=(",", ":"),
+    ).encode()
+    result: Dict[str, Any] = {
+        "architecture": architecture,
+        "width": width,
+        "window": window,
+        "vectors": vectors,
+        "seed": seed,
+        "backend": backend,
+        "digest": hashlib.sha256(payload).hexdigest(),
+    }
+    if "err" in outputs:
+        result["err_count"] = sum(outputs["err"])
+    return result

@@ -1,6 +1,6 @@
 """The differential oracle: one design point, one batch, every cross-check.
 
-For a batch of operand pairs the oracle evaluates up to four independent
+For a batch of operand pairs the oracle evaluates up to five independent
 implementations and cross-checks them:
 
 1. **compiled backend** — :class:`repro.netlist.compile.CompiledSim` over
@@ -9,6 +9,9 @@ implementations and cross-checks them:
 2. **reference interpreter** —
    :func:`repro.netlist.simulate.simulate_batch_reference`, compared bus
    by bus, bit for bit, against the compiled outputs;
+   the **vectorized limb backend** (``backend="vectorized"``) is a
+   further leg held to the same bit identity (check id
+   ``backend-vectorized``);
 3. **behavioural models** — :mod:`repro.model.behavioral` window profiles
    supply the expected ERR0/ERR1/stall flags and speculation-correctness
    verdicts; :func:`repro.model.error_magnitude.scsa1_speculative_values`
@@ -229,6 +232,25 @@ class Oracle:
                     pairs[index],
                     f"bus {name!r}: compiled={compiled[name][index]:#x} "
                     f"reference={reference[name][index]:#x}",
+                )
+
+        # 2b. Vectorized limb backend, same bus-by-bus bit identity.
+        vectorized = self.sim.run_batch(inputs, backend="vectorized")
+        for name in self.out_buses:
+            if compiled[name] != vectorized[name]:
+                index = next(
+                    i
+                    for i, (c, v) in enumerate(
+                        zip(compiled[name], vectorized[name])
+                    )
+                    if c != v
+                )
+                self._diverge(
+                    out,
+                    "backend-vectorized",
+                    pairs[index],
+                    f"bus {name!r}: compiled={compiled[name][index]:#x} "
+                    f"vectorized={vectorized[name][index]:#x}",
                 )
 
         # 3. Behavioural cross-checks.

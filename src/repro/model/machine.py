@@ -54,7 +54,7 @@ class VariableLatencyMachine:
 
     REQUIRED_OUTPUTS = ("sum", "sum_rec", "err")
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, backend: str = "auto"):
         outputs = circuit.output_buses
         missing = [name for name in self.REQUIRED_OUTPUTS if name not in outputs]
         if missing:
@@ -70,6 +70,10 @@ class VariableLatencyMachine:
         self.width = len(inputs["a"])
         # Compile once at construction; every run() reuses the kernel.
         self._sim = compile_circuit(circuit)
+        #: simulation backend for run() batches (as
+        #: :func:`repro.netlist.simulate.simulate_batch`); ``"auto"``
+        #: routes long operand streams to the vectorized limb backend.
+        self.backend = backend
 
     def run(self, operands: Iterable[Tuple[int, int]]) -> MachineTrace:
         """Push an operand stream through the 1/2-cycle protocol."""
@@ -84,6 +88,7 @@ class VariableLatencyMachine:
         ):
             batch = self._sim.run_batch(
                 {"a": [a for a, _ in pairs], "b": [b for _, b in pairs]},
+                backend=self.backend,
             )
             for spec, rec, err in zip(batch["sum"], batch["sum_rec"], batch["err"]):
                 if err:

@@ -1,0 +1,259 @@
+"""Optional C fast path for the limb backend's bit-plane transposes.
+
+The vectorized simulation backend (:mod:`repro.netlist.compile`) spends
+most of its small-batch time in the 64x64 bit-matrix transposes that
+move bus values between vector-major and net-major bit-plane layouts.
+The numpy SWAR implementation is a few dozen full-array ops per call,
+which is dispatch-bound at common batch sizes (~1 us per op for a 32 KiB
+array); the same transpose in C is a single call that runs entirely in
+registers and L1.
+
+This module embeds that C source, compiles it once with the system C
+compiler into a content-addressed shared library under a per-user cache
+directory, and loads it through :mod:`ctypes`.  Everything is optional:
+if no compiler is present, the build fails, or ``REPRO_ACCEL=0`` is set
+in the environment, :func:`load` returns ``None`` and callers keep the
+pure-numpy path.  Both paths are bit-identical by construction (the C
+code is a line-for-line port of the numpy masked-swap rounds) and the
+test suite cross-checks them whenever the library is available.
+
+Exposed operations, all on C-contiguous uint64 buffers:
+
+* ``bit_transpose_blocks(x, rows, cols)`` — in-place 64x64 bit
+  transpose of every 64-row block of a ``(rows, cols)`` array;
+* ``pack_planes(arr, nv, rows, cols)`` — vector-major ``(nv,)`` values
+  to ``(64, cols)`` net-major bit planes (tail zero-filled);
+* ``unpack_planes(rows, cols, out, nv)`` — ``(64, cols)`` bit planes
+  back to the first ``nv`` vector-major values.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+#: Environment variable gating the fast path: set to ``0`` (or anything
+#: other than empty/``1``) to force the pure-numpy implementation.
+ACCEL_ENV = "REPRO_ACCEL"
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+
+/* Masked-swap masks for j = 32, 16, 8, 4, 2, 1: bit positions b with
+ * (b & j) == 0.  Same schedule as the numpy rounds in compile.py. */
+static const uint64_t MASKS[6] = {
+    0x00000000FFFFFFFFULL,
+    0x0000FFFF0000FFFFULL,
+    0x00FF00FF00FF00FFULL,
+    0x0F0F0F0F0F0F0F0FULL,
+    0x3333333333333333ULL,
+    0x5555555555555555ULL,
+};
+
+static void transpose64(uint64_t *m) {
+    static const int JS[6] = {32, 16, 8, 4, 2, 1};
+    for (int s = 0; s < 6; s++) {
+        const int j = JS[s];
+        const uint64_t mask = MASKS[s];
+        for (int i = 0; i < 64; i++) {
+            if (i & j) continue;
+            const uint64_t a = m[i];
+            const uint64_t b = m[i + j];
+            const uint64_t t = ((a >> j) ^ b) & mask;
+            m[i + j] = b ^ t;
+            m[i] = a ^ (t << j);
+        }
+    }
+}
+
+void repro_bit_transpose_blocks(uint64_t *x, ptrdiff_t rows,
+                                ptrdiff_t cols) {
+    uint64_t m[64];
+    for (ptrdiff_t g = 0; g + 64 <= rows; g += 64) {
+        uint64_t *base = x + (size_t)g * (size_t)cols;
+        for (ptrdiff_t l = 0; l < cols; l++) {
+            for (int i = 0; i < 64; i++)
+                m[i] = base[(size_t)i * (size_t)cols + (size_t)l];
+            transpose64(m);
+            for (int i = 0; i < 64; i++)
+                base[(size_t)i * (size_t)cols + (size_t)l] = m[i];
+        }
+    }
+}
+
+void repro_pack_planes(const uint64_t *arr, ptrdiff_t nv, uint64_t *rows,
+                       ptrdiff_t cols) {
+    uint64_t m[64];
+    for (ptrdiff_t l = 0; l < cols; l++) {
+        const ptrdiff_t base = l * 64;
+        for (int i = 0; i < 64; i++) {
+            const ptrdiff_t v = base + i;
+            m[i] = v < nv ? arr[v] : 0;
+        }
+        transpose64(m);
+        for (int b = 0; b < 64; b++)
+            rows[(size_t)b * (size_t)cols + (size_t)l] = m[b];
+    }
+}
+
+void repro_unpack_planes(const uint64_t *rows, ptrdiff_t cols,
+                         uint64_t *out, ptrdiff_t nv) {
+    uint64_t m[64];
+    for (ptrdiff_t l = 0; l < cols; l++) {
+        for (int b = 0; b < 64; b++)
+            m[b] = rows[(size_t)b * (size_t)cols + (size_t)l];
+        transpose64(m);
+        const ptrdiff_t base = l * 64;
+        const int n = nv - base < 64 ? (int)(nv - base) : 64;
+        for (int i = 0; i < n; i++) out[base + i] = m[i];
+    }
+}
+"""
+
+_U64_2D = ndpointer(dtype=np.uint64, ndim=2, flags="C_CONTIGUOUS")
+_U64_1D = ndpointer(dtype=np.uint64, ndim=1, flags="C_CONTIGUOUS")
+
+
+class AccelLib:
+    """ctypes bindings of the compiled transpose library.
+
+    Thin typed wrappers over the three exported C functions; ctypes
+    releases the GIL for the duration of each call.  All array arguments
+    must be C-contiguous uint64 (enforced by the ``ndpointer``
+    signatures).
+    """
+
+    def __init__(self, cdll: ctypes.CDLL):
+        self._transpose = cdll.repro_bit_transpose_blocks
+        self._transpose.argtypes = [
+            _U64_2D,
+            ctypes.c_ssize_t,
+            ctypes.c_ssize_t,
+        ]
+        self._transpose.restype = None
+        self._pack = cdll.repro_pack_planes
+        self._pack.argtypes = [
+            _U64_1D,
+            ctypes.c_ssize_t,
+            _U64_2D,
+            ctypes.c_ssize_t,
+        ]
+        self._pack.restype = None
+        self._unpack = cdll.repro_unpack_planes
+        self._unpack.argtypes = [
+            _U64_2D,
+            ctypes.c_ssize_t,
+            _U64_1D,
+            ctypes.c_ssize_t,
+        ]
+        self._unpack.restype = None
+
+    def bit_transpose_blocks(self, x: np.ndarray) -> None:
+        """In-place 64x64 bit transpose of every 64-row block of ``x``."""
+        self._transpose(x, x.shape[0], x.shape[1])
+
+    def pack_planes(
+        self, arr: np.ndarray, num_vectors: int, rows: np.ndarray
+    ) -> None:
+        """Fill ``(64, limbs)`` ``rows`` from vector-major ``arr``.
+
+        Values past ``num_vectors`` (the pad tail of the last limb) read
+        as zero, preserving the zero-tail-bit invariant.
+        """
+        self._pack(arr, num_vectors, rows, rows.shape[1])
+
+    def unpack_planes(
+        self, rows: np.ndarray, out: np.ndarray, num_vectors: int
+    ) -> None:
+        """Write the first ``num_vectors`` vector-major values of the
+        ``(64, limbs)`` bit planes ``rows`` into ``out``."""
+        self._unpack(rows, rows.shape[1], out, num_vectors)
+
+
+def _cache_dir() -> str:
+    """Directory for the compiled library, override via ``REPRO_ACCEL_CACHE``."""
+    override = os.environ.get("REPRO_ACCEL_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-accel")
+
+
+def _build(source: str, out_path: str) -> bool:
+    """Compile ``source`` into ``out_path``; False on any failure.
+
+    Writes through a temp file + atomic rename so concurrent builders
+    (e.g. serve shards warming in parallel) race benignly.
+    """
+    directory = os.path.dirname(out_path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, src_path = tempfile.mkstemp(suffix=".c", dir=directory)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(source)
+        tmp_so = src_path[:-2] + ".so"
+        for compiler in ("cc", "gcc", "clang"):
+            try:
+                result = subprocess.run(
+                    [
+                        compiler,
+                        "-O2",
+                        "-shared",
+                        "-fPIC",
+                        "-o",
+                        tmp_so,
+                        src_path,
+                    ],
+                    capture_output=True,
+                    timeout=60,
+                )
+            except (OSError, subprocess.TimeoutExpired):
+                continue
+            if result.returncode == 0:
+                os.replace(tmp_so, out_path)
+                os.unlink(src_path)
+                return True
+        os.unlink(src_path)
+    except OSError:
+        pass
+    return False
+
+
+_LIB: Optional[AccelLib] = None
+_TRIED = False
+
+
+def load() -> Optional[AccelLib]:
+    """The compiled fast path, or ``None`` when unavailable.
+
+    Memoized: the first call compiles (or reuses the content-addressed
+    cached build of) the embedded C source; later calls are a read of
+    the module global.  Returns ``None`` — permanently for this process
+    — when ``REPRO_ACCEL=0``, no C compiler works, or loading fails.
+    """
+    global _LIB, _TRIED
+    if _TRIED:
+        return _LIB
+    _TRIED = True
+    gate = os.environ.get(ACCEL_ENV, "1")
+    if gate not in ("", "1"):
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    so_path = os.path.join(_cache_dir(), f"bitplanes-{digest}.so")
+    if not os.path.exists(so_path) and not _build(_SOURCE, so_path):
+        return None
+    try:
+        _LIB = AccelLib(ctypes.CDLL(so_path))
+    except OSError:
+        _LIB = None
+    return _LIB

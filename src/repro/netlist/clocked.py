@@ -34,9 +34,18 @@ class RegisterSpec:
 class ClockedDesign:
     """A combinational circuit plus register bindings, stepped per cycle."""
 
-    def __init__(self, circuit: Circuit, registers: Iterable[RegisterSpec]):
+    def __init__(
+        self,
+        circuit: Circuit,
+        registers: Iterable[RegisterSpec],
+        backend: str = "auto",
+    ):
         self.circuit = circuit
         self.registers: List[RegisterSpec] = list(registers)
+        #: simulation backend for every step (as
+        #: :func:`repro.netlist.simulate.simulate_batch`); single-cycle
+        #: steps resolve to the compiled kernel under ``"auto"``.
+        self.backend = backend
         in_buses = circuit.input_buses
         out_buses = circuit.output_buses
         q_names = set()
@@ -90,7 +99,10 @@ class ClockedDesign:
             raise NetlistError(f"unknown input buses {sorted(given)}")
         batch = {name: [value] for name, value in feed.items()}
         outputs = {
-            name: vals[0] for name, vals in self._sim.run_batch(batch).items()
+            name: vals[0]
+            for name, vals in self._sim.run_batch(
+                batch, backend=self.backend
+            ).items()
         }
         width_mask = {
             reg.q_bus: (1 << len(self.circuit.input_buses[reg.q_bus])) - 1

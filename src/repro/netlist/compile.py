@@ -24,10 +24,24 @@ work to *compile time*:
   :class:`repro.engine.cache.ElaborationCache` (memory LRU) keyed by a
   content hash of the netlist (:func:`circuit_fingerprint`), plus an
   instance-level memo, so machine stepping, clocked simulation, lint
-  self-tests, and repeated Monte Carlo batches pay code generation once.
+  self-tests, and repeated Monte Carlo batches pay code generation once;
+* **level-vectorized execution** (the ``vectorized`` backend) — instead
+  of one straight-line statement per gate, gates are grouped by
+  ``(logic level, kind)`` into a :class:`VectorPlan`; net values live in
+  a ``(num_nets, limbs)`` uint64 bit-plane array (64 vectors per limb)
+  and each group evaluates as one fancy-index gather, a couple of fused
+  numpy bitwise ops, and one scatter.  Within a level no gate reads a
+  same-level output (a level is ``1 + max(input levels)``), so the
+  scatter is always safe.  Big batches thereby skip Python big-int
+  arithmetic (O(vectors) per gate) entirely; :func:`pack_values_limbs`
+  and :func:`unpack_values_limbs` are the limb-array transposes that
+  avoid the Python-int round-trip.
 
 The generated kernel evaluates *every* net (not only output cones), so
 power estimation and fault simulation read intermediate values for free.
+Backend selection (``auto`` → vectorized at/above
+:data:`repro.netlist.simulate._VECTORIZED_MIN_BATCH` vectors) lives in
+:func:`repro.netlist.simulate.resolve_backend`.
 """
 
 from __future__ import annotations
@@ -42,19 +56,22 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
+import functools
 import hashlib
 
 import numpy as np
 
-from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist import _accel
+from repro.netlist.circuit import GATE_ARITY, Circuit, NetlistError
 
 if TYPE_CHECKING:  # deferred at runtime: netlist sits below engine
     from repro.engine.cache import ElaborationCache
 
 #: Bump when the generated-code layout changes; cached kernels then miss.
-_CODEGEN_VERSION = 2
+_CODEGEN_VERSION = 3
 
 #: Per-kind straight-line expression templates; ``{0}``.. are the operand
 #: locals and ``ones`` is the all-ones mask of the active batch width.
@@ -85,6 +102,131 @@ _NUMPY_MIN_BATCH = 16
 _BLOCK = 1 << 15
 
 _U64 = np.uint64
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+#: Byte-wise popcount table, the fallback when numpy lacks
+#: ``bitwise_count`` (added in numpy 2.0; the CI floor is 1.24).
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+@functools.lru_cache(maxsize=None)
+def _transpose_steps(
+    num_blocks: int,
+) -> Tuple[Tuple[np.uint64, np.uint64, np.ndarray, np.ndarray], ...]:
+    """Masked-swap schedule for ``num_blocks`` stacked 64x64 bit blocks.
+
+    At step ``(j, mask, lo, hi)`` rows ``lo`` pair with rows
+    ``hi = lo + j`` (within each 64-row block) and exchange their
+    off-diagonal ``j x j`` bit sub-blocks; ``mask`` keeps the bit
+    positions ``b`` with ``b & j == 0`` of every ``2j`` group.  Index
+    arrays span all blocks so one set of numpy ops per step transposes
+    every stacked block at once.
+    """
+    return tuple(
+        (
+            _U64(j),
+            _U64(sum(1 << b for b in range(64) if not b & j)),
+            np.array(
+                [
+                    g * 64 + i
+                    for g in range(num_blocks)
+                    for i in range(64)
+                    if not i & j
+                ],
+                dtype=np.int64,
+            ),
+            np.array(
+                [
+                    g * 64 + i + j
+                    for g in range(num_blocks)
+                    for i in range(64)
+                    if not i & j
+                ],
+                dtype=np.int64,
+            ),
+        )
+        for j in (32, 16, 8, 4, 2, 1)
+    )
+
+
+def _transpose64_blocks(x: np.ndarray) -> np.ndarray:
+    """Transpose every 64x64 bit block of ``x`` in place.
+
+    ``x`` is ``(k * 64, blocks)`` uint64 — ``k`` independent stacks of
+    64-row blocks (stacking lets one call transpose several buses, which
+    halves the per-op numpy dispatch cost) — where element ``[i, l]``
+    holds row ``i`` of block ``l`` and bit ``b`` is column ``b``; after
+    the call ``x[b, l]`` holds column ``b`` of block ``l`` within each
+    stack.  Six masked-swap rounds (Hacker's Delight's ``transpose32``
+    widened to 64) exchange the off-diagonal ``j x j`` sub-blocks for
+    ``j = 32 .. 1``, vectorized over all stacks, blocks, and row pairs
+    of a round at once — this is what makes the limb pack/unpack
+    transposes a handful of full-array numpy ops instead of per-bit
+    shifts.  Rows-first layout keeps every swap operand a contiguous row
+    gather; ``np.take(..., out=)`` into three scratch rows keeps each
+    round allocation-free.  ``x`` must own its buffer (it is mutated and
+    must not alias caller data).
+
+    When the optional C library (:mod:`repro.netlist._accel`) is
+    available the whole transpose is one foreign call instead of ~70
+    dispatch-bound numpy ops; both implementations are bit-identical.
+    """
+    lib = _accel.load()
+    if lib is not None and x.flags.c_contiguous:
+        lib.bit_transpose_blocks(x)
+        return x
+    return _transpose64_blocks_numpy(x)
+
+
+def _transpose64_blocks_numpy(x: np.ndarray) -> np.ndarray:
+    """Pure-numpy masked-swap rounds of :func:`_transpose64_blocks`.
+
+    Kept callable directly so tests can cross-check the C fast path
+    against it; same in-place contract.
+    """
+    half = x.shape[0] // 2
+    a = np.empty((half, x.shape[1]), dtype=_U64)
+    b = np.empty_like(a)
+    t = np.empty_like(a)
+    for j, mask, lo, hi in _transpose_steps(x.shape[0] // 64):
+        np.take(x, lo, axis=0, out=a, mode="clip")
+        np.take(x, hi, axis=0, out=b, mode="clip")
+        np.right_shift(a, j, out=t)
+        np.bitwise_xor(t, b, out=t)
+        np.bitwise_and(t, mask, out=t)
+        np.bitwise_xor(b, t, out=b)
+        x[hi] = b
+        np.left_shift(t, j, out=t)
+        np.bitwise_xor(a, t, out=a)
+        x[lo] = a
+    return x
+
+
+def limb_count(num_vectors: int) -> int:
+    """uint64 limbs needed for ``num_vectors`` bit-planes (64 per limb)."""
+    return (num_vectors + 63) // 64
+
+
+def limb_ones(num_vectors: int) -> np.ndarray:
+    """The all-ones row of a ``num_vectors``-wide limb batch.
+
+    Shape ``(limbs,)``; only the low ``num_vectors`` bits are set, so
+    every inverting gate masks its result and net rows keep zero tail
+    bits — the invariant limb-array consumers (power, fault coverage)
+    rely on when comparing rows whole-limb at a time.
+    """
+    row = np.full(limb_count(num_vectors), _ALL_ONES, dtype=_U64)
+    rem = num_vectors & 63
+    if rem:
+        row[-1] = _U64((1 << rem) - 1)
+    return row
+
+
+def popcount_rows(rows: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a 2-D uint64 limb array (int64 result)."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(rows).view(np.uint8)
+    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.int64)
 
 
 def levelize(circuit: Circuit) -> Tuple[List[int], List[int], List[List[int]]]:
@@ -115,12 +257,29 @@ def circuit_fingerprint(circuit: Circuit) -> str:
     regardless of identity, names, or bus labels (buses are bound at
     simulation time), so rebuilt-but-identical designs share one compiled
     kernel.
+
+    The digest is memoized on the circuit instance: circuits are
+    append-only, so a matching ``(num_nets, num_gates)`` pair proves the
+    gate list is unchanged and the memo valid.  Lint and fuzz fan-outs
+    hit this on every batch, where re-hashing the full gate list was
+    measurable.
     """
+    memo = circuit.__dict__.get("_fingerprint")
+    if memo is not None:
+        nets, gates, digest = memo
+        if nets == circuit.num_nets and gates == circuit.num_gates:
+            return digest
     h = hashlib.sha256()
     h.update(repr((_CODEGEN_VERSION, circuit.num_nets, circuit.num_gates)).encode())
     for gate in circuit.gates:
         h.update(f"{gate.kind}{gate.inputs}>{gate.output};".encode())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    circuit.__dict__["_fingerprint"] = (
+        circuit.num_nets,
+        circuit.num_gates,
+        digest,
+    )
+    return digest
 
 
 def _generate_source(circuit: Circuit) -> str:
@@ -151,6 +310,292 @@ def _generate_source(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
+@dataclass(frozen=True)
+class PlanGroup:
+    """One fused ``(level, kind)`` gate group of a :class:`VectorPlan`.
+
+    ``in_idx`` has shape ``(arity, gates)`` and ``out_idx`` shape
+    ``(gates,)``; evaluating the group is one gather ``V[in_idx]``, the
+    kind's bitwise expression, and one scatter ``V[out_idx] = result``.
+    ``gates`` lists the member gate indices in ascending order.
+
+    ``in_sels``/``out_sel`` are the same indices with contiguous
+    ascending runs precomputed as basic slices, which the runtime
+    (:meth:`CompiledSim.eval_limbs`) uses to turn gathers into views and
+    scatters into in-place writes wherever net numbering allows.
+    """
+
+    level: int
+    kind: str
+    gates: np.ndarray
+    in_idx: np.ndarray
+    out_idx: np.ndarray
+    in_sels: Tuple[Union[slice, np.ndarray], ...]
+    out_sel: Union[slice, np.ndarray]
+
+
+@dataclass(frozen=True)
+class VectorPlan:
+    """The level-vectorized execution schedule of one circuit.
+
+    Groups are ordered by ``(level, kind)``; executing them in order is a
+    valid schedule because a gate's level strictly exceeds its inputs'
+    levels, so no group reads a net written by itself or any same-level
+    group.  ``group_of_gate``/``pos_in_group`` invert the grouping — the
+    fault simulator uses them to evaluate an arbitrary fanout-cone subset
+    through the same per-group index arrays.
+
+    The plan works in a renumbered net space: ``perm`` maps an original
+    net id to its row in the limb array, ordered undriven nets (primary
+    inputs, dangling nets) first and then every group's outputs
+    consecutively in schedule order.  That makes each group's output
+    rows a basic slice by construction — results land in the limb array
+    without a scatter — and operand gathers collapse to views wherever
+    producers and consumers line up.  All ``in_idx``/``out_idx`` arrays
+    are in the renumbered space; map circuit net ids through ``perm``
+    before indexing the limb array.  Rows ``[0, num_undriven)`` are the
+    undriven nets (primary inputs, dangling nets); every row at or above
+    ``num_undriven`` is written by exactly one group's kernel.
+    """
+
+    groups: Tuple[PlanGroup, ...]
+    group_of_gate: np.ndarray
+    pos_in_group: np.ndarray
+    num_levels: int
+    perm: np.ndarray
+    num_undriven: int
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+
+def _index_selector(idx: np.ndarray) -> Union[slice, np.ndarray]:
+    """A basic slice when ``idx`` is a contiguous ascending run, else ``idx``.
+
+    Slices let :meth:`CompiledSim.eval_limbs` gather operands as views
+    and write results in place instead of fancy-index copies.
+    """
+    if idx.size and bool((np.diff(idx) == 1).all()):
+        start = int(idx[0])
+        return slice(start, start + idx.size)
+    return idx
+
+
+def build_vector_plan(circuit: Circuit, gate_level: Sequence[int]) -> VectorPlan:
+    """Group a circuit's gates by ``(logic level, kind)`` for fused eval.
+
+    Deterministic: buckets sort by ``(level, kind)`` and gates keep their
+    (topological) index order inside each bucket.
+    """
+    buckets: Dict[Tuple[int, str], List[int]] = {}
+    for index, gate in enumerate(circuit.gates):
+        buckets.setdefault((gate_level[index], gate.kind), []).append(index)
+    schedule = sorted(buckets)
+    # Renumber nets into plan order: undriven nets (primary inputs and
+    # dangling nets) keep their relative order up front, then every
+    # group's outputs in schedule order.  Group outputs are therefore
+    # consecutive rows by construction.
+    perm = np.full(circuit.num_nets, -1, dtype=np.int64)
+    driven = np.zeros(circuit.num_nets, dtype=bool)
+    for indices in buckets.values():
+        for index in indices:
+            driven[circuit.gates[index].output] = True
+    next_row = 0
+    for net in range(circuit.num_nets):
+        if not driven[net]:
+            perm[net] = next_row
+            next_row += 1
+    num_undriven = next_row
+    groups: List[PlanGroup] = []
+    group_of_gate = np.zeros(circuit.num_gates, dtype=np.int64)
+    pos_in_group = np.zeros(circuit.num_gates, dtype=np.int64)
+    raw: List[Tuple[int, str, List[int], np.ndarray, np.ndarray]] = []
+    for gid, (level, kind) in enumerate(schedule):
+        indices = buckets[(level, kind)]
+        arity = GATE_ARITY[kind]
+        in_idx = np.empty((arity, len(indices)), dtype=np.int64)
+        out_idx = np.empty(len(indices), dtype=np.int64)
+        for pos, index in enumerate(indices):
+            gate = circuit.gates[index]
+            for pin in range(arity):
+                in_idx[pin, pos] = gate.inputs[pin]
+            out_idx[pos] = gate.output
+            group_of_gate[index] = gid
+            pos_in_group[index] = pos
+        perm[out_idx] = np.arange(next_row, next_row + len(indices))
+        next_row += len(indices)
+        raw.append((level, kind, indices, in_idx, out_idx))
+    for level, kind, indices, in_idx, out_idx in raw:
+        in_idx = perm[in_idx]
+        out_idx = perm[out_idx]
+        groups.append(
+            PlanGroup(
+                level=level,
+                kind=kind,
+                gates=np.asarray(indices, dtype=np.int64),
+                in_idx=in_idx,
+                out_idx=out_idx,
+                in_sels=tuple(
+                    _index_selector(in_idx[pin])
+                    for pin in range(in_idx.shape[0])
+                ),
+                out_sel=_index_selector(out_idx),
+            )
+        )
+    num_levels = max(gate_level, default=0)
+    return VectorPlan(
+        groups=tuple(groups),
+        group_of_gate=group_of_gate,
+        pos_in_group=pos_in_group,
+        num_levels=num_levels,
+        perm=perm,
+        num_undriven=num_undriven,
+    )
+
+
+def _build_vec_kernels() -> Dict[str, Callable[..., None]]:
+    """Out-parameter numpy kernels, one per gate kind.
+
+    Each kernel computes the same bitwise expression as
+    :data:`repro.netlist.simulate.GATE_EVAL` but writes through ``out=``
+    so group evaluation allocates no temporaries beyond at most one
+    (``AOI22``/``OAI22``); with a slice ``out`` the result lands
+    directly in the limb array.  Safe because a group's output rows are
+    always disjoint from its operand rows (a gate's level strictly
+    exceeds its inputs' levels).
+    """
+
+    def and2(ins, out, ones):
+        np.bitwise_and(ins[0], ins[1], out=out)
+
+    def or2(ins, out, ones):
+        np.bitwise_or(ins[0], ins[1], out=out)
+
+    def xor2(ins, out, ones):
+        np.bitwise_xor(ins[0], ins[1], out=out)
+
+    def inv(ins, out, ones):
+        np.bitwise_xor(ins[0], ones, out=out)
+
+    def nand2(ins, out, ones):
+        np.bitwise_and(ins[0], ins[1], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def nor2(ins, out, ones):
+        np.bitwise_or(ins[0], ins[1], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def xnor2(ins, out, ones):
+        np.bitwise_xor(ins[0], ins[1], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def mux2(ins, out, ones):
+        np.bitwise_xor(ins[1], ins[2], out=out)
+        np.bitwise_and(out, ins[0], out=out)
+        np.bitwise_xor(out, ins[1], out=out)
+
+    def buf(ins, out, ones):
+        np.copyto(out, ins[0])
+
+    def aoi21(ins, out, ones):
+        np.bitwise_and(ins[0], ins[1], out=out)
+        np.bitwise_or(out, ins[2], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def oai21(ins, out, ones):
+        np.bitwise_or(ins[0], ins[1], out=out)
+        np.bitwise_and(out, ins[2], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def aoi22(ins, out, ones):
+        np.bitwise_and(ins[0], ins[1], out=out)
+        np.bitwise_or(out, ins[2] & ins[3], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def oai22(ins, out, ones):
+        np.bitwise_or(ins[0], ins[1], out=out)
+        np.bitwise_and(out, ins[2] | ins[3], out=out)
+        np.bitwise_xor(out, ones, out=out)
+
+    def const0(ins, out, ones):
+        out[...] = 0
+
+    def const1(ins, out, ones):
+        out[...] = ones
+
+    return {
+        "AND2": and2,
+        "OR2": or2,
+        "XOR2": xor2,
+        "INV": inv,
+        "NAND2": nand2,
+        "NOR2": nor2,
+        "XNOR2": xnor2,
+        "MUX2": mux2,
+        "BUF": buf,
+        "AOI21": aoi21,
+        "OAI21": oai21,
+        "AOI22": aoi22,
+        "OAI22": oai22,
+        "CONST0": const0,
+        "CONST1": const1,
+    }
+
+
+#: ``kind -> kernel(ins, out, ones)`` out-parameter evaluation table of
+#: the vectorized backend; same algebra as :data:`GATE_EVAL`.
+_VEC_KERNELS = _build_vec_kernels()
+
+
+def _build_limb_runner(
+    plan: VectorPlan,
+) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Codegen the straight-line group schedule of the limb backend.
+
+    Emits one line per :class:`PlanGroup` — kernel call on gathered
+    operand rows, slice outputs written in place, scatter outputs
+    staged through one shared buffer — and ``exec``-compiles it, the
+    same idiom as the big-int kernel's codegen.  Removes the per-group
+    interpreter overhead (loop, genexprs, dict lookups) from
+    :meth:`CompiledSim.eval_limbs`, which is measurable at small batch
+    sizes where numpy dispatch dominates.
+    """
+    sels: List[Union[slice, np.ndarray]] = []
+    kernels: List[Callable[..., None]] = []
+    lines: List[str] = ["def _run(V, ones):"]
+    max_scatter = 0
+    for gi, group in enumerate(plan.groups):
+        kernels.append(_VEC_KERNELS[group.kind])
+        base = len(sels)
+        sels.extend(group.in_sels)
+        oi = len(sels)
+        sels.append(group.out_sel)
+        arity = len(group.in_sels)
+        ins = ", ".join(f"V[S{base + pin}]" for pin in range(arity))
+        if arity == 1:
+            ins += ","
+        if isinstance(group.out_sel, slice):
+            lines.append(f"    K{gi}(({ins}), V[S{oi}], ones)")
+        else:
+            size = int(group.out_sel.size)
+            max_scatter = max(max_scatter, size)
+            lines.append(f"    b = buf[:{size}]")
+            lines.append(f"    K{gi}(({ins}), b, ones)")
+            lines.append(f"    V[S{oi}] = b")
+    if max_scatter:
+        lines.insert(
+            1,
+            f"    buf = _empty(({max_scatter}, V.shape[1]), dtype=_u64)",
+        )
+    lines.append("    return V")
+    namespace: Dict[str, object] = {"_empty": np.empty, "_u64": _U64}
+    namespace.update({f"S{i}": sel for i, sel in enumerate(sels)})
+    namespace.update({f"K{i}": fn for i, fn in enumerate(kernels)})
+    exec(compile("\n".join(lines), "<limb plan>", "exec"), namespace)
+    return namespace["_run"]  # type: ignore[return-value]
+
+
 @dataclass
 class CompiledKernel:
     """Reusable compilation artifacts, keyed by circuit content hash.
@@ -159,7 +604,9 @@ class CompiledKernel:
     generated evaluation function, the levelization, and the fanout
     adjacency.  Bus binding (names to nets) stays with the
     :class:`CompiledSim` wrapper so one kernel serves any identically
-    structured circuit.
+    structured circuit.  ``plan`` is the lazily built
+    :class:`VectorPlan` of the vectorized backend — cached here so every
+    identically structured circuit shares one index-precomputation pass.
     """
 
     key: str
@@ -170,6 +617,10 @@ class CompiledKernel:
     net_level: List[int]
     readers: Tuple[Tuple[int, ...], ...]
     source: str
+    plan: Optional[VectorPlan] = None
+    limb_runner: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = (
+        None
+    )
 
 
 def _build_kernel(circuit: Circuit, key: str) -> CompiledKernel:
@@ -277,6 +728,19 @@ def unpack_values(masks: Sequence[int], num_vectors: int) -> List[int]:
     rows = np.zeros((width, nbytes), dtype=np.uint8)
     for b, mask in enumerate(masks):
         rows[b] = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8)
+    return _values_from_rows(rows, width, num_vectors)
+
+
+def _values_from_rows(
+    rows: np.ndarray, width: int, num_vectors: int
+) -> List[int]:
+    """Per-vector values from ``(width, nbytes)`` uint8 bit-plane rows.
+
+    Numpy transpose core of :func:`unpack_values` (the limb path has its
+    own uint64 core, :func:`_values_from_limbs`); 64-bit chunks combine
+    as Python ints so widths like ``n + 1 = 65`` are exact.  Bits at or
+    beyond ``num_vectors`` in ``rows`` are ignored.
+    """
     values: Optional[List[int]] = None
     for lo in range(0, width, 64):
         sub = rows[lo : lo + 64]
@@ -295,14 +759,201 @@ def unpack_values(masks: Sequence[int], num_vectors: int) -> List[int]:
     return values
 
 
+def pack_values_limbs(
+    values: Sequence[int], width: int, name: str = "bus"
+) -> np.ndarray:
+    """Transpose per-vector bus values into uint64 bit-plane limb rows.
+
+    Limb-array counterpart of :func:`pack_values`: returns a
+    ``(width, limbs)`` uint64 array where bit ``v`` of row ``b`` (64
+    vectors per limb, little-endian across limbs) is bit ``b`` of
+    ``values[v]``.  Tail bits beyond ``len(values)`` in the last limb
+    are zero.  Validation and error messages match :func:`pack_values`
+    exactly — small batches, wide buses, and out-of-range inputs fall
+    back to it and convert its masks.
+    """
+    num_vectors = len(values)
+    limbs = limb_count(num_vectors)
+    if width <= 64 and num_vectors >= _NUMPY_MIN_BATCH:
+        try:
+            if type(values) is list:
+                # ~15% faster than asarray for plain int lists, the
+                # common case of simulate_batch callers.
+                arr = np.fromiter(values, dtype=_U64, count=num_vectors)
+            else:
+                arr = np.asarray(values, dtype=_U64)
+        except (OverflowError, TypeError, ValueError):
+            arr = None  # negative/too-wide/non-integer: scalar path reports
+        if arr is not None and arr.ndim == 1:
+            if width < 64:
+                over = arr >> _U64(width)
+                if over.any():
+                    bad = int(np.argmax(over != 0))
+                    raise NetlistError(
+                        f"value {values[bad]} does not fit in "
+                        f"{width}-bit bus {name!r}"
+                    )
+            return _pack_u64_limbs(arr, width, num_vectors)
+    if width > 64 and num_vectors >= _NUMPY_MIN_BATCH:
+        # Wide buses: serialize every value to whole 64-bit words in one
+        # C-level pass, then run the fast block transpose per word
+        # column.  This replaces the per-bit scalar transpose, which is
+        # what made 256-bit operand buses quadratic-ish.
+        wchunks = (width + 63) // 64
+        try:
+            buf = b"".join(v.to_bytes(wchunks * 8, "little") for v in values)
+        except (OverflowError, TypeError, AttributeError):
+            buf = None  # negative/too-wide/non-integer: scalar path reports
+        if buf is not None:
+            words = np.frombuffer(buf, dtype=_U64).reshape(
+                num_vectors, wchunks
+            )
+            rem = width & 63
+            if rem:
+                over = words[:, -1] >> _U64(rem)
+                if over.any():
+                    bad = int(np.argmax(over != 0))
+                    raise NetlistError(
+                        f"value {values[bad]} does not fit in "
+                        f"{width}-bit bus {name!r}"
+                    )
+            rows = np.empty((width, limbs), dtype=_U64)
+            for k in range(wchunks):
+                lo = 64 * k
+                rows[lo : lo + 64] = _pack_u64_limbs(
+                    np.ascontiguousarray(words[:, k]),
+                    min(64, width - lo),
+                    num_vectors,
+                )
+            return rows
+    masks = pack_values(values, width, name)
+    rows8 = np.zeros((width, limbs * 8), dtype=np.uint8)
+    for bit, mask in enumerate(masks):
+        rows8[bit] = np.frombuffer(
+            mask.to_bytes(limbs * 8, "little"), dtype=np.uint8
+        )
+    return rows8.view(_U64)
+
+
+def _pack_u64_limbs(
+    arr: np.ndarray, width: int, num_vectors: int
+) -> np.ndarray:
+    """Vectorized transpose of a uint64 value array into limb rows.
+
+    Pads the batch to whole 64-vector blocks (tail bits stay zero, per
+    the :func:`limb_ones` invariant), bit-transposes every block with
+    :func:`_transpose64_blocks`, and reads plane ``b``'s limbs off row
+    ``b``.  The word-transpose copy into the owned ``(64, limbs)``
+    buffer both feeds the rows-first swap layout and guarantees the
+    in-place rounds never touch ``arr``'s buffer (at one block,
+    ``(1, 64).T`` is "contiguous" by the size-1-axis stride rule, so an
+    ``ascontiguousarray`` here would alias the caller's data).
+    """
+    limbs = limb_count(num_vectors)
+    blocks = np.empty((64, limbs), dtype=_U64)
+    lib = _accel.load()
+    if lib is not None and arr.flags.c_contiguous:
+        lib.pack_planes(arr, num_vectors, blocks)
+        return blocks[:width]
+    if limbs * 64 == num_vectors:
+        blocks[:, :] = arr.reshape(limbs, 64).T
+    else:
+        padded = np.zeros(limbs * 64, dtype=_U64)
+        padded[:num_vectors] = arr
+        blocks[:, :] = padded.reshape(limbs, 64).T
+    return _transpose64_blocks(blocks)[:width]
+
+
+def unpack_values_limbs(rows: np.ndarray, num_vectors: int) -> List[int]:
+    """Transpose uint64 bit-plane limb rows back to per-vector values.
+
+    Inverse of :func:`pack_values_limbs` for a ``(width, limbs)`` row
+    array; tail bits beyond ``num_vectors`` are ignored.
+    """
+    width = len(rows)
+    if num_vectors == 0:
+        return []
+    if num_vectors < _NUMPY_MIN_BATCH:
+        masks = [
+            int.from_bytes(np.ascontiguousarray(rows[b]).tobytes(), "little")
+            for b in range(width)
+        ]
+        return unpack_values(masks, num_vectors)
+    return _values_from_limbs(np.asarray(rows, dtype=_U64), num_vectors)
+
+
+def _values_from_limbs(rows: np.ndarray, num_vectors: int) -> List[int]:
+    """Per-vector values from ``(width, limbs)`` uint64 bit-plane rows.
+
+    Inverse transpose core of :func:`unpack_values_limbs`: each 64-plane
+    chunk becomes one block bit-transpose (:func:`_transpose64_blocks`)
+    and chunks combine as Python ints, so widths like ``n + 1 = 65`` are
+    exact.  A single-plane chunk (the carry-out of an ``n + 1`` sum bus)
+    skips the block transpose for one ``unpackbits``, and the combine
+    only pays a big-int op where the high chunk is nonzero.  Bits at or
+    beyond ``num_vectors`` are ignored.
+    """
+    width, limbs = rows.shape
+    values: Optional[np.ndarray] = None  # object dtype once combining
+    first: Optional[np.ndarray] = None  # uint64 chunk awaiting a combine
+    for lo in range(0, width, 64):
+        sub = rows[lo : lo + 64]
+        if sub.shape[0] == 1:
+            bits = np.unpackbits(
+                np.ascontiguousarray(sub).view(np.uint8),
+                count=num_vectors,
+                bitorder="little",
+            )
+            if values is None and first is None:
+                return bits.tolist()
+            if values is None:
+                assert first is not None
+                values = first.astype(object)
+            # Touch only the vectors whose high bit is set; an
+            # object-dtype masked |= runs the big-int ors in one C loop.
+            values[bits.view(bool)] |= 1 << lo
+            continue
+        lib = _accel.load()
+        if lib is not None:
+            if sub.shape[0] == 64 and sub.flags.c_contiguous:
+                planes = sub
+            else:
+                planes = np.zeros((64, limbs), dtype=_U64)
+                planes[: sub.shape[0]] = sub
+            flat = np.empty(num_vectors, dtype=_U64)
+            lib.unpack_planes(planes, flat, num_vectors)
+            chunk = flat
+        else:
+            blocks = np.zeros((64, limbs), dtype=_U64)
+            blocks[: sub.shape[0]] = sub
+            _transpose64_blocks(blocks)
+            out = np.empty((limbs, 64), dtype=_U64)
+            out[:, :] = blocks.T
+            chunk = out.reshape(-1)[:num_vectors]
+        if values is None and first is None:
+            first = chunk
+        else:
+            if values is None:
+                assert first is not None
+                values = first.astype(object)
+            nz = chunk != 0
+            values[nz] |= chunk[nz].astype(object) << lo
+    if values is None:
+        assert first is not None
+        return first.tolist()
+    return values.tolist()
+
+
 class CompiledSim:
     """A circuit bound to its compiled kernel; reusable across batches.
 
     Obtain one via :func:`compile_circuit`.  ``run_batch`` replaces the
     interpreted :func:`repro.netlist.simulate.simulate_batch_reference`
-    bit-for-bit; ``pack_inputs``/``eval_masks`` expose the bit-plane
-    layer for callers that consume per-net masks directly (power
-    estimation, fault simulation).
+    bit-for-bit and routes between the straight-line big-int kernel and
+    the level-vectorized limb backend; ``pack_inputs``/``eval_masks``
+    (Python-int masks) and ``pack_inputs_limbs``/``eval_limbs`` (uint64
+    limb arrays) expose both bit-plane layers for callers that consume
+    per-net values directly (power estimation, fault simulation).
     """
 
     def __init__(self, circuit: Circuit, kernel: CompiledKernel):
@@ -310,6 +961,21 @@ class CompiledSim:
         self.kernel = kernel
         self._in_buses = circuit.input_buses
         self._out_buses = circuit.output_buses
+        self._in_nets = {
+            name: np.asarray(nets, dtype=np.int64)
+            for name, nets in self._in_buses.items()
+        }
+        self._out_nets = {
+            name: np.asarray(nets, dtype=np.int64)
+            for name, nets in self._out_buses.items()
+        }
+        self._io_sels: Optional[
+            Tuple[
+                Dict[str, Union[slice, np.ndarray]],
+                Dict[str, Union[slice, np.ndarray]],
+            ]
+        ] = None
+        self._scratch_V: Optional[np.ndarray] = None
         self._signature = (
             circuit.num_gates,
             circuit.num_nets,
@@ -326,9 +992,44 @@ class CompiledSim:
         return circuit is self.circuit and self._signature == (
             circuit.num_gates,
             circuit.num_nets,
-            len(circuit._input_buses),
-            len(circuit._output_buses),
+            len(circuit.input_buses),
+            len(circuit.output_buses),
         )
+
+    def vector_plan(self) -> VectorPlan:
+        """The circuit's :class:`VectorPlan` (built once, cached on the
+        kernel so structurally identical circuits share it)."""
+        if self.kernel.plan is None:
+            self.kernel.plan = build_vector_plan(
+                self.circuit, self.kernel.gate_level
+            )
+        return self.kernel.plan
+
+    def _limb_io_sels(
+        self,
+    ) -> Tuple[
+        Dict[str, Union[slice, np.ndarray]],
+        Dict[str, Union[slice, np.ndarray]],
+    ]:
+        """Input/output bus selectors into the renumbered limb array.
+
+        Bus net ids mapped through the plan's ``perm``, with contiguous
+        runs collapsed to slices; built lazily with the plan and cached
+        per sim.
+        """
+        if self._io_sels is None:
+            perm = self.vector_plan().perm
+            self._io_sels = (
+                {
+                    name: _index_selector(perm[nets])
+                    for name, nets in self._in_nets.items()
+                },
+                {
+                    name: _index_selector(perm[nets])
+                    for name, nets in self._out_nets.items()
+                },
+            )
+        return self._io_sels
 
     def pack_inputs(
         self, inputs: Mapping[str, Sequence[int]]
@@ -357,17 +1058,163 @@ class CompiledSim:
         self.kernel.kernel(values, ones)
         return values
 
-    def run_batch(
+    def pack_inputs_limbs(
         self, inputs: Mapping[str, Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Validate and transpose a batch into the limb bit-plane array.
+
+        Returns ``(V, ones, num_vectors)``: ``V`` is the
+        ``(num_nets, limbs)`` uint64 array with input-bit rows filled in
+        and ``ones`` the masked all-ones row (:func:`limb_ones`).
+
+        ``V`` is a per-sim scratch buffer reused across calls of the
+        same limb count (every driven row is fully rewritten by
+        :meth:`eval_limbs` and the undriven prefix is re-zeroed here, so
+        only page faults are saved, not correctness) — callers that need
+        the previous batch's array after starting a new one must copy
+        it.  Like kernel execution itself, this is not thread-safe.
+        """
+        from repro.netlist.simulate import check_batch_inputs
+
+        num_vectors = check_batch_inputs(self.circuit, inputs)
+        limbs = limb_count(num_vectors)
+        plan = self.vector_plan()
+        V = self._scratch_V
+        if V is None or V.shape[1] != limbs:
+            V = np.empty((self.kernel.num_nets, limbs), dtype=_U64)
+            self._scratch_V = V
+        # Rows below num_undriven are primary inputs plus dangling nets
+        # (constant 0); everything above is written by its gate's group
+        # before any reader runs, so only the prefix needs clearing.
+        V[: plan.num_undriven] = 0
+        in_sels = self._limb_io_sels()[0]
+        blocks = None
+        if num_vectors >= _NUMPY_MIN_BATCH and all(
+            len(nets) <= 64 for nets in self._in_buses.values()
+        ):
+            blocks = self._pack_input_stack(inputs, num_vectors, limbs)
+        if blocks is None:
+            for name, nets in self._in_buses.items():
+                V[in_sels[name]] = pack_values_limbs(
+                    inputs[name], len(nets), name
+                )
+        else:
+            for g, (name, nets) in enumerate(self._in_buses.items()):
+                V[in_sels[name]] = blocks[64 * g : 64 * g + len(nets)]
+        return V, limb_ones(num_vectors), num_vectors
+
+    def _pack_input_stack(
+        self,
+        inputs: Mapping[str, Sequence[int]],
+        num_vectors: int,
+        limbs: int,
+    ) -> Optional[np.ndarray]:
+        """Transpose every input bus in one stacked block transpose.
+
+        Builds a ``(64 * num_buses, limbs)`` stack and runs a single
+        :func:`_transpose64_blocks` call over it, halving the per-op
+        numpy dispatch cost versus one transpose per bus.  Returns
+        ``None`` when any bus needs the generic path (non-integer or
+        out-of-range values), which then re-raises with
+        :func:`pack_values`'s exact error; out-of-range values caught
+        here raise the same message directly.
+        """
+        arrs: List[np.ndarray] = []
+        for name, nets in self._in_buses.items():
+            values = inputs[name]
+            try:
+                if type(values) is list:
+                    arr = np.fromiter(values, dtype=_U64, count=num_vectors)
+                else:
+                    arr = np.asarray(values, dtype=_U64)
+            except (OverflowError, TypeError, ValueError):
+                return None
+            if arr.ndim != 1:
+                return None
+            width = len(nets)
+            if width < 64:
+                over = arr >> _U64(width)
+                if over.any():
+                    bad = int(np.argmax(over != 0))
+                    raise NetlistError(
+                        f"value {values[bad]} does not fit in "
+                        f"{width}-bit bus {name!r}"
+                    )
+            arrs.append(arr)
+        blocks = np.empty((64 * len(arrs), limbs), dtype=_U64)
+        lib = _accel.load()
+        if lib is not None:
+            for g, arr in enumerate(arrs):
+                lib.pack_planes(
+                    np.ascontiguousarray(arr),
+                    num_vectors,
+                    blocks[64 * g : 64 * (g + 1)],
+                )
+            return blocks
+        pad = limbs * 64 != num_vectors
+        for g, arr in enumerate(arrs):
+            sub = blocks[64 * g : 64 * (g + 1)]
+            if pad:
+                padded = np.zeros(limbs * 64, dtype=_U64)
+                padded[:num_vectors] = arr
+                sub[:, :] = padded.reshape(limbs, 64).T
+            else:
+                sub[:, :] = arr.reshape(limbs, 64).T
+        return _transpose64_blocks(blocks)
+
+    def eval_limbs(self, V: np.ndarray, ones: np.ndarray) -> np.ndarray:
+        """One level-vectorized forward pass over the limb array, in place.
+
+        Each :class:`PlanGroup` runs its :data:`_VEC_KERNELS` kernel over
+        the gathered operand rows — views where operands are contiguous,
+        fancy-index copies otherwise — writing straight into the limb
+        array when the group's outputs are contiguous and through one
+        reused scatter buffer when not.  The schedule itself is codegen'd
+        straight-line (:func:`_build_limb_runner`, cached on the kernel).
+        ``ones`` must be the masked row of the batch so inverting gates
+        leave the tail bits of the last limb zero.
+        """
+        runner = self.kernel.limb_runner
+        if runner is None:
+            runner = _build_limb_runner(self.vector_plan())
+            self.kernel.limb_runner = runner
+        return runner(V, ones)
+
+    def _unpack_limb_outputs(
+        self, V: np.ndarray, num_vectors: int
+    ) -> Dict[str, List[int]]:
+        """Gather and transpose every output bus from the limb array."""
+        out_sels = self._limb_io_sels()[1]
+        return {
+            name: unpack_values_limbs(V[out_sels[name]], num_vectors)
+            for name in self._out_buses
+        }
+
+    def run_batch(
+        self, inputs: Mapping[str, Sequence[int]], backend: str = "auto"
     ) -> Dict[str, List[int]]:
         """Simulate a batch; same contract as
-        :func:`repro.netlist.simulate.simulate_batch`."""
-        from repro.obs import spans as _obs
+        :func:`repro.netlist.simulate.simulate_batch`.
 
+        ``backend`` routes between the straight-line big-int kernel
+        (``"compiled"``) and the level-vectorized limb backend
+        (``"vectorized"``); ``"auto"`` picks by batch size
+        (:func:`repro.netlist.simulate.resolve_backend`).  All routes are
+        bit-identical.
+        """
+        from repro.obs import spans as _obs
+        from repro.netlist.simulate import check_batch_inputs, resolve_backend
+
+        num_vectors = check_batch_inputs(self.circuit, inputs)
+        chosen = resolve_backend(backend, num_vectors)
         if not _obs.is_enabled():
-            masks, ones, num_vectors = self.pack_inputs(inputs)
             if num_vectors == 0:
                 return {name: [] for name in self._out_buses}
+            if chosen == "vectorized":
+                V, ones_row, _ = self.pack_inputs_limbs(inputs)
+                self.eval_limbs(V, ones_row)
+                return self._unpack_limb_outputs(V, num_vectors)
+            masks, ones, num_vectors = self.pack_inputs(inputs)
             values = self.eval_masks(masks, ones)
             return {
                 name: unpack_values([values[n] for n in nets], num_vectors)
@@ -375,13 +1222,22 @@ class CompiledSim:
             }
         # Traced path: per-stage spans plus the batch-size histogram.  Kept
         # separate so the default path pays one branch, nothing more.
-        with _obs.span("sim.batch", circuit=self.circuit.name) as batch_span:
-            with _obs.span("sim.pack"):
-                masks, ones, num_vectors = self.pack_inputs(inputs)
+        with _obs.span(
+            "sim.batch", circuit=self.circuit.name, backend=chosen
+        ) as batch_span:
             batch_span.set(vectors=num_vectors)
             _obs.record("sim.batch_vectors", num_vectors)
             if num_vectors == 0:
                 return {name: [] for name in self._out_buses}
+            if chosen == "vectorized":
+                with _obs.span("sim.pack"):
+                    V, ones_row, _ = self.pack_inputs_limbs(inputs)
+                with _obs.span("sim.exec", gates=self.kernel.num_gates):
+                    self.eval_limbs(V, ones_row)
+                with _obs.span("sim.unpack"):
+                    return self._unpack_limb_outputs(V, num_vectors)
+            with _obs.span("sim.pack"):
+                masks, ones, num_vectors = self.pack_inputs(inputs)
             with _obs.span("sim.exec", gates=self.kernel.num_gates):
                 values = self.eval_masks(masks, ones)
             with _obs.span("sim.unpack"):

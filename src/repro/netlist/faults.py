@@ -28,7 +28,7 @@ both agree fault-for-fault).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -188,23 +188,45 @@ def _expand_planes(mask: int, num_vectors: int) -> np.ndarray:
     return bits.astype(_U64) * _ALL_ONES
 
 
+def _expand_plane_row(row: np.ndarray, num_vectors: int) -> np.ndarray:
+    """:func:`_expand_planes` from a limb bit-plane row.
+
+    The limb row's little-endian byte stream is exactly the big-int mask's
+    ``to_bytes(..., "little")``, so both expansions are bit-identical —
+    the fault-detection verdicts cannot depend on which backend produced
+    the fault-free values.
+    """
+    bits = np.unpackbits(
+        row.view(np.uint8), count=num_vectors, bitorder="little"
+    )
+    return bits.astype(_U64) * _ALL_ONES
+
+
 def _detect_group(
     circuit: Circuit,
     readers: Sequence[Sequence[int]],
-    golden: Sequence[int],
-    planes: Dict[int, np.ndarray],
+    plane_of: "Callable[[int], np.ndarray]",
     group: Sequence[Fault],
     observed: Sequence[int],
     num_vectors: int,
     lo: int = 0,
     hi: Optional[int] = None,
+    group_of_gate: Optional[np.ndarray] = None,
 ) -> int:
     """One concurrent pass over up to 64 faults; returns a detection mask.
 
     Bit ``i`` of the result is set when ``group[i]`` was detected at some
-    observed net under some vector of the ``[lo, hi)`` slice.  ``planes``
-    caches the full-length expanded fault-free arrays across groups and
-    slices; the slice views taken from them are free.
+    observed net under some vector of the ``[lo, hi)`` slice.  ``plane_of``
+    returns (and caches across groups and slices) the full-length expanded
+    fault-free array of a net; the slice views taken from it are free.
+
+    ``group_of_gate`` (the :class:`repro.netlist.compile.VectorPlan`
+    inverse map) schedules the cone restart through the plan's
+    ``(level, kind)`` groups: cone gates landing in the same group are
+    evaluated as one stacked numpy pass instead of one call per gate.
+    Bitwise ops are elementwise, so the batched evaluation is
+    bit-identical to the per-gate loop it replaces (and to the order of
+    ``None``, which falls back to per-gate).
     """
     if hi is None:
         hi = num_vectors
@@ -233,27 +255,61 @@ def _detect_group(
                 frontier.append(out)
 
     def plane(net: int) -> np.ndarray:
-        cached = planes.get(net)
-        if cached is None:
-            planes[net] = cached = _expand_planes(golden[net], num_vectors)
-        return cached[lo:hi]
+        return plane_of(net)[lo:hi]
 
     faulty: Dict[int, np.ndarray] = {}
     for net, (or_mask, and_mask) in inject.items():
         faulty[net] = (plane(net) & _U64(and_mask)) | _U64(or_mask)
 
-    # Gate indices are topological, so sorted order is evaluation order —
-    # the pass restarts at the faults' levels and touches only the cone.
-    for index in sorted(cone):
-        gate = circuit.gates[index]
-        operands = [
-            faulty[n] if n in faulty else plane(n) for n in gate.inputs
+    # Schedule the cone restart.  Plan-group order is topological (group
+    # index is ordered by level), so batching same-group gates into one
+    # stacked kernel call preserves evaluation semantics exactly; with no
+    # plan the gate-index order (also topological) evaluates one by one.
+    if group_of_gate is None:
+        order = sorted(cone)
+    else:
+        order = sorted(cone, key=lambda g: (int(group_of_gate[g]), g))
+    pos = 0
+    count = len(order)
+    while pos < count:
+        index = order[pos]
+        end = pos + 1
+        if group_of_gate is not None:
+            gid = group_of_gate[index]
+            while end < count and group_of_gate[order[end]] == gid:
+                end += 1
+        run = order[pos:end]
+        pos = end
+        if len(run) == 1:
+            gate = circuit.gates[index]
+            operands = [
+                faulty[n] if n in faulty else plane(n) for n in gate.inputs
+            ]
+            value = GATE_EVAL[gate.kind](operands, _ALL_ONES)
+            injected = inject.get(gate.output)
+            if injected is not None:
+                value = (value & _U64(injected[1])) | _U64(injected[0])
+            faulty[gate.output] = value
+            continue
+        gates = [circuit.gates[g] for g in run]
+        stacked = [
+            np.stack(
+                [
+                    faulty[g.inputs[p]]
+                    if g.inputs[p] in faulty
+                    else plane(g.inputs[p])
+                    for g in gates
+                ]
+            )
+            for p in range(len(gates[0].inputs))
         ]
-        value = GATE_EVAL[gate.kind](operands, _ALL_ONES)
-        injected = inject.get(gate.output)
-        if injected is not None:
-            value = (value & _U64(injected[1])) | _U64(injected[0])
-        faulty[gate.output] = value
+        results = GATE_EVAL[gates[0].kind](stacked, _ALL_ONES)
+        for row, gate in enumerate(gates):
+            value = results[row]
+            injected = inject.get(gate.output)
+            if injected is not None:
+                value = (value & _U64(injected[1])) | _U64(injected[0])
+            faulty[gate.output] = value
 
     detected = 0
     for net in observed:
@@ -270,6 +326,7 @@ def fault_coverage(
     vectors: Mapping[str, Sequence[int]],
     observe: Optional[Sequence[str]] = None,
     faults: Optional[Sequence[Fault]] = None,
+    backend: str = "auto",
 ) -> FaultReport:
     """Coverage of ``vectors`` over single stuck-at faults.
 
@@ -277,15 +334,19 @@ def fault_coverage(
     (default: every output bus).  A fault counts as detected when any
     observed bit differs from the fault-free value under any vector.
 
-    Concurrent implementation: one compiled fault-free pass, then 64
-    faults per numpy pass over each fault group's union fanout cone.
-    Bit-identical to :func:`fault_coverage_reference` (asserted by the
+    Concurrent implementation: one fault-free pass through the compiled
+    family (``backend`` as in :func:`repro.netlist.simulate.resolve_backend`
+    — the big-int kernel or the vectorized limb array, ``"auto"`` picks by
+    batch size), then 64 faults per numpy pass over each fault group's
+    union fanout cone.  The fault planes expanded from either golden
+    layout are bit-identical, so the verdicts are byte-identical across
+    backends and to :func:`fault_coverage_reference` (asserted by the
     differential test suite).
     """
     from repro.obs import spans as _obs
 
-    with _obs.span("faults.coverage", circuit=circuit.name):
-        return _fault_coverage_inner(circuit, vectors, observe, faults)
+    with _obs.span("faults.coverage", circuit=circuit.name, backend=backend):
+        return _fault_coverage_inner(circuit, vectors, observe, faults, backend)
 
 
 def _fault_coverage_inner(
@@ -293,18 +354,48 @@ def _fault_coverage_inner(
     vectors: Mapping[str, Sequence[int]],
     observe: Optional[Sequence[str]],
     faults: Optional[Sequence[Fault]],
+    backend: str = "auto",
 ) -> FaultReport:
     from repro.netlist.compile import compile_circuit
+    from repro.netlist.simulate import resolve_backend
     from repro.obs import spans as _obs
 
     num_vectors = _check_vectors(circuit, vectors)
     observed = _observed_nets(circuit, observe)
 
     sim = compile_circuit(circuit)
-    input_masks, ones, _ = sim.pack_inputs(vectors)
-    golden = sim.eval_masks(input_masks, ones)
+    chosen = resolve_backend(backend, num_vectors)
+    if chosen == "vectorized":
+        # Golden pass on the limb bit-plane array; rows are permuted by
+        # the vector plan, so fault-net lookups map through ``perm``.
+        V, ones_row, _ = sim.pack_inputs_limbs(vectors)
+        rows = sim.eval_limbs(V, ones_row)
+        perm = sim.vector_plan().perm
+
+        def _expand(net: int) -> np.ndarray:
+            return _expand_plane_row(rows[perm[net]], num_vectors)
+
+        def _stuck_everywhere(net: int, stuck_at: int) -> bool:
+            row = rows[perm[net]]
+            if stuck_at:
+                return bool(np.array_equal(row, ones_row))
+            return not row.any()
+
+    else:
+        input_masks, ones, _ = sim.pack_inputs(vectors)
+        golden = sim.eval_masks(input_masks, ones)
+
+        def _expand(net: int) -> np.ndarray:
+            return _expand_planes(golden[net], num_vectors)
+
+        def _stuck_everywhere(net: int, stuck_at: int) -> bool:
+            return golden[net] == (ones if stuck_at else 0)
+
     net_level = sim.kernel.net_level
     readers = sim.kernel.readers
+    # Plan-group schedule for the cone restarts (shared with the
+    # vectorized backend, cached on the kernel).
+    group_of_gate = sim.vector_plan().group_of_gate
 
     fault_list = list(faults) if faults is not None else enumerate_faults(circuit)
     detected_status = [False] * len(fault_list)
@@ -312,7 +403,7 @@ def _fault_coverage_inner(
     for i, fault in enumerate(fault_list):
         # quick prune: a fault whose stuck value equals the fault-free
         # value under every vector cannot propagate
-        if golden[fault.net] == (ones if fault.stuck_at else 0):
+        if _stuck_everywhere(fault.net, fault.stuck_at):
             continue
         # a fault site with no gate driver (primary input) is never
         # injected — matching the reference per-fault pass
@@ -323,6 +414,12 @@ def _fault_coverage_inner(
     # Group faults by level so cones inside one pass overlap maximally.
     active.sort(key=lambda i: (net_level[fault_list[i].net], fault_list[i].net))
     planes: Dict[int, np.ndarray] = {}
+
+    def plane_of(net: int) -> np.ndarray:
+        cached = planes.get(net)
+        if cached is None:
+            planes[net] = cached = _expand(net)
+        return cached
     # Vector chunks with fault dropping: most faults fall to the first few
     # vectors, so after the first chunk only the hard residue (usually one
     # group instead of dozens) is resimulated on the remaining vectors.
@@ -336,8 +433,8 @@ def _fault_coverage_inner(
             indices = remaining[start : start + _PLANES]
             group = [fault_list[i] for i in indices]
             mask = _detect_group(
-                circuit, readers, golden, planes, group, observed,
-                num_vectors, lo, hi,
+                circuit, readers, plane_of, group, observed,
+                num_vectors, lo, hi, group_of_gate,
             )
             for bit, i in enumerate(indices):
                 if (mask >> bit) & 1:

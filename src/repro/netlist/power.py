@@ -54,26 +54,74 @@ class PowerReport:
         return f_clk * vdd * vdd * self.switched_capacitance / transitions
 
 
+def _toggle_counts_limbs(sim, inputs, num_vectors: int) -> List[int]:
+    """Per-net toggle counts via the vectorized limb backend.
+
+    The cross-vector shift becomes a cross-limb shift (bit ``v+1`` of a
+    row is bit 0 of the next limb when ``v+1`` crosses a limb boundary)
+    and the transition mask is the all-ones row with bit ``nv-1``
+    cleared — exactly ``ones >> 1`` of the big-int path, so the counts
+    are identical integers.
+    """
+    import numpy as np
+
+    from repro.netlist.compile import limb_ones, popcount_rows
+
+    V, ones_row, _ = sim.pack_inputs_limbs(inputs)
+    rows = sim.eval_limbs(V, ones_row)
+    one = np.uint64(1)
+    shifted = rows >> one
+    if rows.shape[1] > 1:
+        shifted[:, :-1] |= rows[:, 1:] << np.uint64(63)
+    tmask = limb_ones(num_vectors)
+    last = num_vectors - 1
+    tmask[last >> 6] &= ~(one << np.uint64(last & 63))
+    shifted ^= rows
+    shifted &= tmask
+    per_row = popcount_rows(shifted)
+    perm = sim.vector_plan().perm
+    return [int(per_row[perm[net]]) for net in range(sim.kernel.num_nets)]
+
+
 def estimate_power(
     circuit: Circuit,
     inputs: Mapping[str, Sequence[int]],
     library: Optional[CellLibrary] = None,
+    backend: str = "auto",
 ) -> PowerReport:
     """Estimate switching activity under the given input vector stream.
 
     ``inputs`` maps each input bus to a *sequence* of vectors; toggles are
     counted between consecutive vectors (zero-delay model: each net
     toggles at most once per vector, glitches are not modelled).
+
+    ``backend`` selects the simulation backend for the activity pass
+    (as :func:`repro.netlist.simulate.resolve_backend`); toggle counts —
+    and therefore every report field — are identical on all of them.
     """
     from repro.netlist.compile import compile_circuit
+    from repro.netlist.simulate import check_batch_inputs, resolve_backend
 
     lib = library if library is not None else default_library()
     sim = compile_circuit(circuit)
-    input_masks, ones, num_vectors = sim.pack_inputs(inputs)
+    num_vectors = check_batch_inputs(circuit, inputs)
     if num_vectors < 2:
         raise NetlistError("activity estimation needs at least two vectors")
-    transition_mask = ones >> 1  # bits 0..W-2: transitions v -> v+1
-    values = sim.eval_masks(input_masks, ones)
+
+    if resolve_backend(backend, num_vectors) == "vectorized":
+        per_net = _toggle_counts_limbs(sim, inputs, num_vectors)
+
+        def toggle_count(net: int) -> int:
+            return per_net[net]
+
+    else:
+        input_masks, ones, _ = sim.pack_inputs(inputs)
+        transition_mask = ones >> 1  # bits 0..W-2: transitions v -> v+1
+        values = sim.eval_masks(input_masks, ones)
+
+        def toggle_count(net: int) -> int:
+            v = values[net]
+            return ((v ^ (v >> 1)) & transition_mask).bit_count()
 
     fanout = circuit.fanout_counts()
     loads: List[float] = [fanout[n] * _PIN_LOAD for n in range(circuit.num_nets)]
@@ -84,7 +132,7 @@ def estimate_power(
     switched = 0.0
     total = 0
     for net in range(circuit.num_nets):
-        t = ((values[net] ^ (values[net] >> 1)) & transition_mask).bit_count()
+        t = toggle_count(net)
         toggles[net] = t
         total += t
         switched += t * loads[net]

@@ -18,7 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Higher-is-better per-row metrics compared by default.
-DEFAULT_METRICS = ("compiled_samples_per_s", "speedup", "fault_speedup")
+DEFAULT_METRICS = (
+    "compiled_samples_per_s",
+    "speedup",
+    "fault_speedup",
+    "vectorized_samples_per_s",
+    "vectorized_speedup",
+    "vectorized_vs_compiled",
+)
 
 DEFAULT_TOLERANCE = 0.1
 
@@ -68,11 +75,17 @@ def load_report(path: str) -> dict:
 
 
 def _row_key(row: dict) -> Tuple:
-    return (row.get("architecture"), row.get("width"))
+    # "vectors" joined the key when the sim benchmark grew a batch-size
+    # axis; rows without it (older reports, other benchmarks) key on
+    # (architecture, width) exactly as before.
+    return (row.get("architecture"), row.get("width"), row.get("vectors"))
 
 
 def _row_label(row: dict) -> str:
-    return f"{row.get('architecture')} n={row.get('width')}"
+    label = f"{row.get('architecture')} n={row.get('width')}"
+    if row.get("vectors") is not None:
+        label += f" v={row.get('vectors')}"
+    return label
 
 
 def compare_reports(

@@ -33,11 +33,16 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 PROTOCOL_VERSION = 1
 
 #: Evaluation kinds the service understands.
-KINDS = ("errors", "measure")
+KINDS = ("errors", "measure", "sim")
 
 #: Hard admission cap on the Monte Carlo budget of one request: larger
 #: studies belong on the batch CLI, not a latency-bound service.
 MAX_SAMPLES_PER_REQUEST = 1 << 24
+
+#: Hard admission cap on one ``sim`` request's vector budget: big enough
+#: that the vectorized backend is exercised at scale, small enough that
+#: a single request cannot hog a shard.
+MAX_VECTORS_PER_REQUEST = 1 << 16
 
 _DEFAULT_SEED = 2012
 
@@ -119,6 +124,8 @@ def parse_request(payload: Any) -> EvalRequest:
 
     if kind == "errors":
         params = _validate_errors_params(params)
+    elif kind == "sim":
+        params = _validate_sim_params(params)
     else:
         params = _validate_measure_params(params)
     return EvalRequest(
@@ -184,6 +191,45 @@ def _validate_measure_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     return out
 
 
+def _validate_sim_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.engine.elab import grid_designs
+    from repro.netlist.simulate import BACKENDS
+
+    architecture = params.get("architecture")
+    known = grid_designs()
+    if architecture not in known:
+        raise ProtocolError(
+            "bad-param",
+            f"unknown architecture {architecture!r}; choose from {list(known)}",
+        )
+    width = _require_int(params, "width", 2, 4096)
+    out: Dict[str, Any] = {"architecture": architecture, "width": width}
+    windowed = ("scsa1", "scsa2", "vlcsa1", "vlcsa2", "vlsa")
+    if params.get("window") is not None:
+        if architecture not in windowed:
+            raise ProtocolError(
+                "bad-param", f"design {architecture!r} takes no window parameter"
+            )
+        out["window"] = _require_int(params, "window", 1, width)
+    if params.get("vectors") is not None:
+        out["vectors"] = _require_int(
+            params, "vectors", 1, MAX_VECTORS_PER_REQUEST
+        )
+    else:
+        out["vectors"] = 1024
+    backend = params.get("backend", "auto")
+    if backend not in BACKENDS:
+        raise ProtocolError(
+            "bad-param",
+            f"unknown backend {backend!r}; choose from {BACKENDS}",
+        )
+    out["backend"] = backend
+    unknown = set(params) - {"architecture", "width", "window", "vectors", "backend"}
+    if unknown:
+        raise ProtocolError("bad-param", f"unknown sim params {sorted(unknown)}")
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Scheduler keys
 # ---------------------------------------------------------------------------
@@ -214,6 +260,10 @@ def affinity_key(request: EvalRequest) -> str:
             params.get("window"),
             params["distribution"],
         )
+    elif request.kind == "sim":
+        # Excludes vectors/seed/backend: all of them reuse the same
+        # elaborated circuit and compiled kernel.
+        tag = ("sim", params["architecture"], params["width"], params.get("window"))
     else:
         tag = ("measure", params["architecture"], params["width"], params.get("window"))
     return repr(tag)

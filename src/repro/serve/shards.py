@@ -140,6 +140,8 @@ def execute_entries(
         return _execute_errors(entries, collector, pool)
     if kind == "measure":
         return _execute_measure(entries, collector, cache_dir)
+    if kind == "sim":
+        return _execute_sim(entries, collector)
     raise ValueError(f"unknown batch kind {kind!r}")
 
 
@@ -177,5 +179,25 @@ def _execute_measure(entries, collector, cache_dir) -> List[Dict[str, Any]]:
         collector.add("cache_hits" if hit else "cache_misses")
         row = protocol.measure_result(metrics)
         row["cache_hit"] = hit
+        rows.append(row)
+    return rows
+
+
+def _execute_sim(entries, collector) -> List[Dict[str, Any]]:
+    from repro.engine.elab import simulate_design
+
+    rows: List[Dict[str, Any]] = []
+    for entry in entries:
+        params = entry.request.param_dict()
+        row = simulate_design(
+            params["architecture"],
+            params["width"],
+            params.get("window"),
+            vectors=params["vectors"],
+            seed=entry.request.seed,
+            backend=params["backend"],
+        )
+        collector.add("sim_requests")
+        collector.add("sim_vectors", params["vectors"])
         rows.append(row)
     return rows

@@ -1,0 +1,385 @@
+"""Differential and property tests for the vectorized limb backend.
+
+Three cross-checked layers:
+
+* **three-way bit identity** — reference == compiled == vectorized over
+  the full architecture grid and over the limb-boundary batch sizes
+  (0/1/63/64/65/4096), per the PR acceptance grid;
+* **transpose-seam properties** — the pack/unpack limb transposes at
+  their seams: bus width 65 (the ``n+1`` sum bus), batch sizes around
+  ``_NUMPY_MIN_BATCH`` (15/16), ``_BLOCK``±1, and empty batches, on both
+  the Python-int and limb-array paths;
+* **C fast path** — the optional :mod:`repro.netlist._accel` library is
+  cross-checked against the pure-numpy SWAR rounds whenever it loads,
+  and ``REPRO_ACCEL=0`` must disable it.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.elab import build_design, grid_designs
+from repro.netlist import _accel
+from repro.netlist.circuit import Circuit
+from repro.netlist.compile import (
+    _BLOCK,
+    _NUMPY_MIN_BATCH,
+    _transpose64_blocks_numpy,
+    compile_circuit,
+    limb_count,
+    limb_ones,
+    pack_values,
+    pack_values_limbs,
+    unpack_values,
+    unpack_values_limbs,
+)
+from repro.netlist.simulate import (
+    resolve_backend,
+    simulate_batch,
+    simulate_batch_reference,
+)
+
+_U64 = np.uint64
+
+
+def _random_batch(circuit, num_vectors, rng):
+    return {
+        name: [rng.getrandbits(len(nets)) for _ in range(num_vectors)]
+        for name, nets in circuit.input_buses.items()
+    }
+
+
+def _circuit_of(design, width):
+    built = build_design(design, width)
+    return getattr(built, "circuit", built)
+
+
+# ---------------------------------------------------------------------------
+# Three-way bit identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("design", grid_designs())
+@pytest.mark.parametrize("width", [8, 16, 32, 64])
+def test_three_way_identity_full_grid(design, width):
+    """reference == compiled == vectorized on every architecture/width."""
+    circuit = _circuit_of(design, width)
+    rng = random.Random(width * 1000003 + hash(design) % 1000)
+    inputs = _random_batch(circuit, 65, rng)
+    reference = simulate_batch_reference(circuit, inputs)
+    compiled = simulate_batch(circuit, inputs, backend="compiled")
+    vectorized = simulate_batch(circuit, inputs, backend="vectorized")
+    assert compiled == reference
+    assert vectorized == reference
+
+
+@pytest.mark.parametrize("num_vectors", [0, 1, 63, 64, 65, 300, 4096])
+def test_three_way_identity_batch_edges(num_vectors):
+    """Limb-boundary batch sizes, three ways, on a speculative design."""
+    circuit = _circuit_of("vlcsa1", 16)
+    rng = random.Random(num_vectors)
+    inputs = _random_batch(circuit, num_vectors, rng)
+    compiled = simulate_batch(circuit, inputs, backend="compiled")
+    vectorized = simulate_batch(circuit, inputs, backend="vectorized")
+    assert vectorized == compiled
+    if num_vectors <= 300:  # the interpreter is the slow leg
+        assert simulate_batch_reference(circuit, inputs) == compiled
+
+
+def test_three_way_identity_large_batch_wide_design():
+    """The benchmark point itself: designware n=64 at 4096 vectors."""
+    circuit = _circuit_of("designware", 64)
+    inputs = _random_batch(circuit, 4096, random.Random(3))
+    compiled = simulate_batch(circuit, inputs, backend="compiled")
+    vectorized = simulate_batch(circuit, inputs, backend="vectorized")
+    assert vectorized == compiled
+
+
+def test_vectorized_does_not_mutate_inputs():
+    circuit = _circuit_of("vlcsa1", 16)
+    inputs = _random_batch(circuit, 130, random.Random(5))
+    snapshot = {name: list(vals) for name, vals in inputs.items()}
+    simulate_batch(circuit, inputs, backend="vectorized")
+    assert inputs == snapshot
+
+
+def test_auto_routes_by_batch_size():
+    assert resolve_backend("auto", 1) == "compiled"
+    assert resolve_backend("auto", 1 << 20) == "vectorized"
+    assert resolve_backend("vectorized", 1) == "vectorized"
+    assert resolve_backend("compiled", 1 << 20) == "compiled"
+
+
+# ---------------------------------------------------------------------------
+# Transpose seams (property tests)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    width=st.sampled_from([1, 63, 64, 65]),
+    num_vectors=st.sampled_from([0, 1, 15, 16, 63, 64, 65, 130]),
+    seed=st.integers(0, 2**32),
+)
+def test_limb_pack_unpack_roundtrip(width, num_vectors, seed):
+    """pack_values_limbs o unpack_values_limbs is the identity.
+
+    Width 65 exercises the multi-plane (n+1 sum bus) path; 15/16 sit on
+    the ``_NUMPY_MIN_BATCH`` fast-path boundary.
+    """
+    rng = random.Random(seed)
+    values = [rng.getrandbits(width) for _ in range(num_vectors)]
+    rows = pack_values_limbs(values, width, "bus")
+    assert rows.shape == (width, limb_count(num_vectors))
+    assert unpack_values_limbs(rows, num_vectors) == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    width=st.sampled_from([1, 63, 64, 65]),
+    num_vectors=st.sampled_from([1, 15, 16, 65]),
+    seed=st.integers(0, 2**32),
+)
+def test_limb_and_int_paths_agree(width, num_vectors, seed):
+    """The limb rows hold exactly the big-int masks, limb for limb."""
+    rng = random.Random(seed)
+    values = [rng.getrandbits(width) for _ in range(num_vectors)]
+    rows = pack_values_limbs(values, width, "bus")
+    masks = pack_values(values, width, "bus")
+    limbs = limb_count(num_vectors)
+    for bit in range(width):
+        packed = sum(int(rows[bit][k]) << (64 * k) for k in range(limbs))
+        assert packed == masks[bit]
+    assert unpack_values(masks, num_vectors) == values
+
+
+@pytest.mark.parametrize("num_vectors", [_BLOCK - 1, _BLOCK, _BLOCK + 1])
+def test_block_boundary_roundtrip(num_vectors):
+    """The int path's chunking block boundary, on both layouts."""
+    rng = random.Random(num_vectors)
+    values = [rng.getrandbits(65) for _ in range(num_vectors)]
+    rows = pack_values_limbs(values, 65, "bus")
+    assert unpack_values_limbs(rows, num_vectors) == values
+    masks = pack_values(values, 65, "bus")
+    assert unpack_values(masks, num_vectors) == values
+
+
+def test_empty_batch_both_paths():
+    assert pack_values_limbs([], 65, "bus").shape == (65, 0)
+    assert unpack_values_limbs(np.empty((65, 0), dtype=_U64), 0) == []
+    assert pack_values([], 65, "bus") == [0] * 65
+    assert unpack_values([0] * 65, 0) == []
+
+
+def test_limb_pack_range_check_matches_int_path():
+    for values in ([3, 7, 9], [2**65]):
+        with pytest.raises(Exception) as limb_err:
+            pack_values_limbs(values, 1 if values[0] == 3 else 65, "bus")
+        with pytest.raises(Exception) as int_err:
+            pack_values(values, 1 if values[0] == 3 else 65, "bus")
+        assert type(limb_err.value) is type(int_err.value)
+
+
+def test_wide_bus_fast_path_range_check():
+    """Oversized values on the >64-bit numpy fast path raise the same
+    NetlistError as the scalar path (value and bus name included)."""
+    from repro.netlist.circuit import NetlistError
+
+    good = [1 << 64] * 40
+    assert unpack_values_limbs(pack_values_limbs(good, 65, "wide"), 40) == good
+    bad = list(good)
+    bad[17] = 1 << 65
+    with pytest.raises(NetlistError, match="wide"):
+        pack_values_limbs(bad, 65, "wide")
+
+
+# ---------------------------------------------------------------------------
+# The vector plan
+# ---------------------------------------------------------------------------
+
+
+def test_plan_perm_and_undriven_invariants():
+    circuit = _circuit_of("vlcsa1", 16)
+    plan = compile_circuit(circuit).vector_plan()
+    perm = plan.perm
+    assert sorted(perm.tolist()) == list(range(circuit.num_nets))
+    driven = {gate.output for gate in circuit.gates}
+    for net in range(circuit.num_nets):
+        if net in driven:
+            assert perm[net] >= plan.num_undriven
+        else:
+            assert perm[net] < plan.num_undriven
+    # Every driven row is written by exactly one group.
+    written = []
+    for group in plan.groups:
+        out = group.out_idx.tolist()
+        written.extend(out)
+    assert sorted(written) == list(
+        range(plan.num_undriven, circuit.num_nets)
+    )
+
+
+def test_groups_fuse_by_level_and_kind():
+    circuit = _circuit_of("designware", 32)
+    plan = compile_circuit(circuit).vector_plan()
+    seen = set()
+    for group in plan.groups:
+        key = (group.level, group.kind)
+        assert key not in seen  # one group per (level, kind)
+        seen.add(key)
+        for g in group.gates.tolist():
+            gate = circuit.gates[g]
+            assert gate.kind == group.kind
+    assert len(seen) < circuit.num_gates  # fusion actually happened
+
+
+def test_scratch_buffer_reused_across_batches():
+    circuit = _circuit_of("vlcsa1", 16)
+    sim = compile_circuit(circuit)
+    rng = random.Random(1)
+    a = _random_batch(circuit, 200, rng)
+    b = _random_batch(circuit, 200, rng)
+    V1, ones1, _ = sim.pack_inputs_limbs(a)
+    first = V1.__array_interface__["data"][0]
+    out_a = sim.run_batch(a, backend="vectorized")
+    V2, ones2, _ = sim.pack_inputs_limbs(b)
+    assert V2.__array_interface__["data"][0] == first  # same buffer
+    out_b = sim.run_batch(b, backend="vectorized")
+    assert out_a == simulate_batch_reference(circuit, a)
+    assert out_b == simulate_batch_reference(circuit, b)
+
+
+# ---------------------------------------------------------------------------
+# The C fast path
+# ---------------------------------------------------------------------------
+
+
+def test_accel_matches_numpy_transpose_when_available():
+    lib = _accel.load()
+    if lib is None:
+        pytest.skip("no C compiler / accel disabled")
+    rng = np.random.default_rng(9)
+    for rows, cols in [(64, 1), (64, 7), (128, 16), (192, 3)]:
+        x = rng.integers(0, 1 << 63, size=(rows, cols), dtype=np.uint64)
+        expect = _transpose64_blocks_numpy(x.copy())
+        got = x.copy()
+        lib.bit_transpose_blocks(got)
+        assert np.array_equal(got, expect)
+
+
+def test_accel_pack_unpack_roundtrip_when_available():
+    lib = _accel.load()
+    if lib is None:
+        pytest.skip("no C compiler / accel disabled")
+    rng = np.random.default_rng(10)
+    for nv in (1, 63, 64, 65, 200):
+        arr = rng.integers(0, 1 << 63, size=nv, dtype=np.uint64)
+        rows = np.empty((64, limb_count(nv)), dtype=np.uint64)
+        lib.pack_planes(arr, nv, rows)
+        # tail planes of the last limb must be zero-filled
+        tail = ~limb_ones(nv)
+        assert not np.any(rows & tail)
+        out = np.zeros(nv, dtype=np.uint64)
+        lib.unpack_planes(rows, out, nv)
+        assert np.array_equal(out, arr)
+
+
+def test_accel_env_gate_disables_fast_path():
+    """REPRO_ACCEL=0 must force load() to None in a fresh process."""
+    code = (
+        "from repro.netlist import _accel; "
+        "import sys; sys.exit(0 if _accel.load() is None else 1)"
+    )
+    env = dict(os.environ, REPRO_ACCEL="0")
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+
+
+def test_vectorized_identity_without_accel():
+    """The pure-numpy fallback is bit-identical too (fresh process with
+    the accel gated off runs a compiled-vs-vectorized cross-check)."""
+    code = """
+import random
+from repro.engine.elab import build_design
+from repro.netlist.simulate import simulate_batch
+built = build_design("vlcsa1", 16)
+c = getattr(built, "circuit", built)
+rng = random.Random(2)
+inputs = {n: [rng.getrandbits(len(b)) for _ in range(130)]
+          for n, b in c.input_buses.items()}
+a = simulate_batch(c, inputs, backend="compiled")
+b = simulate_batch(c, inputs, backend="vectorized")
+assert a == b
+from repro.netlist import _accel
+assert _accel.load() is None
+"""
+    env = dict(os.environ, REPRO_ACCEL="0")
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+
+
+# ---------------------------------------------------------------------------
+# Downstream consumers
+# ---------------------------------------------------------------------------
+
+
+def test_fault_coverage_backend_parity():
+    from repro.netlist.faults import fault_coverage
+
+    circuit = _circuit_of("vlcsa1", 16)
+    inputs = _random_batch(circuit, 300, random.Random(8))
+    by_backend = {
+        backend: fault_coverage(circuit, inputs, backend=backend)
+        for backend in ("compiled", "vectorized")
+    }
+    compiled, vectorized = by_backend["compiled"], by_backend["vectorized"]
+    assert compiled.total == vectorized.total
+    assert compiled.detected == vectorized.detected
+    assert compiled.undetected == vectorized.undetected
+
+
+def test_power_backend_parity():
+    from repro.netlist.power import estimate_power
+
+    circuit = _circuit_of("vlcsa2", 16)
+    inputs = _random_batch(circuit, 200, random.Random(9))
+    a = estimate_power(circuit, inputs, backend="compiled")
+    b = estimate_power(circuit, inputs, backend="vectorized")
+    assert a.toggles == b.toggles
+    assert a.switched_capacitance == b.switched_capacitance
+
+
+def test_machine_backend_parity():
+    from repro.model.machine import VariableLatencyMachine
+
+    circuit = _circuit_of("vlcsa1", 16)
+    rng = random.Random(10)
+    pairs = [(rng.getrandbits(16), rng.getrandbits(16)) for _ in range(120)]
+    a = VariableLatencyMachine(circuit, backend="compiled").run(pairs)
+    b = VariableLatencyMachine(circuit, backend="vectorized").run(pairs)
+    assert a.results == b.results
+    assert a.cycles == b.cycles
+
+
+def test_simulate_design_digest_identity():
+    from repro.engine.elab import simulate_design
+
+    digests = {
+        backend: simulate_design(
+            "vlcsa1", 16, vectors=150, seed=4, backend=backend
+        )["digest"]
+        for backend in ("compiled", "vectorized", "reference")
+    }
+    assert len(set(digests.values())) == 1

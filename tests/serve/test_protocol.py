@@ -162,3 +162,51 @@ class TestResponses:
         assert body["proto"] == PROTOCOL_VERSION
         assert body["id"] == "r9"
         assert body["error"] == {"code": "overloaded", "message": "try later"}
+
+
+class TestSimKind:
+    def test_round_trip_and_defaults(self):
+        request = parse_request(
+            {"kind": "sim", "params": {"architecture": "vlcsa1", "width": 16}}
+        )
+        params = request.param_dict()
+        assert params["vectors"] == 1024
+        assert params["backend"] == "auto"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(
+                {"kind": "sim",
+                 "params": {"architecture": "vlcsa1", "width": 16,
+                            "backend": "gpu"}}
+            )
+        assert err.value.code == "bad-param"
+
+    def test_rejects_window_on_fixed_design(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"kind": "sim",
+                 "params": {"architecture": "kogge_stone", "width": 16,
+                            "window": 4}}
+            )
+
+    def test_rejects_oversized_vectors(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"kind": "sim",
+                 "params": {"architecture": "vlcsa1", "width": 16,
+                            "vectors": 1 << 20}}
+            )
+
+    def test_affinity_excludes_vectors_seed_and_backend(self):
+        base = {"architecture": "vlcsa1", "width": 16}
+        one = parse_request(
+            {"kind": "sim", "params": dict(base, vectors=64), "seed": 1}
+        )
+        two = parse_request(
+            {"kind": "sim",
+             "params": dict(base, vectors=512, backend="vectorized"),
+             "seed": 2}
+        )
+        assert affinity_key(one) == affinity_key(two)
+        assert identity_key(one) != identity_key(two)

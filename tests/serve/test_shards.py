@@ -107,3 +107,27 @@ def test_shard_busy_time_is_recorded():
     shard.try_submit(lambda: time.sleep(0.02))
     assert shard.drain(timeout=5)
     assert collector.timers["shard0.busy"] >= 0.02
+
+
+def test_execute_sim_digest_is_backend_independent():
+    """The sim kind's digest is the cross-backend identity witness."""
+    requests = [
+        parse_request(
+            {"kind": "sim",
+             "params": {"architecture": "vlcsa1", "width": 16,
+                        "vectors": 200, "backend": backend},
+             "seed": 12}
+        )
+        for backend in ("compiled", "vectorized")
+    ]
+    collector = Collector()
+    rows = []
+    for request in requests:
+        pending = {}
+        admit(pending, request, "w", shards=1)
+        (batch,) = plan_batches(list(pending.values()), max_batch=8)
+        rows.extend(execute_entries("sim", batch.entries, collector))
+    assert rows[0]["digest"] == rows[1]["digest"]
+    assert rows[0]["vectors"] == 200
+    assert collector.counters["sim_requests"] == 2
+    assert collector.counters["sim_vectors"] == 400

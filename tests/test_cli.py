@@ -265,6 +265,51 @@ def test_sim_both_backends_cross_check_json(tmp_path, capsys):
     assert "speedup" in table
 
 
+def test_sim_vectorized_backend_and_vector_grid(tmp_path):
+    import json
+
+    out = tmp_path / "bench.json"
+    assert main(
+        ["sim", "vlcsa1", "--widths", "16", "--vectors", "32", "128",
+         "--backend", "both", "--repeat", "1", "--json", str(out)]
+    ) == 0
+    doc = json.loads(out.read_text())
+    assert doc["vectors"] == [32, 128]
+    assert len(doc["rows"]) == 2  # one row per batch size
+    for row in doc["rows"]:
+        assert row["vectorized_s"] > 0
+        assert row["vectorized_samples_per_s"] > 0
+        assert row["vectorized_speedup"] > 0
+        assert row["vectorized_vs_compiled"] > 0
+    # elaborations stay one per (design, width), not per batch size
+    assert doc["metrics"]["counters"]["elaborations"] == 1
+
+
+def test_sim_profile_levels_report(capsys):
+    assert main(
+        ["sim", "vlcsa1", "--widths", "16", "--vectors", "16",
+         "--repeat", "1", "--profile-levels"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fused groups" in out
+    assert "(kind: gates)" in out
+
+
+def test_sim_fault_widths_restricts_fault_runs(tmp_path):
+    import json
+
+    out = tmp_path / "bench.json"
+    assert main(
+        ["sim", "vlcsa1", "--widths", "8", "16", "--vectors", "32",
+         "--faults", "--fault-widths", "16", "--repeat", "1",
+         "--json", str(out)]
+    ) == 0
+    doc = json.loads(out.read_text())
+    by_width = {row["width"]: row for row in doc["rows"]}
+    assert "fault_coverage" in by_width[16]
+    assert "fault_coverage" not in by_width[8]
+
+
 def test_sim_unknown_design_fails():
     with pytest.raises(SystemExit):
         main(["sim", "nosuch", "--widths", "16", "--vectors", "8"])
