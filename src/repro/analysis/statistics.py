@@ -66,6 +66,59 @@ def rates_compatible(
     return wilson_interval(successes, trials, z).contains(expected)
 
 
+#: Deviation threshold for the billion-sample model check: at 6σ a false
+#: alarm is a once-in-10^9 event, matched to the 10^9-sample runs whose
+#: statistical power makes even tiny model errors resolvable.
+SIX_SIGMA = 6.0
+
+
+def sigma_deviation(successes: int, trials: int, expected: float) -> float:
+    """Signed z-score of an observed rate against a binomial model rate.
+
+    ``(observed - expected) / sqrt(expected * (1 - expected) / trials)`` —
+    the exact-model standard error, not the sample one, because the null
+    hypothesis being tested is "the closed form (Eq. 3.13) is the true
+    rate".  Degenerate models (``expected`` 0 or 1) have zero variance:
+    any disagreeing observation returns ±inf, agreement returns 0.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    if not 0.0 <= expected <= 1.0:
+        raise ValueError("expected rate must lie in [0, 1]")
+    observed = successes / trials
+    if expected in (0.0, 1.0):
+        if observed == expected:
+            return 0.0
+        return math.copysign(math.inf, observed - expected)
+    se = math.sqrt(expected * (1.0 - expected) / trials)
+    return (observed - expected) / se
+
+
+def six_sigma_comparison(
+    successes: int, trials: int, expected: float, threshold: float = SIX_SIGMA
+) -> dict:
+    """Empirical-vs-model comparison row for the huge-run reports.
+
+    Returns the observed rate, the model rate, the signed z-score, and a
+    verdict: consistent iff ``|z| < threshold``.  With 10^9 samples the
+    standard error at a 25% rate is ~1.4e-5, so this detects relative
+    model errors of a few parts in 10^4 while never flagging statistical
+    noise.
+    """
+    z = sigma_deviation(successes, trials, expected)
+    return {
+        "successes": successes,
+        "trials": trials,
+        "observed_rate": successes / trials,
+        "expected_rate": expected,
+        "sigma": z,
+        "threshold": threshold,
+        "consistent": abs(z) < threshold,
+    }
+
+
 def samples_for_rate(rate: float, relative_error: float = 0.1, z: float = Z_95) -> int:
     """Trials needed to estimate ``rate`` within ± ``relative_error``·rate.
 

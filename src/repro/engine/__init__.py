@@ -25,10 +25,26 @@ they now execute through:
   per window;
 * :mod:`repro.engine.metrics` — cache-hit counters, per-phase wall-clock
   timers, and chunk throughput, exposed via the ``repro engine`` CLI
-  subcommand and a machine-readable JSON report.
+  subcommand and a machine-readable JSON report;
+* :mod:`repro.engine.checkpoint` — a durable job directory (append-only
+  manifest + content-addressed chunk results) that tolerates torn writes,
+  garbage chunk files, and duplicate records, plus the incremental
+  :class:`ManifestTail` reader the streamed reduction runs on;
+* :mod:`repro.engine.steal` — :func:`run_checkpointed`: billion-sample
+  jobs executed by work-stealing workers coordinating through lease
+  files, resumable after SIGKILL to a bit-identical final aggregate with
+  O(1) parent memory in samples.
 """
 
 from repro.engine.cache import ElaborationCache, cache_key, default_cache_dir
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    ManifestTail,
+    chunk_digest,
+    job_digest,
+)
 from repro.engine.elab import (
     LINTABLE_DESIGNS,
     SWEEPABLE_DESIGNS,
@@ -61,10 +77,21 @@ from repro.engine.runner import (
     run_job,
     run_jobs,
 )
+from repro.engine.steal import (
+    DEFAULT_LEASE_TTL,
+    CheckpointResult,
+    StealScheduler,
+    run_checkpointed,
+)
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointResult",
+    "CheckpointStore",
     "ChunkSpec",
     "DEFAULT_CHUNK",
+    "DEFAULT_LEASE_TTL",
     "ElaborationCache",
     "EngineError",
     "EngineMetrics",
@@ -77,8 +104,10 @@ __all__ = [
     "LintJob",
     "LintRows",
     "MagnitudeStats",
+    "ManifestTail",
     "MonteCarloErrorJob",
     "MonteCarloMagnitudeJob",
+    "StealScheduler",
     "SweepJob",
     "SweepPoint",
     "SweepRows",
@@ -86,9 +115,12 @@ __all__ = [
     "WorkerPool",
     "build_design",
     "cache_key",
+    "chunk_digest",
     "chunk_seed_sequence",
     "default_cache_dir",
+    "job_digest",
     "measure_design",
+    "run_checkpointed",
     "run_job",
     "run_jobs",
     "scsa1_error_count",

@@ -1,0 +1,368 @@
+"""Checkpoint store: append-only manifest + content-addressed chunk results.
+
+A *job directory* is the durable state of one huge Monte Carlo job:
+
+```
+jobdir/
+  job.json          # header: schema, job digest, chunk count, sample budget
+  manifest.jsonl    # append-only: one {"chunk": i, "digest": d} line per result
+  chunks/<d>.json   # content-addressed chunk payloads (d = sha256 of content)
+  leases/<i>        # work-stealing claims (see repro.engine.steal)
+  stats.json        # cumulative StreamingMoments telemetry across runs
+```
+
+The manifest is the single source of truth: a chunk is *done* iff a valid
+manifest line points at a chunk file whose content hashes to the recorded
+digest.  Everything else is recoverable garbage:
+
+* a **truncated manifest line** (torn write, full disk) is skipped — only
+  lines terminated by a newline and parsing as the expected shape count;
+* a **garbage chunk file** (bit rot, partial write) fails its digest
+  check, so its record is ignored and the chunk is simply recomputed;
+* **duplicate chunk records** (two workers racing on a stolen chunk) are
+  deduplicated first-wins — harmless anyway, because a chunk's payload is
+  a pure function of ``(job, chunk index)``, so duplicates are identical.
+
+Appends are crash-consistent without fsync discipline: the chunk file is
+published atomically (`os.replace`) *before* its manifest line is
+appended in a single small `O_APPEND` write, so a reader never sees a
+manifest record whose chunk file is missing unless the record itself is
+being torn — and torn records are skipped.  A SIGKILL at any instant
+leaves a directory that resumes to a bit-identical final aggregate,
+because aggregates merge exact integers associatively and commutatively.
+
+``state_digest`` reuses the fuzz corpus's order-independent hashing
+idiom: a SHA-256 over the *sorted* chunk record digests, so two runs that
+completed the same chunk set in different orders (different worker
+schedules, interrupt points, steal patterns) report the same state hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.obs.accumulator import StreamingMoments
+
+#: Bump when the job header / manifest / chunk payload layout changes.
+CHECKPOINT_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.jsonl"
+JOB_NAME = "job.json"
+CHUNKS_DIR = "chunks"
+LEASES_DIR = "leases"
+STATS_NAME = "stats.json"
+
+
+class CheckpointError(RuntimeError):
+    """The job directory is unusable (not corruption — a real conflict)."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """The directory holds a different job's state; refuse to mix streams."""
+
+
+def canonical_json(payload: Any) -> str:
+    """The one serialization chunk digests are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def chunk_digest(index: int, payload: Dict[str, Any]) -> str:
+    """Content address of one chunk result."""
+    body = canonical_json({"chunk": index, "payload": payload})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def job_digest(job: Any) -> str:
+    """Content hash of a job's full identity (class + frozen field repr).
+
+    Two jobs with equal digests decompose into the same chunk list with
+    the same per-chunk random streams, so their checkpoint directories
+    are interchangeable; anything else must not share a directory.
+    """
+    canon = repr((CHECKPOINT_SCHEMA, type(job).__qualname__, job))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointStore:
+    """One job directory: header, manifest, content-addressed chunk files."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / MANIFEST_NAME
+        self.chunks_dir = self.directory / CHUNKS_DIR
+        self.leases_dir = self.directory / LEASES_DIR
+        self.stats_path = self.directory / STATS_NAME
+
+    # -- header -----------------------------------------------------------
+
+    def header(self) -> Optional[dict]:
+        """The persisted job header, or None (missing/corrupt reads as
+        missing — the manifest, not the header, is the recovery state)."""
+        try:
+            payload = json.loads((self.directory / JOB_NAME).read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def initialize(self, job: Any) -> dict:
+        """Create (or validate) the directory for ``job``; returns the header.
+
+        Raises :class:`CheckpointMismatch` when the directory already
+        belongs to a different job — resuming someone else's manifest
+        would silently merge unrelated random streams.
+        """
+        digest = job_digest(job)
+        existing = self.header()
+        if existing is not None:
+            if existing.get("job_digest") != digest:
+                raise CheckpointMismatch(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    f"different job (its {existing.get('job_class')!r} digest "
+                    f"{str(existing.get('job_digest'))[:12]}... != this "
+                    f"{type(job).__qualname__!r} digest {digest[:12]}...); "
+                    f"use a fresh directory"
+                )
+            return existing
+        specs = job.chunk_specs()
+        header = {
+            "schema": CHECKPOINT_SCHEMA,
+            "job_digest": digest,
+            "job_class": type(job).__qualname__,
+            "job_repr": repr(job),
+            "total_chunks": len(specs),
+            "total_samples": sum(spec.size for spec in specs),
+            "seed": getattr(job, "seed", None),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chunks_dir.mkdir(exist_ok=True)
+        self.leases_dir.mkdir(exist_ok=True)
+        _atomic_write(
+            self.directory / JOB_NAME,
+            (json.dumps(header, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        return header
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, index: int, payload: Dict[str, Any]) -> str:
+        """Record one chunk result; returns its content digest.
+
+        Publish order is the crash-consistency invariant: the chunk file
+        lands atomically first, then its manifest line is appended in one
+        small ``O_APPEND`` write.  If a previous process died mid-append
+        and left a torn final line (no newline), a leading newline heals
+        it first — the fragment becomes its own garbage line (skipped by
+        every reader) instead of corrupting this record.
+        """
+        digest = chunk_digest(index, payload)
+        body = canonical_json({"chunk": index, "digest": digest, "payload": payload})
+        _atomic_write(self.chunks_dir / f"{digest}.json", body.encode("utf-8"))
+        line = canonical_json({"chunk": index, "digest": digest}) + "\n"
+        if self._tail_is_torn():
+            line = "\n" + line
+        with open(self.manifest_path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+        return digest
+
+    def _tail_is_torn(self) -> bool:
+        """True when the manifest exists, is non-empty, and its final
+        byte is not a newline (a predecessor died mid-append)."""
+        try:
+            with open(self.manifest_path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty: nothing to heal
+
+    # -- reading ----------------------------------------------------------
+
+    def load_chunk(self, index: int, digest: str) -> Optional[Dict[str, Any]]:
+        """The payload behind one manifest record, or None if the chunk
+        file is missing, unparsable, or fails its digest check."""
+        try:
+            text = (self.chunks_dir / f"{digest}.json").read_text()
+            record = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("chunk") != index:
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if chunk_digest(index, payload) != digest:
+            return None
+        return payload
+
+    def iter_manifest(self) -> Iterator[Tuple[int, str]]:
+        """Raw ``(index, digest)`` manifest records, *not* deduplicated.
+
+        Tolerates every manifest-level corruption mode: a final line
+        without its newline (torn append) and lines that fail to parse or
+        have the wrong shape are skipped.
+        """
+        try:
+            data = self.manifest_path.read_bytes()
+        except OSError:
+            return
+        for line in data.split(b"\n")[:-1]:  # last element: after final \n
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            index, digest = record.get("chunk"), record.get("digest")
+            if isinstance(index, int) and not isinstance(index, bool) and index >= 0 \
+                    and isinstance(digest, str):
+                yield index, digest
+        # A trailing fragment with no newline is a torn write: skipped.
+
+    def iter_records(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Valid, deduplicated ``(index, payload)`` records (first wins)."""
+        seen: Set[int] = set()
+        for index, digest in self.iter_manifest():
+            if index in seen:
+                continue
+            payload = self.load_chunk(index, digest)
+            if payload is None:
+                continue
+            seen.add(index)
+            yield index, payload
+
+    def done_indices(self) -> Set[int]:
+        """Chunk indices with a verified result on disk."""
+        return {index for index, _ in self.iter_records()}
+
+    def state_digest(self) -> str:
+        """Order-independent hash of the completed-chunk set.
+
+        SHA-256 over the sorted record digests (the fuzz-corpus idiom):
+        equal chunk sets hash equally no matter the completion order.
+        """
+        digests: List[str] = []
+        seen: Set[int] = set()
+        for index, digest in self.iter_manifest():
+            if index in seen:
+                continue
+            if self.load_chunk(index, digest) is None:
+                continue
+            seen.add(index)
+            digests.append(digest)
+        h = hashlib.sha256()
+        for digest in sorted(digests):
+            h.update(digest.encode())
+        return h.hexdigest()
+
+    # -- cumulative run telemetry -----------------------------------------
+
+    def read_stats(self) -> Dict[str, StreamingMoments]:
+        """The cumulative per-chunk timing moments (corrupt reads as empty)."""
+        try:
+            payload = json.loads(self.stats_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        stats: Dict[str, StreamingMoments] = {}
+        for name, value in payload.items():
+            try:
+                stats[name] = StreamingMoments.from_dict(value)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return stats
+
+    def write_stats(self, stats: Dict[str, StreamingMoments]) -> None:
+        """Atomically persist the cumulative timing moments."""
+        payload = {name: m.to_dict() for name, m in sorted(stats.items())}
+        _atomic_write(
+            self.stats_path,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+
+@dataclass
+class TailRecord:
+    """One newly observed manifest record (already verified + deduped)."""
+
+    index: int
+    payload: Dict[str, Any]
+
+
+class ManifestTail:
+    """Incremental manifest reader: the streamed-reduction input side.
+
+    ``poll()`` returns the verified, deduplicated records appended since
+    the previous call, so a long-running parent merges results as workers
+    land them — O(1) memory in samples, and the *same* code path whether
+    a record was written seconds ago (live run) or by a previous
+    interrupted process (resume).  A partially appended final line is
+    left in the file and re-examined on the next poll once its newline
+    arrives.
+    """
+
+    def __init__(self, store: CheckpointStore):
+        self.store = store
+        self._offset = 0
+        self._seen: Set[int] = set()
+
+    @property
+    def seen(self) -> Set[int]:
+        """Indices of every verified record observed so far."""
+        return self._seen
+
+    def poll(self) -> List[TailRecord]:
+        """Verified new records since the last poll (possibly empty)."""
+        try:
+            with open(self.store.manifest_path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError:
+            return []
+        # Consume only whole lines; a torn tail is retried next poll.
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        consumed = data[: end + 1]
+        self._offset += len(consumed)
+        fresh: List[TailRecord] = []
+        for line in consumed.split(b"\n")[:-1]:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            index, digest = record.get("chunk"), record.get("digest")
+            if not (isinstance(index, int) and not isinstance(index, bool)
+                    and index >= 0 and isinstance(digest, str)):
+                continue
+            if index in self._seen:
+                continue
+            payload = self.store.load_chunk(index, digest)
+            if payload is None:
+                continue
+            self._seen.add(index)
+            fresh.append(TailRecord(index=index, payload=payload))
+        return fresh

@@ -111,6 +111,35 @@ class ErrorCounts:
             return 0.0
         return getattr(self, counter) / self.samples
 
+    def to_payload(self) -> dict:
+        """JSON-ready snapshot (exact ints; the checkpoint chunk format)."""
+        payload = {
+            "samples": self.samples,
+            "scsa1_errors": self.scsa1_errors,
+            "vlcsa1_nominal": self.vlcsa1_nominal,
+            "vlcsa2_errors": self.vlcsa2_errors,
+            "vlcsa2_stalls": self.vlcsa2_stalls,
+            "vlsa_errors": self.vlsa_errors,
+        }
+        if self.chain_counts is not None:
+            payload["chain_counts"] = [int(v) for v in self.chain_counts]
+        return payload
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ErrorCounts":
+        """Inverse of :meth:`to_payload` (bit-exact round trip)."""
+        counts = ErrorCounts(
+            samples=int(payload["samples"]),
+            scsa1_errors=int(payload["scsa1_errors"]),
+            vlcsa1_nominal=int(payload["vlcsa1_nominal"]),
+            vlcsa2_errors=int(payload["vlcsa2_errors"]),
+            vlcsa2_stalls=int(payload["vlcsa2_stalls"]),
+            vlsa_errors=int(payload["vlsa_errors"]),
+        )
+        if payload.get("chain_counts") is not None:
+            counts.chain_counts = np.asarray(payload["chain_counts"], dtype=np.int64)
+        return counts
+
 
 @dataclass(frozen=True)
 class MonteCarloErrorJob:
@@ -256,6 +285,25 @@ class MagnitudeStats:
     @property
     def mean_abs_error(self) -> float:
         return self.sum_abs_error / self.samples if self.samples else 0.0
+
+    def to_payload(self) -> dict:
+        """JSON-ready snapshot (exact ints; the checkpoint chunk format)."""
+        return {
+            "samples": self.samples,
+            "errors": self.errors,
+            "sum_abs_error": self.sum_abs_error,
+            "max_abs_error": self.max_abs_error,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "MagnitudeStats":
+        """Inverse of :meth:`to_payload` (bit-exact round trip)."""
+        return MagnitudeStats(
+            samples=int(payload["samples"]),
+            errors=int(payload["errors"]),
+            sum_abs_error=int(payload["sum_abs_error"]),
+            max_abs_error=int(payload["max_abs_error"]),
+        )
 
 
 @dataclass(frozen=True)

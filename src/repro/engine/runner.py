@@ -38,7 +38,7 @@ import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.metrics import EngineMetrics
 from repro.obs import spans as _obs
@@ -64,6 +64,12 @@ _SNAPSHOT_DEADLINE_S = 10.0
 _ABORT_DRAIN_S = 1.0
 
 _JOIN_TIMEOUT_S = 5.0
+
+#: Progress callback signature: ``(done_chunks, total_chunks, aggregates)``.
+#: Invoked from the parent as chunk results are folded in; the aggregates
+#: list reflects everything merged so far, so a reporter can surface live
+#: error counts alongside the chunk rate.
+ProgressFn = Callable[[int, int, Sequence[Any]], None]
 
 
 class EngineError(RuntimeError):
@@ -169,12 +175,21 @@ def _worker_main(
 
 
 def _run_group_serial(
-    jobs: Sequence[Any], aggregates: List[Any], metrics: EngineMetrics
+    jobs: Sequence[Any],
+    aggregates: List[Any],
+    metrics: EngineMetrics,
+    progress: Optional[ProgressFn] = None,
 ) -> None:
-    for job_index, job in enumerate(jobs):
-        for spec in job.chunk_specs():
+    per_job = [job.chunk_specs() for job in jobs]
+    total = sum(len(specs) for specs in per_job)
+    done = 0
+    for job_index, (job, specs) in enumerate(zip(jobs, per_job)):
+        for spec in specs:
             aggregates[job_index] = aggregates[job_index].merge(job.run_chunk(spec))
             metrics.add("chunks", 1)
+            done += 1
+            if progress is not None:
+                progress(done, total, aggregates)
 
 
 class WorkerPool:
@@ -296,7 +311,11 @@ class WorkerPool:
         return run_jobs(jobs, metrics=metrics, pool=self)
 
     def run_group(
-        self, jobs: Sequence[Any], aggregates: List[Any], metrics: EngineMetrics
+        self,
+        jobs: Sequence[Any],
+        aggregates: List[Any],
+        metrics: EngineMetrics,
+        progress: Optional[ProgressFn] = None,
     ) -> None:
         """Run one job group, folding chunk aggregates into ``aggregates``."""
         with self._lock:
@@ -308,7 +327,7 @@ class WorkerPool:
             gen = self._generation
             with _sigterm_interrupts():
                 try:
-                    self._run_group_locked(gen, tuple(jobs), aggregates, metrics)
+                    self._run_group_locked(gen, tuple(jobs), aggregates, metrics, progress)
                 except EngineError:
                     raise  # chunk failure: workers are already idle again
                 except _PoolDead as exc:
@@ -327,9 +346,11 @@ class WorkerPool:
         jobs: Tuple[Any, ...],
         aggregates: List[Any],
         metrics: EngineMetrics,
+        progress: Optional[ProgressFn] = None,
     ) -> None:
         per_job = [job.chunk_specs() for job in jobs]
         total = sum(len(specs) for specs in per_job)
+        done_chunks = 0
         batch = max(1, total // (self.workers * _TASKS_PER_WORKER))
         work = [
             (gen, job_index, tuple(specs[i : i + batch]))
@@ -346,7 +367,7 @@ class WorkerPool:
         snapshots: Dict[int, Tuple[Collector, Optional[Collector]]] = {}
 
         def absorb(item) -> None:
-            nonlocal outstanding
+            nonlocal outstanding, done_chunks
             if item[1] != gen:
                 return  # stale message from a prior (timed-out) group
             kind = item[0]
@@ -361,6 +382,9 @@ class WorkerPool:
                 if status == "ok":
                     aggregates[job_index] = aggregates[job_index].merge(payload)
                     metrics.add("chunks", n_chunks)
+                    done_chunks += n_chunks
+                    if progress is not None:
+                        progress(done_chunks, total, aggregates)
                 else:
                     failures.append(payload)
 
@@ -478,6 +502,7 @@ def run_jobs(
     workers: int = 0,
     metrics: Optional[EngineMetrics] = None,
     pool: Optional[WorkerPool] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[EngineResult]:
     """Execute a group of jobs through one (shared) runner.
 
@@ -487,7 +512,8 @@ def run_jobs(
     then ignored) and keeps its workers' caches warm across calls.
     Per-job results are bit-identical across all three paths for fixed
     job seeds.  All returned :class:`EngineResult`\\ s share the same
-    metrics instance.
+    metrics instance.  ``progress`` is invoked from the parent as chunk
+    results fold in, with ``(done_chunks, total_chunks, aggregates)``.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -499,12 +525,12 @@ def run_jobs(
     aggregates = [job.new_aggregate() for job in jobs]
     with metrics.phase("simulate"):
         if pool is not None:
-            pool.run_group(jobs, aggregates, metrics)
+            pool.run_group(jobs, aggregates, metrics, progress)
         elif workers >= 2:
             with WorkerPool(workers) as ephemeral:
-                ephemeral.run_group(jobs, aggregates, metrics)
+                ephemeral.run_group(jobs, aggregates, metrics, progress)
         else:
-            _run_group_serial(jobs, aggregates, metrics)
+            _run_group_serial(jobs, aggregates, metrics, progress)
     for aggregate in aggregates:
         samples = getattr(aggregate, "samples", None)
         if isinstance(samples, int) and samples:

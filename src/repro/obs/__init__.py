@@ -10,6 +10,10 @@ one substrate they all report through:
   only while tracing is enabled so the disabled path costs one branch;
 * **histograms** (:mod:`repro.obs.hist`) — fixed power-of-two bucket
   edges, exact count/total, mergeable across worker processes;
+* **accumulators** (:mod:`repro.obs.accumulator`) — streaming
+  count/total/sum-of-squares moments that snapshot to JSON and restore,
+  the O(1)-memory reduction state the checkpointed engine persists
+  across interrupted and resumed runs;
 * **collector** (:mod:`repro.obs.collector`) — the per-process container
   (counters, timers, histograms, spans) with a deterministic merge, the
   unit the multiprocessing runner ships back from each worker;
@@ -27,6 +31,7 @@ flag and every instrumentation site in the engine, compiled simulator,
 fault simulator, linter, and machine protocol starts recording.
 """
 
+from repro.obs.accumulator import StreamingMoments
 from repro.obs.collector import Collector, SpanRecord
 from repro.obs.hist import Histogram
 from repro.obs.spans import (
@@ -44,6 +49,7 @@ __all__ = [
     "Collector",
     "Histogram",
     "SpanRecord",
+    "StreamingMoments",
     "add",
     "disable",
     "enable",

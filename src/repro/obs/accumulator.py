@@ -1,0 +1,107 @@
+"""Streaming moment accumulators with snapshot/restore.
+
+:class:`StreamingMoments` keeps the raw moments of a value stream —
+``count``, ``total``, ``sum_sq``, ``min``, ``max`` — so the mean and
+variance of an unbounded stream are available in O(1) memory.  Like the
+:mod:`repro.obs.hist` histograms, merging is a plain per-field sum (or
+min/max), i.e. associative and commutative, so partial accumulators from
+workers, chunks, or *separate resumed runs* fold together in any order.
+
+Integer-valued streams stay exact: Python ints never overflow, so for
+counts and error events the merged moments are bit-identical regardless
+of merge order.  Float-valued streams (e.g. per-chunk wall-clock
+seconds) are telemetry, not part of any bit-identity guarantee.
+
+``to_dict``/``from_dict`` round-trip the accumulator through JSON, which
+is how the checkpointed engine persists cumulative timing statistics in
+a job directory across interrupted and resumed runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+class StreamingMoments:
+    """Exact first/second moments of a stream (mergeable, restorable)."""
+
+    __slots__ = ("count", "total", "sum_sq", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: Number = 0
+        self.sum_sq: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def record(self, value: Number, count: int = 1) -> None:
+        """Add ``count`` samples of ``value`` (count <= 0 is a no-op)."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        self.sum_sq += value * value * count
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold another accumulator in (order-independent for int streams)."""
+        self.count += other.count
+        self.total += other.total
+        self.sum_sq += other.sum_sq
+        for name in ("min", "max"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if theirs is not None:
+                pick = min if name == "min" else max
+                setattr(self, name, theirs if mine is None else pick(mine, theirs))
+        return self
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of the recorded values (None on an empty accumulator)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    @property
+    def variance(self) -> Optional[float]:
+        """Population variance (None on an empty accumulator)."""
+        if self.count == 0:
+            return None
+        mean = self.total / self.count
+        # Clamp: catastrophic cancellation on float streams can dip just
+        # below zero; integer streams are exact and never need it.
+        return max(0.0, self.sum_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> Optional[float]:
+        """Population standard deviation (None on an empty accumulator)."""
+        var = self.variance
+        return None if var is None else math.sqrt(var)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (mean/variance are derived, not stored)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sum_sq": self.sum_sq,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "StreamingMoments":
+        """Inverse of :meth:`to_dict`."""
+        moments = StreamingMoments()
+        moments.count = int(payload["count"])
+        moments.total = payload["total"]
+        moments.sum_sq = payload.get("sum_sq", 0)
+        moments.min = payload.get("min")
+        moments.max = payload.get("max")
+        return moments
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingMoments(count={self.count}, mean={self.mean})"

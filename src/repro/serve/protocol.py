@@ -33,11 +33,17 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 PROTOCOL_VERSION = 1
 
 #: Evaluation kinds the service understands.
-KINDS = ("errors", "measure", "sim")
+KINDS = ("errors", "measure", "sim", "longrun")
 
 #: Hard admission cap on the Monte Carlo budget of one request: larger
 #: studies belong on the batch CLI, not a latency-bound service.
 MAX_SAMPLES_PER_REQUEST = 1 << 24
+
+#: Admission cap for ``longrun`` requests: these execute through the
+#: durable checkpointed runner (server ``--job-root``), so a shard/server
+#: restart resumes instead of restarting — billion-sample budgets are in
+#: scope.
+MAX_SAMPLES_PER_LONGRUN = 1 << 34
 
 #: Hard admission cap on one ``sim`` request's vector budget: big enough
 #: that the vectorized backend is exercised at scale, small enough that
@@ -124,6 +130,8 @@ def parse_request(payload: Any) -> EvalRequest:
 
     if kind == "errors":
         params = _validate_errors_params(params)
+    elif kind == "longrun":
+        params = _validate_errors_params(params, samples_cap=MAX_SAMPLES_PER_LONGRUN)
     elif kind == "sim":
         params = _validate_sim_params(params)
     else:
@@ -133,14 +141,16 @@ def parse_request(payload: Any) -> EvalRequest:
     )
 
 
-def _validate_errors_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+def _validate_errors_params(
+    params: Mapping[str, Any], samples_cap: int = MAX_SAMPLES_PER_REQUEST
+) -> Dict[str, Any]:
     from repro.engine.jobs import _DISTRIBUTIONS, _ERROR_COUNTERS
 
     width = _require_int(params, "width", 2, 4096)
     out: Dict[str, Any] = {"width": width}
     if params.get("window") is not None:
         out["window"] = _require_int(params, "window", 1, width)
-    out["samples"] = _require_int(params, "samples", 1, MAX_SAMPLES_PER_REQUEST)
+    out["samples"] = _require_int(params, "samples", 1, samples_cap)
     distribution = params.get("distribution", "uniform")
     if distribution not in _DISTRIBUTIONS:
         raise ProtocolError(
@@ -253,9 +263,9 @@ def affinity_key(request: EvalRequest) -> str:
     the elaborated circuit / compiled kernel the evaluation leans on.
     """
     params = request.param_dict()
-    if request.kind == "errors":
+    if request.kind in ("errors", "longrun"):
         tag = (
-            "errors",
+            request.kind,
             params["width"],
             params.get("window"),
             params["distribution"],
@@ -281,10 +291,10 @@ def shard_of(request: EvalRequest, shards: int) -> int:
 
 
 def request_to_job(request: EvalRequest):
-    """The engine job an ``errors`` request denotes (seed = the request's)."""
+    """The engine job an ``errors``/``longrun`` request denotes."""
     from repro.engine.jobs import MonteCarloErrorJob
 
-    if request.kind != "errors":
+    if request.kind not in ("errors", "longrun"):
         raise ValueError(f"request kind {request.kind!r} has no engine job")
     params = request.param_dict()
     from repro.analysis.sizing import scsa_window_size_for
@@ -314,6 +324,19 @@ def errors_result(aggregate) -> Dict[str, Any]:
         "vlcsa2_error_rate": aggregate.rate("vlcsa2_errors"),
         "vlcsa2_stall_rate": aggregate.rate("vlcsa2_stalls"),
     }
+
+
+def longrun_result(ckpt) -> Dict[str, Any]:
+    """JSON-ready result body of a ``longrun`` evaluation.
+
+    The error counts plus the durable-run block (chunk progress, resume
+    provenance, order-independent state digest) — a client polling the
+    same request across server restarts watches ``done_chunks`` advance
+    and receives the identical final counts whenever it completes.
+    """
+    body = errors_result(ckpt.aggregate)
+    body["checkpoint"] = ckpt.to_dict()
+    return body
 
 
 def measure_result(metrics) -> Dict[str, Any]:

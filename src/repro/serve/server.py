@@ -79,6 +79,7 @@ class ServeConfig:
     max_pending: int = 64  # global in-flight request cap
     pool_workers: int = 0  # >= 2 enables the shared resident WorkerPool
     cache_dir: Optional[str] = None  # elaboration disk cache (None = memory)
+    job_root: Optional[str] = None  # durable longrun checkpoints (None = off)
     drain_timeout_s: float = 15.0
 
     def validate(self) -> None:
@@ -246,6 +247,7 @@ class Server:
                     self.collector,
                     pool=pool,
                     cache_dir=self.config.cache_dir,
+                    job_root=self.config.job_root,
                 )
             except BaseException as exc:
                 message = f"{type(exc).__name__}: {exc}"
@@ -377,6 +379,13 @@ class Server:
                 request_id = ""
             return 400, protocol.error_response(exc.code, str(exc), request_id)
 
+        if request.kind == "longrun" and self.config.job_root is None:
+            self.collector.add("serve.bad_requests")
+            return 400, protocol.error_response(
+                "longrun-disabled",
+                "this server has no durable job root; start it with --job-root",
+                request.request_id,
+            )
         if self._draining:
             self.collector.add("serve.shed")
             return 503, protocol.error_response(

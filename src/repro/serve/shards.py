@@ -128,13 +128,16 @@ def execute_entries(
     collector: Collector,
     pool: Optional[Any] = None,
     cache_dir: Optional[str] = None,
+    job_root: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Evaluate one batch of deduplicated entries; one result dict each.
 
     ``errors`` entries become one engine job *group* (a single
     ``run_jobs`` submission — the coalescing payoff); ``measure`` entries
     run through the process elaboration cache, whose hit/miss deltas feed
-    the service's cache-hit-rate SLO.
+    the service's cache-hit-rate SLO; ``longrun`` entries execute through
+    the durable checkpointed runner under ``job_root``, so a shard or
+    whole-server restart resumes them from their manifests.
     """
     if kind == "errors":
         return _execute_errors(entries, collector, pool)
@@ -142,6 +145,8 @@ def execute_entries(
         return _execute_measure(entries, collector, cache_dir)
     if kind == "sim":
         return _execute_sim(entries, collector)
+    if kind == "longrun":
+        return _execute_longrun(entries, collector, job_root)
     raise ValueError(f"unknown batch kind {kind!r}")
 
 
@@ -155,6 +160,32 @@ def _execute_errors(entries, collector, pool) -> List[Dict[str, Any]]:
     collector.add("engine_groups", 1)
     collector.add("mc_samples", metrics.counters.get("samples", 0))
     return [protocol.errors_result(result.aggregate) for result in results]
+
+
+def _execute_longrun(entries, collector, job_root) -> List[Dict[str, Any]]:
+    from repro.engine import EngineMetrics, job_digest, run_checkpointed
+    from pathlib import Path
+
+    if job_root is None:
+        raise ValueError(
+            "longrun requests need a durable job root; start the server "
+            "with --job-root DIR"
+        )
+    rows: List[Dict[str, Any]] = []
+    for entry in entries:
+        job = protocol.request_to_job(entry.request)
+        # The directory name is the job's content digest, so a client
+        # re-submitting the identical request — to this server or its
+        # restarted successor — lands on the same durable state.
+        directory = Path(job_root) / job_digest(job)[:16]
+        metrics = EngineMetrics()
+        ckpt = run_checkpointed(job, directory, metrics=metrics)
+        collector.add("longrun_jobs", 1)
+        collector.add("longrun_chunks", ckpt.done_chunks - ckpt.resumed_chunks)
+        collector.add("longrun_chunks_resumed", ckpt.resumed_chunks)
+        collector.add("mc_samples", metrics.counters.get("samples", 0))
+        rows.append(protocol.longrun_result(ckpt))
+    return rows
 
 
 def _execute_measure(entries, collector, cache_dir) -> List[Dict[str, Any]]:

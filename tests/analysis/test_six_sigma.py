@@ -1,0 +1,73 @@
+"""Tests for the 6-sigma empirical-vs-model comparison helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    SIX_SIGMA,
+    sigma_deviation,
+    six_sigma_comparison,
+)
+
+
+def test_exact_agreement_is_zero_sigma():
+    assert sigma_deviation(2500, 10000, 0.25) == 0.0
+
+
+def test_sigma_matches_hand_computation():
+    # observed 0.26 vs model 0.25 over 10^4 trials:
+    # se = sqrt(.25*.75/1e4), z = .01/se
+    z = sigma_deviation(2600, 10000, 0.25)
+    se = math.sqrt(0.25 * 0.75 / 10000)
+    assert math.isclose(z, 0.01 / se)
+    # Symmetric on the other side.
+    assert math.isclose(sigma_deviation(2400, 10000, 0.25), -0.01 / se)
+
+
+def test_sigma_shrinks_with_more_trials():
+    small = sigma_deviation(26, 100, 0.25)
+    large = sigma_deviation(2600, 10000, 0.25)
+    assert large == pytest.approx(small * 10)  # se scales as 1/sqrt(n)
+
+
+def test_degenerate_models():
+    assert sigma_deviation(0, 1000, 0.0) == 0.0
+    assert sigma_deviation(1000, 1000, 1.0) == 0.0
+    assert sigma_deviation(1, 1000, 0.0) == math.inf
+    assert sigma_deviation(999, 1000, 1.0) == -math.inf
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        sigma_deviation(1, 0, 0.5)
+    with pytest.raises(ValueError):
+        sigma_deviation(-1, 10, 0.5)
+    with pytest.raises(ValueError):
+        sigma_deviation(11, 10, 0.5)
+    with pytest.raises(ValueError):
+        sigma_deviation(5, 10, 1.5)
+
+
+def test_comparison_row_verdicts():
+    ok = six_sigma_comparison(2500, 10000, 0.25)
+    assert ok["consistent"] is True
+    assert ok["sigma"] == 0.0
+    assert ok["observed_rate"] == 0.25
+    assert ok["threshold"] == SIX_SIGMA
+
+    # 3 sigma of noise is still consistent at a 6-sigma gate ...
+    se = math.sqrt(0.25 * 0.75 / 10000)
+    drift = six_sigma_comparison(2500 + round(3 * se * 10000), 10000, 0.25)
+    assert drift["consistent"] is True
+
+    # ... a gross model error is not.
+    bad = six_sigma_comparison(3000, 10000, 0.25)
+    assert bad["consistent"] is False
+    assert bad["sigma"] > SIX_SIGMA
+
+
+def test_comparison_custom_threshold():
+    row = six_sigma_comparison(2600, 10000, 0.25, threshold=2.0)
+    assert row["threshold"] == 2.0
+    assert row["consistent"] is False  # ~2.3 sigma fails a 2-sigma gate

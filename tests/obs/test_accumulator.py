@@ -1,0 +1,82 @@
+"""StreamingMoments tests: exactness, mergeability, snapshot/restore."""
+
+import math
+
+from repro.obs.accumulator import StreamingMoments
+
+
+def _filled(values):
+    moments = StreamingMoments()
+    for value in values:
+        moments.record(value)
+    return moments
+
+
+def test_empty_accumulator_has_no_moments():
+    moments = StreamingMoments()
+    assert moments.count == 0
+    assert moments.mean is None
+    assert moments.variance is None
+    assert moments.stddev is None
+    assert moments.min is None and moments.max is None
+
+
+def test_moments_match_direct_computation():
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    moments = _filled(values)
+    assert moments.count == len(values)
+    assert moments.total == sum(values)
+    assert moments.min == min(values) and moments.max == max(values)
+    mean = sum(values) / len(values)
+    assert moments.mean == mean
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    assert math.isclose(moments.variance, var)
+    assert math.isclose(moments.stddev, math.sqrt(var))
+
+
+def test_weighted_record():
+    a = _filled([5, 5, 5])
+    b = StreamingMoments()
+    b.record(5, count=3)
+    assert b.to_dict() == a.to_dict()
+    b.record(7, count=0)  # no-op
+    b.record(7, count=-2)  # no-op
+    assert b.to_dict() == a.to_dict()
+
+
+def test_integer_merge_is_order_independent():
+    values = list(range(31))
+    # Three different partitions/orders of the same stream.
+    whole = _filled(values)
+    front = _filled(values[:11]).merge(_filled(values[11:]))
+    back = _filled(values[17:]).merge(_filled(values[:17]))
+    assert whole.to_dict() == front.to_dict() == back.to_dict()
+
+
+def test_merge_returns_self_and_handles_empties():
+    a = _filled([1, 2])
+    empty = StreamingMoments()
+    assert a.merge(empty) is a
+    assert a.count == 2
+    fresh = StreamingMoments()
+    fresh.merge(a)
+    assert fresh.to_dict() == a.to_dict()
+
+
+def test_variance_clamps_cancellation_to_zero():
+    moments = StreamingMoments()
+    # Many identical large floats: sum_sq/count - mean^2 can dip below 0.
+    for _ in range(1000):
+        moments.record(1e8 + 0.1)
+    assert moments.variance >= 0.0
+    assert moments.stddev >= 0.0
+
+
+def test_dict_round_trip():
+    moments = _filled([2, 7, 1, 8])
+    back = StreamingMoments.from_dict(moments.to_dict())
+    assert back.to_dict() == moments.to_dict()
+    assert back.mean == moments.mean
+    # Round-tripping an empty accumulator keeps None min/max.
+    empty = StreamingMoments.from_dict(StreamingMoments().to_dict())
+    assert empty.count == 0 and empty.min is None
